@@ -1,0 +1,246 @@
+package pds2
+
+// The benchmark harness: one testing.B benchmark per experiment in
+// DESIGN.md's index (E1–E14), regenerating the corresponding table at
+// reduced ("quick") size, plus micro-benchmarks for the hot substrate
+// paths. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-size tables are produced by cmd/pds2-experiments and recorded in
+// EXPERIMENTS.md.
+
+import (
+	"math/big"
+	"testing"
+
+	"pds2/internal/contract"
+	"pds2/internal/core"
+	"pds2/internal/crypto"
+	"pds2/internal/experiments"
+	"pds2/internal/he"
+	"pds2/internal/identity"
+	"pds2/internal/ledger"
+	"pds2/internal/ml"
+	"pds2/internal/reward"
+	"pds2/internal/smc"
+)
+
+// benchExperiment runs one experiment table per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table := e.Run(true)
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkE1Lifecycle(b *testing.B)     { benchExperiment(b, "E1") }
+func BenchmarkE2Governance(b *testing.B)    { benchExperiment(b, "E2") }
+func BenchmarkE3HE(b *testing.B)            { benchExperiment(b, "E3") }
+func BenchmarkE4SMC(b *testing.B)           { benchExperiment(b, "E4") }
+func BenchmarkE5TEE(b *testing.B)           { benchExperiment(b, "E5") }
+func BenchmarkE6GossipVsFed(b *testing.B)   { benchExperiment(b, "E6") }
+func BenchmarkE7Hetero(b *testing.B)        { benchExperiment(b, "E7") }
+func BenchmarkE8Shapley(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9Pricing(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10Authenticity(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11Discovery(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12Leakage(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13Configs(b *testing.B)      { benchExperiment(b, "E13") }
+func BenchmarkE14Tamper(b *testing.B)       { benchExperiment(b, "E14") }
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkScenarioEndToEnd measures one complete marketplace lifecycle.
+func BenchmarkScenarioEndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.Scenario{Seed: uint64(i), Providers: 4, Executors: 2, SamplesEach: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.State != core.StateComplete {
+			b.Fatalf("state %v", res.State)
+		}
+	}
+}
+
+// BenchmarkLedgerTransfersPerBlock measures raw chain throughput with
+// 1000 plain transfers per block.
+func BenchmarkLedgerTransfersPerBlock(b *testing.B) {
+	authority := identity.New("auth", crypto.NewDRBGFromUint64(1, "bench"))
+	users := make([]*identity.Identity, 100)
+	alloc := map[identity.Address]uint64{}
+	for i := range users {
+		users[i] = identity.New("u", crypto.NewDRBGFromUint64(uint64(10+i), "bench"))
+		alloc[users[i].Address()] = 1 << 40
+	}
+	chain, err := ledger.NewChain(ledger.ChainConfig{
+		Authorities:  []identity.Address{authority.Address()},
+		GenesisAlloc: alloc,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nonces := make([]uint64, len(users))
+	const txPerBlock = 1000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txs := make([]*ledger.Transaction, txPerBlock)
+		for j := range txs {
+			u := j % len(users)
+			txs[j] = ledger.SignTx(users[u], users[(u+1)%len(users)].Address(), 1, nonces[u], 50_000, nil)
+			nonces[u]++
+		}
+		if _, err := chain.ProposeBlock(authority, uint64(i+1), txs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(txPerBlock), "tx/block")
+}
+
+// BenchmarkContractCall measures one ERC-20-style contract invocation
+// including block sealing.
+func BenchmarkContractCall(b *testing.B) {
+	rt := contract.NewRuntime()
+	if err := rt.RegisterCode("bench/counter", benchCounter{}); err != nil {
+		b.Fatal(err)
+	}
+	authority := identity.New("auth", crypto.NewDRBGFromUint64(1, "bench"))
+	user := identity.New("u", crypto.NewDRBGFromUint64(2, "bench"))
+	chain, err := ledger.NewChain(ledger.ChainConfig{
+		Authorities:  []identity.Address{authority.Address()},
+		Applier:      rt,
+		GenesisAlloc: map[identity.Address]uint64{user.Address(): 1 << 40},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	deploy := ledger.SignTx(user, identity.ZeroAddress, 0, 0, 1_000_000, contract.DeployData("bench/counter", nil))
+	if _, err := chain.ProposeBlock(authority, 1, []*ledger.Transaction{deploy}); err != nil {
+		b.Fatal(err)
+	}
+	rcpt, _ := chain.Receipt(deploy.Hash())
+	var addr identity.Address
+	copy(addr[:], rcpt.Return)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := ledger.SignTx(user, addr, 0, uint64(i+1), 1_000_000, contract.CallData("inc", nil))
+		if _, err := chain.ProposeBlock(authority, uint64(i+2), []*ledger.Transaction{tx}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCounter is a minimal contract for BenchmarkContractCall.
+type benchCounter struct{}
+
+func (benchCounter) Init(*contract.Context, []byte) error { return nil }
+func (benchCounter) Call(ctx *contract.Context, method string, _ []byte) ([]byte, error) {
+	v, err := ctx.GetUint64("n")
+	if err != nil {
+		return nil, err
+	}
+	return nil, ctx.SetUint64("n", v+1)
+}
+
+// BenchmarkPaillierEncrypt measures a single 1024-bit encryption — the
+// atom of the E3 overhead.
+func BenchmarkPaillierEncrypt(b *testing.B) {
+	rng := crypto.NewDRBGFromUint64(1, "bench")
+	key, err := he.GenerateKey(1024, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := big.NewInt(123456)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Encrypt(m, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSMCDot measures one 64-dimensional secret-shared dot product.
+func BenchmarkSMCDot(b *testing.B) {
+	rng := crypto.NewDRBGFromUint64(1, "bench")
+	engine, err := smc.NewEngine(3, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const dim = 64
+	x := make([]float64, dim)
+	y := make([]float64, dim)
+	for i := range x {
+		x[i], y[i] = float64(i), float64(dim-i)
+	}
+	sx := engine.Share(x, smc.FixedScale)
+	sy := engine.Share(y, smc.FixedScale)
+	engine.DealTriples(dim * (b.N + 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Dot(sx, sy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLogisticUpdate measures one SGD step at dim 64.
+func BenchmarkLogisticUpdate(b *testing.B) {
+	m := ml.NewLogisticModel(64, 1e-3)
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Update(x, 1)
+	}
+}
+
+// BenchmarkExactShapley12 measures the exact attribution at n=12 on a
+// synthetic additive game (no model training), isolating the 2^n cost.
+func BenchmarkExactShapley12(b *testing.B) {
+	fn := func(coalition []int) float64 {
+		s := 0.0
+		for _, i := range coalition {
+			s += float64(i)
+		}
+		return s
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := reward.ExactShapley(12, fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMerkleRoot1k measures the tx-root computation for a
+// 1000-transaction block.
+func BenchmarkMerkleRoot1k(b *testing.B) {
+	leaves := make([][]byte, 1000)
+	rng := crypto.NewDRBGFromUint64(1, "bench")
+	for i := range leaves {
+		leaves[i] = rng.Bytes(32)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if crypto.MerkleRootOf(leaves).IsZero() {
+			b.Fatal("zero root")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command pds2-experiments regenerates the experiment tables recorded in
+// EXPERIMENTS.md: one table per paper figure or quantitative claim (see
+// DESIGN.md's experiment index).
+//
+// Usage:
+//
+//	pds2-experiments             # run everything at full size
+//	pds2-experiments -quick      # reduced sizes (seconds, not minutes)
+//	pds2-experiments -run E6,E8  # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pds2/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "use reduced problem sizes")
+		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	selected := experiments.All
+	if *run != "" {
+		selected = selected[:0:0]
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pds2-experiments: unknown experiment %q\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		table := e.Run(*quick)
+		fmt.Println(table)
+		fmt.Printf("(%s generated in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,119 @@
+// Command pds2 runs a complete PDS² marketplace scenario — governance
+// chain, storage, providers, TEE executors — through the full workload
+// lifecycle and prints a report: final state, model quality, reward
+// payouts and the on-chain audit summary.
+//
+// Usage:
+//
+//	pds2 [-providers N] [-executors M] [-samples K] [-budget B] [-seed S]
+//	pds2 -scenario scenario.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pds2/internal/core"
+)
+
+func main() {
+	var (
+		scenarioPath = flag.String("scenario", "", "JSON scenario file (overrides the flags below)")
+		providers    = flag.Int("providers", 4, "number of data providers")
+		executors    = flag.Int("executors", 2, "number of executors")
+		samples      = flag.Int("samples", 200, "training examples per provider")
+		budget       = flag.Uint64("budget", 100_000, "escrowed reward budget")
+		fee          = flag.Uint64("fee", 1_000, "executor fee in basis points")
+		seed         = flag.Uint64("seed", 1, "deterministic seed")
+		jsonOut      = flag.Bool("json", false, "emit the result as JSON")
+		exportPath   = flag.String("export", "", "write the full chain export (for pds2-audit) to this file")
+	)
+	flag.Parse()
+
+	scenario := core.Scenario{
+		Seed:        *seed,
+		Providers:   *providers,
+		Executors:   *executors,
+		SamplesEach: *samples,
+		Budget:      *budget,
+		ExecutorFee: *fee,
+	}
+	if *scenarioPath != "" {
+		raw, err := os.ReadFile(*scenarioPath)
+		if err != nil {
+			fatalf("read scenario: %v", err)
+		}
+		if err := json.Unmarshal(raw, &scenario); err != nil {
+			fatalf("parse scenario: %v", err)
+		}
+	}
+
+	res, m, err := core.RunDetailed(scenario)
+	if err != nil {
+		fatalf("scenario failed: %v", err)
+	}
+	if *exportPath != "" {
+		f, err := os.Create(*exportPath)
+		if err != nil {
+			fatalf("create export: %v", err)
+		}
+		if err := m.Chain.Export(f); err != nil {
+			fatalf("export chain: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("close export: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "chain exported to %s (verify with pds2-audit)\n", *exportPath)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatalf("encode result: %v", err)
+		}
+		return
+	}
+
+	fmt.Printf("workload      %s\n", res.Workload)
+	fmt.Printf("state         %v\n", res.State)
+	fmt.Printf("accuracy      %.4f\n", res.Accuracy)
+	fmt.Printf("blocks        %d\n", res.Blocks)
+	fmt.Printf("total gas     %d\n", res.TotalGas)
+	fmt.Printf("audit events  %d\n", res.AuditEvents)
+	fmt.Println("payouts:")
+	type payout struct {
+		addr   core.Address
+		amount uint64
+	}
+	var payouts []payout
+	for a, v := range res.Payouts {
+		payouts = append(payouts, payout{a, v})
+	}
+	sort.Slice(payouts, func(i, j int) bool {
+		if payouts[i].amount != payouts[j].amount {
+			return payouts[i].amount > payouts[j].amount
+		}
+		return payouts[i].addr.Hex() < payouts[j].addr.Hex()
+	})
+	var total uint64
+	for _, p := range payouts {
+		role := "provider"
+		for _, e := range res.ExecutorAddr {
+			if e == p.addr {
+				role = "executor"
+			}
+		}
+		fmt.Printf("  %s  %8d  (%s)\n", p.addr.Short(), p.amount, role)
+		total += p.amount
+	}
+	fmt.Printf("  %-8s  %8d\n", "total", total)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pds2: "+format+"\n", args...)
+	os.Exit(1)
+}

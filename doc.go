@@ -1,0 +1,17 @@
+// Package pds2 is a complete, self-contained Go implementation of PDS²
+// ("PDS²: A user-centered decentralized marketplace for privacy
+// preserving data processing", ICDE 2021): a proof-of-authority ledger
+// with a deterministic smart-contract runtime as the governance layer,
+// encrypted provider vaults and capability-granted storage nodes as the
+// storage subsystem, simulated SGX-style enclaves with real attestation
+// chains as the executors, gossip learning (with a federated baseline)
+// as the decentralized aggregation layer, and Shapley-based reward
+// schemes, model-based pricing, semantic data discovery, IoT data
+// authenticity and differential-privacy release on top.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for the measured
+// reproduction of every paper claim. The root package holds the
+// benchmark harness (bench_test.go); the library lives under internal/
+// and is exercised through the examples/ programs and cmd/ binaries.
+package pds2

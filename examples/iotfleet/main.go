@@ -1,0 +1,227 @@
+// IoT fleet: the user-centered scenario that motivates PDS² (§I, §IV-B).
+//
+// A fleet of smart devices produces signed, timestamped sensor readings.
+// The example demonstrates the full §IV-B authenticity pipeline — forged,
+// tampered, replayed and resold readings are rejected — then packages the
+// authentic readings into a per-owner anomaly-detection dataset, lists it
+// on the marketplace under semantic metadata, and sells it into a
+// training workload.
+//
+//	go run ./examples/iotfleet
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"pds2/internal/crypto"
+	"pds2/internal/device"
+	"pds2/internal/identity"
+	"pds2/internal/market"
+	"pds2/internal/ml"
+	"pds2/internal/semantic"
+	"pds2/internal/storage"
+)
+
+const (
+	numOwners        = 4
+	devicesPerOwner  = 25
+	readingsPerOwner = 400
+)
+
+func main() {
+	rng := crypto.NewDRBGFromUint64(7, "iotfleet")
+
+	fmt.Println("PDS² IoT fleet example")
+	fmt.Println("======================")
+
+	// --- 1. Devices produce signed readings; the verifier filters them.
+	fleet, err := device.NewFleet(numOwners*devicesPerOwner, "thermo", rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verifier := device.NewVerifier(fleet.Registry)
+
+	// Manufacturer trust (§IV-B "seal of quality"): a certified vendor's
+	// endorsement admits new devices; a no-name vendor's does not.
+	acme := device.NewManufacturer("acme", rng)
+	policy := device.NewTrustPolicy(device.TrustBasic)
+	policy.SetLevel(acme.Address(), device.TrustCertified)
+	extra := device.New("thermo-extra", rng.Fork("extra"))
+	if level, err := policy.AdmitDevice(fleet.Registry, acme.Endorse(extra)); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("device %s admitted via %s endorsement (%v vendor)\n",
+			extra.Address().Short(), acme.Name, level)
+	}
+	shady := device.NewManufacturer("shady", rng)
+	knockoff := device.New("thermo-clone", rng.Fork("clone"))
+	if _, err := policy.AdmitDevice(fleet.Registry, shady.Endorse(knockoff)); err != nil {
+		fmt.Printf("knockoff device refused: %v\n", err)
+	}
+
+	// Underlying sensor truth: an anomaly-detection dataset whose rows
+	// become reading payloads.
+	truth := ml.GenerateSensorReadings(numOwners*readingsPerOwner, 0.15, rng)
+
+	var readings []device.Reading
+	for i := 0; i < truth.Len(); i++ {
+		d := fleet.Devices[i%len(fleet.Devices)]
+		readings = append(readings, d.Produce(encodeRow(truth.X[i], truth.Y[i]), uint64(1000+i)))
+	}
+	// Attack mix: one forged, one tampered, one replayed, one resold.
+	rogue := device.New("rogue", crypto.NewDRBGFromUint64(666, "rogue"))
+	attacks := []device.Reading{rogue.Produce([]byte("fake"), 1)}
+	tampered := readings[0]
+	tampered.Payload = []byte("evil")
+	attacks = append(attacks, tampered, readings[1],
+		// Resale: the device that produced readings[2] re-signs the same
+		// payload with a fresh sequence number.
+		fleet.Devices[2].Produce(readings[2].Payload, 99_999))
+
+	accepted, rejected := verifier.VerifyBatch(append(readings, attacks...), 0)
+	fmt.Printf("readings submitted: %d honest + %d attacks\n", len(readings), len(attacks))
+	fmt.Printf("accepted: %d, rejected: %d\n", len(accepted), len(rejected))
+	if len(accepted) != len(readings) {
+		log.Fatalf("authenticity filter wrong: %d accepted", len(accepted))
+	}
+	for idx, why := range rejected {
+		fmt.Printf("  rejected #%d: %v\n", idx, why)
+	}
+
+	// --- 2. Owners package their verified readings into datasets.
+	perOwner := make([]*ml.Dataset, numOwners)
+	for o := range perOwner {
+		perOwner[o] = &ml.Dataset{}
+	}
+	for i, r := range accepted {
+		x, y, err := decodeRow(r.Payload)
+		if err != nil {
+			continue
+		}
+		owner := i % numOwners // devices are owned round-robin
+		perOwner[owner].X = append(perOwner[owner].X, x)
+		perOwner[owner].Y = append(perOwner[owner].Y, y)
+	}
+
+	// --- 3. Marketplace: owners sell, a consumer trains a detector.
+	ids := make([]*identity.Identity, 0, numOwners+2)
+	alloc := map[identity.Address]uint64{}
+	for i := 0; i < numOwners+2; i++ {
+		id := identity.New("actor", rng.Fork("id"))
+		ids = append(ids, id)
+		alloc[id.Address()] = 1_000_000
+	}
+	m, err := market.New(market.Config{Seed: 7, GenesisAlloc: alloc})
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := storage.NewNode(storage.NewMemStore())
+	consumer, err := market.NewConsumer(m, ids[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	executor, err := market.NewExecutor(m, ids[1], node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	providers := make([]*market.Provider, numOwners)
+	for o := 0; o < numOwners; o++ {
+		providers[o], err = market.NewProvider(m, ids[2+o], node)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := providers[o].AddDataset(perOwner[o], semantic.Metadata{
+			"category": semantic.String("sensor.vibration.anomaly"),
+			"samples":  semantic.Number(float64(perOwner[o].Len())),
+			"signed":   semantic.Bool(true),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	params := market.TrainerParams{Dim: uint64(truth.Dim()), Epochs: 5, Lambda: 1e-3}
+	spec := &market.Spec{
+		Predicate:      `category isa "sensor.vibration" and signed == true and samples >= 100`,
+		MinProviders:   numOwners,
+		MinItems:       numOwners,
+		ExpiryHeight:   m.Height() + 10_000,
+		ExecutorFeeBps: 500,
+		Measurement:    market.TrainerMeasurement(params.Encode()),
+		QAPub:          m.QA.PublicKey(),
+		Params:         params.Encode(),
+	}
+	workload, err := consumer.SubmitWorkload(spec, 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nworkload %s submitted: %q\n", workload.Short(), spec.Predicate)
+
+	for _, p := range providers {
+		refs, err := p.EligibleData(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("provider %s: %d eligible datasets\n", p.ID.Address().Short(), len(refs))
+		auths, err := p.Authorize(workload, executor.ID.Address(), refs, spec.ExpiryHeight)
+		if err != nil {
+			log.Fatal(err)
+		}
+		executor.Accept(workload, auths)
+	}
+	if err := executor.Register(workload); err != nil {
+		log.Fatal(err)
+	}
+	if err := consumer.Start(workload); err != nil {
+		log.Fatal(err)
+	}
+	payload, err := market.RunWorkloadExecution(workload, []*market.Executor{executor})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := consumer.Finalize(workload); err != nil {
+		log.Fatal(err)
+	}
+
+	model, scores, err := market.DecodeResultModel(payload, params.Lambda)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanomaly detector trained: accuracy %.4f on fresh sensor data\n",
+		ml.Accuracy(model, ml.GenerateSensorReadings(2000, 0.15, rng)))
+	fmt.Println("reward shares (by contributed samples):")
+	for _, s := range scores {
+		fmt.Printf("  owner %s contributed %d samples\n", s.Provider.Short(), s.Score)
+	}
+	st, _ := m.WorkloadStateOf(workload)
+	fmt.Printf("workload state: %v\n", st)
+}
+
+// encodeRow/decodeRow pack one sensor row into a reading payload.
+func encodeRow(x []float64, y float64) []byte {
+	buf := make([]byte, 0, 8*(len(x)+2))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(x)))
+	for _, v := range x {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(y))
+	return buf
+}
+
+func decodeRow(b []byte) ([]float64, float64, error) {
+	if len(b) < 16 {
+		return nil, 0, fmt.Errorf("short payload")
+	}
+	n := binary.BigEndian.Uint64(b)
+	if uint64(len(b)) != 8*(n+2) {
+		return nil, 0, fmt.Errorf("bad payload size")
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*(1+uint64(i)):]))
+	}
+	y := math.Float64frombits(binary.BigEndian.Uint64(b[8*(n+1):]))
+	return x, y, nil
+}

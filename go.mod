@@ -1,0 +1,3 @@
+module pds2
+
+go 1.22

@@ -1,0 +1,173 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+	"pds2/internal/ledger"
+)
+
+// Client is the Go client for a PDS² governance node's HTTP API. It is
+// what a provider agent or executor daemon embeds to interact with a
+// remote node.
+type Client struct {
+	// BaseURL is the node address, e.g. "http://localhost:8547".
+	BaseURL string
+
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient creates a client for the given node URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// get fetches a JSON endpoint into out.
+func (c *Client) get(path string, out any) error {
+	resp, err := c.http().Get(c.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("api: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(path, resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeAPIError(path string, resp *http.Response) error {
+	var apiErr apiError
+	if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+		return fmt.Errorf("api: %s: %s (HTTP %d)", path, apiErr.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("api: %s: HTTP %d", path, resp.StatusCode)
+}
+
+// Status fetches the node status.
+func (c *Client) Status() (StatusResponse, error) {
+	var out StatusResponse
+	err := c.get("/v1/status", &out)
+	return out, err
+}
+
+// Account fetches balance and nonce for an address.
+func (c *Client) Account(addr identity.Address) (AccountResponse, error) {
+	var out AccountResponse
+	err := c.get("/v1/accounts/"+addr.Hex(), &out)
+	return out, err
+}
+
+// Block fetches a block by height.
+func (c *Client) Block(height uint64) (*ledger.Block, error) {
+	var out ledger.Block
+	if err := c.get(fmt.Sprintf("/v1/blocks/%d", height), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Receipt fetches a transaction receipt.
+func (c *Client) Receipt(hash crypto.Digest) (*ledger.Receipt, error) {
+	var out ledger.Receipt
+	if err := c.get("/v1/receipts/"+hash.Hex(), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Events fetches the audit log, optionally filtered by topic.
+func (c *Client) Events(topic string) ([]ledger.Event, error) {
+	path := "/v1/events"
+	if topic != "" {
+		path += "?topic=" + topic
+	}
+	var out []ledger.Event
+	err := c.get(path, &out)
+	return out, err
+}
+
+// Workloads lists the workload directory.
+func (c *Client) Workloads() ([]WorkloadSummary, error) {
+	var out []WorkloadSummary
+	err := c.get("/v1/workloads", &out)
+	return out, err
+}
+
+// Workload fetches one workload's detail view.
+func (c *Client) Workload(addr identity.Address) (WorkloadDetail, error) {
+	var out WorkloadDetail
+	err := c.get("/v1/workloads/"+addr.Hex(), &out)
+	return out, err
+}
+
+// SubmitTx queues a signed transaction and returns its hash.
+func (c *Client) SubmitTx(tx *ledger.Transaction) (crypto.Digest, error) {
+	body, err := json.Marshal(tx)
+	if err != nil {
+		return crypto.ZeroDigest, err
+	}
+	resp, err := c.http().Post(c.BaseURL+"/v1/transactions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return crypto.ZeroDigest, fmt.Errorf("api: submit: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return crypto.ZeroDigest, decodeAPIError("/v1/transactions", resp)
+	}
+	var out SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return crypto.ZeroDigest, err
+	}
+	return out.TxHash, nil
+}
+
+// View performs a read-only contract call through the node.
+func (c *Client) View(caller, to identity.Address, method string, args []byte) ([]byte, error) {
+	body, err := json.Marshal(ViewRequest{Caller: caller, To: to, Method: method, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Post(c.BaseURL+"/v1/views", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("api: view: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError("/v1/views", resp)
+	}
+	var out ViewResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Return, nil
+}
+
+// Seal asks an operator node to seal the pending transactions.
+func (c *Client) Seal() (SealResponse, error) {
+	var out SealResponse
+	resp, err := c.http().Post(c.BaseURL+"/v1/blocks/seal", "application/json", nil)
+	if err != nil {
+		return out, fmt.Errorf("api: seal: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, decodeAPIError("/v1/blocks/seal", resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}

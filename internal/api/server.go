@@ -1,0 +1,340 @@
+// Package api exposes a PDS² governance node over HTTP: chain and
+// account inspection, the on-chain audit log, workload directory and
+// lifecycle views, signed-transaction submission and (for the node
+// operator) block sealing. It is the integration surface a real
+// deployment would put in front of internal/market — wallets, provider
+// agents and executor daemons all speak this API.
+//
+// All responses are JSON. The server serializes access to the
+// underlying market, which is not safe for concurrent use.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"pds2/internal/contract"
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+	"pds2/internal/ledger"
+	"pds2/internal/market"
+)
+
+// Server is the HTTP front end of one governance node.
+type Server struct {
+	mu sync.Mutex
+	m  *market.Market
+
+	// AllowSeal enables POST /v1/blocks/seal, which a public gateway
+	// would keep disabled (only the authority's own node seals).
+	AllowSeal bool
+
+	mux *http.ServeMux
+}
+
+// NewServer wraps a market.
+func NewServer(m *market.Market, allowSeal bool) *Server {
+	s := &Server{m: m, AllowSeal: allowSeal, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/blocks/{height}", s.handleBlock)
+	s.mux.HandleFunc("GET /v1/accounts/{addr}", s.handleAccount)
+	s.mux.HandleFunc("GET /v1/receipts/{hash}", s.handleReceipt)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/workloads/{addr}", s.handleWorkload)
+	s.mux.HandleFunc("POST /v1/transactions", s.handleSubmitTx)
+	s.mux.HandleFunc("POST /v1/views", s.handleView)
+	s.mux.HandleFunc("POST /v1/blocks/seal", s.handleSeal)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// StatusResponse is the GET /v1/status body.
+type StatusResponse struct {
+	Height    uint64           `json:"height"`
+	Registry  identity.Address `json:"registry"`
+	Deeds     identity.Address `json:"deeds"`
+	QAPub     []byte           `json:"qa_pub"`
+	Workloads int              `json:"workloads"`
+	Pending   int              `json:"pending_txs"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wls, err := s.m.Workloads()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "list workloads: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatusResponse{
+		Height:    s.m.Height(),
+		Registry:  s.m.Registry,
+		Deeds:     s.m.Deeds,
+		QAPub:     s.m.QA.PublicKey(),
+		Workloads: len(wls),
+		Pending:   s.m.Pool.Len(),
+	})
+}
+
+func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
+	h, err := strconv.ParseUint(r.PathValue("height"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad height: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	block, err := s.m.Chain.BlockAt(h)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, block)
+}
+
+// AccountResponse is the GET /v1/accounts/{addr} body.
+type AccountResponse struct {
+	Address identity.Address `json:"address"`
+	Balance uint64           `json:"balance"`
+	Nonce   uint64           `json:"nonce"`
+}
+
+func (s *Server) handleAccount(w http.ResponseWriter, r *http.Request) {
+	addr, err := identity.AddressFromHex(r.PathValue("addr"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad address: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, AccountResponse{
+		Address: addr,
+		Balance: s.m.Chain.State().Balance(addr),
+		Nonce:   s.m.Chain.State().Nonce(addr),
+	})
+}
+
+func (s *Server) handleReceipt(w http.ResponseWriter, r *http.Request) {
+	hash, err := crypto.DigestFromHex(r.PathValue("hash"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad hash: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rcpt, ok := s.m.Chain.Receipt(hash)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no receipt for %s", hash.Short())
+		return
+	}
+	writeJSON(w, http.StatusOK, rcpt)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	topic := r.URL.Query().Get("topic")
+	contractHex := r.URL.Query().Get("contract")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var events []ledger.Event
+	if contractHex != "" {
+		addr, err := identity.AddressFromHex(contractHex)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad contract: %v", err)
+			return
+		}
+		events = s.m.Chain.EventsFrom(addr, topic)
+	} else {
+		events = s.m.Chain.Events(topic)
+	}
+	if events == nil {
+		events = []ledger.Event{}
+	}
+	writeJSON(w, http.StatusOK, events)
+}
+
+// WorkloadSummary is one entry of GET /v1/workloads.
+type WorkloadSummary struct {
+	Address identity.Address `json:"address"`
+	State   string           `json:"state"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addrs, err := s.m.Workloads()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := make([]WorkloadSummary, 0, len(addrs))
+	for _, a := range addrs {
+		st, err := s.m.WorkloadStateOf(a)
+		if err != nil {
+			continue
+		}
+		out = append(out, WorkloadSummary{Address: a, State: st.String()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// WorkloadDetail is the GET /v1/workloads/{addr} body.
+type WorkloadDetail struct {
+	Address      identity.Address `json:"address"`
+	State        string           `json:"state"`
+	Predicate    string           `json:"predicate"`
+	MinProviders uint64           `json:"min_providers"`
+	MinItems     uint64           `json:"min_items"`
+	ExpiryHeight uint64           `json:"expiry_height"`
+	FeeBps       uint64           `json:"executor_fee_bps"`
+	Measurement  crypto.Digest    `json:"measurement"`
+	Providers    uint64           `json:"providers"`
+	Items        uint64           `json:"items"`
+	Executors    uint64           `json:"executors"`
+	Results      uint64           `json:"results"`
+	ResultHash   *crypto.Digest   `json:"result_hash,omitempty"`
+}
+
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	addr, err := identity.AddressFromHex(r.PathValue("addr"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad address: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.m.WorkloadStateOf(addr)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "not a workload: %v", err)
+		return
+	}
+	spec, err := s.m.WorkloadSpecOf(addr)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	detail := WorkloadDetail{
+		Address:      addr,
+		State:        st.String(),
+		Predicate:    spec.Predicate,
+		MinProviders: spec.MinProviders,
+		MinItems:     spec.MinItems,
+		ExpiryHeight: spec.ExpiryHeight,
+		FeeBps:       spec.ExecutorFeeBps,
+		Measurement:  spec.Measurement,
+	}
+	if raw, err := s.m.View(identity.ZeroAddress, addr, "progress", nil); err == nil {
+		d := contract.NewDecoder(raw)
+		detail.Providers, _ = d.Uint64()
+		detail.Items, _ = d.Uint64()
+		detail.Executors, _ = d.Uint64()
+		detail.Results, _ = d.Uint64()
+	}
+	if hash, _, err := s.m.WorkloadResultOf(addr); err == nil && !hash.IsZero() {
+		detail.ResultHash = &hash
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+// SubmitResponse is the POST /v1/transactions body.
+type SubmitResponse struct {
+	TxHash crypto.Digest `json:"tx_hash"`
+	Queued bool          `json:"queued"`
+}
+
+func (s *Server) handleSubmitTx(w http.ResponseWriter, r *http.Request) {
+	var tx ledger.Transaction
+	if err := json.NewDecoder(r.Body).Decode(&tx); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad transaction: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.m.Submit(&tx); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ledger.ErrMempoolFull) {
+			status = http.StatusServiceUnavailable
+		}
+		writeErr(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{TxHash: tx.Hash(), Queued: true})
+}
+
+// ViewRequest is the POST /v1/views body: a read-only contract call.
+// Args carry the ABI-encoded method arguments (base64 in JSON).
+type ViewRequest struct {
+	Caller identity.Address `json:"caller"`
+	To     identity.Address `json:"to"`
+	Method string           `json:"method"`
+	Args   []byte           `json:"args,omitempty"`
+}
+
+// ViewResponse is the POST /v1/views body: the ABI-encoded return value.
+type ViewResponse struct {
+	Return []byte `json:"return"`
+}
+
+func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
+	var req ViewRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad view request: %v", err)
+		return
+	}
+	if req.Method == "" {
+		writeErr(w, http.StatusBadRequest, "missing method")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ret, err := s.m.View(req.Caller, req.To, req.Method, req.Args)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "view reverted: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ViewResponse{Return: ret})
+}
+
+// SealResponse is the POST /v1/blocks/seal body.
+type SealResponse struct {
+	Height uint64 `json:"height"`
+	Txs    int    `json:"txs"`
+}
+
+func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
+	if !s.AllowSeal {
+		writeErr(w, http.StatusForbidden, "sealing disabled on this node")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	block, err := s.m.SealBlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SealResponse{Height: block.Header.Height, Txs: len(block.Txs)})
+}

@@ -1,0 +1,124 @@
+package contract
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+func TestABIRoundTrip(t *testing.T) {
+	addr, _ := identity.AddressFromHex("0102030405060708090a0b0c0d0e0f1011121314")
+	dg := crypto.HashString("digest")
+	enc := NewEncoder().
+		Bool(true).
+		Uint64(42).
+		Int64(-7).
+		String("hello").
+		Blob([]byte{1, 2, 3}).
+		Address(addr).
+		Digest(dg)
+
+	dec := NewDecoder(enc.Bytes())
+	if v, err := dec.Bool(); err != nil || v != true {
+		t.Fatalf("Bool: %v %v", v, err)
+	}
+	if v, err := dec.Uint64(); err != nil || v != 42 {
+		t.Fatalf("Uint64: %v %v", v, err)
+	}
+	if v, err := dec.Int64(); err != nil || v != -7 {
+		t.Fatalf("Int64: %v %v", v, err)
+	}
+	if v, err := dec.String(); err != nil || v != "hello" {
+		t.Fatalf("String: %v %v", v, err)
+	}
+	if v, err := dec.Blob(); err != nil || !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("Blob: %v %v", v, err)
+	}
+	if v, err := dec.Address(); err != nil || v != addr {
+		t.Fatalf("Address: %v %v", v, err)
+	}
+	if v, err := dec.Digest(); err != nil || v != dg {
+		t.Fatalf("Digest: %v %v", v, err)
+	}
+	if err := dec.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestABITypeMismatch(t *testing.T) {
+	enc := NewEncoder().Uint64(1)
+	dec := NewDecoder(enc.Bytes())
+	if _, err := dec.String(); !errors.Is(err, ErrABIType) {
+		t.Fatalf("want ErrABIType, got %v", err)
+	}
+}
+
+func TestABITruncated(t *testing.T) {
+	enc := NewEncoder().String("hello")
+	b := enc.Bytes()
+	dec := NewDecoder(b[:len(b)-2])
+	if _, err := dec.String(); !errors.Is(err, ErrABITruncated) {
+		t.Fatalf("want ErrABITruncated, got %v", err)
+	}
+	empty := NewDecoder(nil)
+	if _, err := empty.Uint64(); !errors.Is(err, ErrABITruncated) {
+		t.Fatalf("want ErrABITruncated, got %v", err)
+	}
+}
+
+func TestABIDoneRejectsTrailing(t *testing.T) {
+	enc := NewEncoder().Uint64(1).Uint64(2)
+	dec := NewDecoder(enc.Bytes())
+	dec.Uint64()
+	if err := dec.Done(); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+func TestABIBlobCopied(t *testing.T) {
+	enc := NewEncoder().Blob([]byte{9, 9})
+	buf := enc.Bytes()
+	dec := NewDecoder(buf)
+	blob, _ := dec.Blob()
+	blob[0] = 0
+	dec2 := NewDecoder(buf)
+	blob2, _ := dec2.Blob()
+	if blob2[0] != 9 {
+		t.Fatal("decoded blob aliases the input buffer")
+	}
+}
+
+func TestABIPropertyQuick(t *testing.T) {
+	f := func(u uint64, i int64, s string, b []byte, flag bool) bool {
+		enc := NewEncoder().Uint64(u).Int64(i).String(s).Blob(b).Bool(flag)
+		dec := NewDecoder(enc.Bytes())
+		gu, err := dec.Uint64()
+		if err != nil || gu != u {
+			return false
+		}
+		gi, err := dec.Int64()
+		if err != nil || gi != i {
+			return false
+		}
+		gs, err := dec.String()
+		if err != nil || gs != s {
+			return false
+		}
+		gb, err := dec.Blob()
+		if err != nil || !bytes.Equal(gb, b) {
+			return false
+		}
+		gf, err := dec.Bool()
+		if err != nil || gf != flag {
+			return false
+		}
+		return dec.Done() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

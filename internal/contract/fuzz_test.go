@@ -1,0 +1,60 @@
+package contract
+
+import "testing"
+
+// FuzzDecoder checks that the ABI decoder never panics on arbitrary
+// input, whatever sequence of reads a contract performs.
+func FuzzDecoder(f *testing.F) {
+	f.Add(NewEncoder().Uint64(1).String("x").Blob([]byte{1}).Bool(true).Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x03, 0xff, 0xff, 0xff, 0xff}) // string with absurd length
+	f.Add([]byte{0x05, 1, 2})                   // truncated address
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		for i := 0; i < 16 && d.Remaining() > 0; i++ {
+			// Try every decode in turn from the current offset; at most
+			// one can succeed, the rest must fail cleanly.
+			before := d.Remaining()
+			if _, err := d.Uint64(); err == nil {
+				continue
+			}
+			if _, err := d.Int64(); err == nil {
+				continue
+			}
+			if _, err := d.Bool(); err == nil {
+				continue
+			}
+			if _, err := d.String(); err == nil {
+				continue
+			}
+			if _, err := d.Blob(); err == nil {
+				continue
+			}
+			if _, err := d.Address(); err == nil {
+				continue
+			}
+			if _, err := d.Digest(); err == nil {
+				continue
+			}
+			if d.Remaining() != before {
+				t.Fatal("failed decode consumed input")
+			}
+			break
+		}
+	})
+}
+
+// FuzzDeployData checks the deploy/call payload decoding path the
+// runtime exercises on every transaction.
+func FuzzDeployData(f *testing.F) {
+	f.Add(DeployData("pds2/erc20", []byte{1, 2}))
+	f.Add(CallData("transfer", []byte{3}))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		if _, err := d.String(); err != nil {
+			return
+		}
+		_, _ = d.Blob()
+	})
+}

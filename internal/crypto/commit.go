@@ -1,0 +1,49 @@
+package crypto
+
+import (
+	"crypto/subtle"
+	"errors"
+)
+
+// Commitment is a binding, hiding hash commitment to a byte string.
+// PDS² uses commitments when an actor must pin a value on the governance
+// layer (for example an executor committing to a result before
+// publishing it) without revealing the value itself.
+type Commitment struct {
+	Digest Digest `json:"digest"`
+}
+
+// Opening is the information needed to open a commitment: the committed
+// value and the random blinding nonce.
+type Opening struct {
+	Value []byte `json:"value"`
+	Nonce []byte `json:"nonce"`
+}
+
+// commitNonceLen is the blinding nonce length; 32 bytes gives the full
+// security level of SHA-256's hiding property.
+const commitNonceLen = 32
+
+// Commit produces a commitment to value, drawing the blinding nonce from
+// rng. The returned Opening must be kept secret until reveal time.
+func Commit(value []byte, rng *DRBG) (Commitment, Opening) {
+	nonce := rng.Bytes(commitNonceLen)
+	o := Opening{Value: append([]byte(nil), value...), Nonce: nonce}
+	return Commitment{Digest: commitmentDigest(o)}, o
+}
+
+func commitmentDigest(o Opening) Digest {
+	return HashConcat([]byte("pds2/commit"), o.Nonce, o.Value)
+}
+
+// Verify checks that the opening matches the commitment in constant time.
+func (c Commitment) Verify(o Opening) error {
+	if len(o.Nonce) != commitNonceLen {
+		return errors.New("crypto: commitment nonce has wrong length")
+	}
+	want := commitmentDigest(o)
+	if subtle.ConstantTimeCompare(want[:], c.Digest[:]) != 1 {
+		return errors.New("crypto: commitment opening does not match")
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package crypto
+
+import "testing"
+
+func TestCommitVerify(t *testing.T) {
+	rng := NewDRBGFromUint64(1, "commit")
+	c, o := Commit([]byte("result hash"), rng)
+	if err := c.Verify(o); err != nil {
+		t.Fatalf("valid opening rejected: %v", err)
+	}
+}
+
+func TestCommitWrongValueRejected(t *testing.T) {
+	rng := NewDRBGFromUint64(2, "commit")
+	c, o := Commit([]byte("honest"), rng)
+	o.Value = []byte("tampered")
+	if err := c.Verify(o); err == nil {
+		t.Fatal("tampered value accepted")
+	}
+}
+
+func TestCommitWrongNonceRejected(t *testing.T) {
+	rng := NewDRBGFromUint64(3, "commit")
+	c, o := Commit([]byte("v"), rng)
+	o.Nonce = rng.Bytes(commitNonceLen)
+	if err := c.Verify(o); err == nil {
+		t.Fatal("wrong nonce accepted")
+	}
+}
+
+func TestCommitBadNonceLength(t *testing.T) {
+	rng := NewDRBGFromUint64(4, "commit")
+	c, o := Commit([]byte("v"), rng)
+	o.Nonce = o.Nonce[:16]
+	if err := c.Verify(o); err == nil {
+		t.Fatal("short nonce accepted")
+	}
+}
+
+func TestCommitHiding(t *testing.T) {
+	// The same value committed twice yields different digests thanks to
+	// the blinding nonce.
+	rng := NewDRBGFromUint64(5, "commit")
+	c1, _ := Commit([]byte("same"), rng)
+	c2, _ := Commit([]byte("same"), rng)
+	if c1.Digest == c2.Digest {
+		t.Fatal("commitments to the same value are equal: not hiding")
+	}
+}
+
+func TestCommitCopiesValue(t *testing.T) {
+	rng := NewDRBGFromUint64(6, "commit")
+	val := []byte("mutable")
+	c, o := Commit(val, rng)
+	val[0] = 'X' // mutate the caller's slice after committing
+	if err := c.Verify(o); err != nil {
+		t.Fatalf("opening invalidated by caller-side mutation: %v", err)
+	}
+}

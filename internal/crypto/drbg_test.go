@@ -1,0 +1,178 @@
+package crypto
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDRBGDeterministic(t *testing.T) {
+	a := NewDRBGFromUint64(42, "test")
+	b := NewDRBGFromUint64(42, "test")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed DRBGs diverged at step %d", i)
+		}
+	}
+}
+
+func TestDRBGLabelSeparation(t *testing.T) {
+	a := NewDRBGFromUint64(42, "alpha")
+	b := NewDRBGFromUint64(42, "beta")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different labels produced %d identical outputs", same)
+	}
+}
+
+func TestDRBGSeedSeparation(t *testing.T) {
+	a := NewDRBGFromUint64(1, "x")
+	b := NewDRBGFromUint64(2, "x")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("different seeds produced identical first output")
+	}
+}
+
+func TestDRBGIntnBounds(t *testing.T) {
+	rng := NewDRBGFromUint64(7, "intn")
+	for i := 0; i < 1000; i++ {
+		v := rng.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+	}
+}
+
+func TestDRBGIntnPanicsOnNonPositive(t *testing.T) {
+	rng := NewDRBGFromUint64(7, "intn")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	rng.Intn(0)
+}
+
+func TestDRBGFloat64Range(t *testing.T) {
+	rng := NewDRBGFromUint64(8, "f64")
+	for i := 0; i < 1000; i++ {
+		v := rng.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestDRBGFloat64Mean(t *testing.T) {
+	rng := NewDRBGFromUint64(9, "mean")
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += rng.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestDRBGNormFloat64Moments(t *testing.T) {
+	rng := NewDRBGFromUint64(10, "norm")
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestDRBGExpFloat64Mean(t *testing.T) {
+	rng := NewDRBGFromUint64(11, "exp")
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := rng.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("exponential sample %v < 0", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.05 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestDRBGPermIsPermutation(t *testing.T) {
+	rng := NewDRBGFromUint64(12, "perm")
+	p := rng.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDRBGFieldElemInRange(t *testing.T) {
+	rng := NewDRBGFromUint64(13, "field")
+	for i := 0; i < 1000; i++ {
+		if v := rng.FieldElem(); uint64(v) >= FieldPrime {
+			t.Fatalf("FieldElem out of range: %v", v)
+		}
+	}
+}
+
+func TestDRBGForkIndependence(t *testing.T) {
+	parent := NewDRBGFromUint64(14, "parent")
+	c1 := parent.Fork("child")
+	c2 := parent.Fork("child")
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("successive forks with the same label are identical")
+	}
+}
+
+func TestDRBGReadFillsBuffer(t *testing.T) {
+	rng := NewDRBGFromUint64(15, "read")
+	buf := make([]byte, 100)
+	n, err := rng.Read(buf)
+	if err != nil || n != 100 {
+		t.Fatalf("Read = (%d, %v)", n, err)
+	}
+	allZero := true
+	for _, b := range buf {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		t.Fatal("Read produced all-zero output")
+	}
+}
+
+func TestDRBGShuffle(t *testing.T) {
+	rng := NewDRBGFromUint64(16, "shuffle")
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make(map[int]bool)
+	for _, v := range vals {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("shuffle lost elements: %v", vals)
+	}
+}

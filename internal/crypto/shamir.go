@@ -1,0 +1,85 @@
+package crypto
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Share is one Shamir share of a field element: the evaluation of the
+// sharing polynomial at X (which is never zero; f(0) is the secret).
+type Share struct {
+	X FieldElem `json:"x"`
+	Y FieldElem `json:"y"`
+}
+
+// SplitSecret splits secret into n shares such that any k of them
+// reconstruct it and any k-1 reveal nothing. Randomness for the
+// polynomial coefficients is drawn from rng, so the split is
+// deterministic for a deterministic rng.
+func SplitSecret(secret FieldElem, k, n int, rng *DRBG) ([]Share, error) {
+	if k < 1 {
+		return nil, errors.New("crypto: shamir threshold must be >= 1")
+	}
+	if n < k {
+		return nil, fmt.Errorf("crypto: shamir needs n >= k, got n=%d k=%d", n, k)
+	}
+	if uint64(n) >= FieldPrime {
+		return nil, errors.New("crypto: too many shares for field size")
+	}
+	// f(x) = secret + c1 x + ... + c_{k-1} x^{k-1}
+	coeffs := make([]FieldElem, k)
+	coeffs[0] = secret
+	for i := 1; i < k; i++ {
+		coeffs[i] = rng.FieldElem()
+	}
+	shares := make([]Share, n)
+	for i := 0; i < n; i++ {
+		x := FieldElem(uint64(i + 1))
+		shares[i] = Share{X: x, Y: evalPoly(coeffs, x)}
+	}
+	return shares, nil
+}
+
+func evalPoly(coeffs []FieldElem, x FieldElem) FieldElem {
+	// Horner's rule.
+	var y FieldElem
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		y = FieldAdd(FieldMul(y, x), coeffs[i])
+	}
+	return y
+}
+
+// CombineShares reconstructs the secret from at least k shares via
+// Lagrange interpolation at zero. Shares with duplicate X values are
+// rejected because interpolation through them is undefined.
+func CombineShares(shares []Share) (FieldElem, error) {
+	if len(shares) == 0 {
+		return 0, errors.New("crypto: no shares to combine")
+	}
+	seen := make(map[FieldElem]bool, len(shares))
+	for _, s := range shares {
+		if s.X == 0 {
+			return 0, errors.New("crypto: share with x=0 would reveal the secret directly")
+		}
+		if seen[s.X] {
+			return 0, fmt.Errorf("crypto: duplicate share x=%v", s.X)
+		}
+		seen[s.X] = true
+	}
+	var secret FieldElem
+	for i, si := range shares {
+		// Lagrange basis polynomial evaluated at 0.
+		num := FieldElem(1)
+		den := FieldElem(1)
+		for j, sj := range shares {
+			if i == j {
+				continue
+			}
+			num = FieldMul(num, sj.X)                 // (0 - xj) up to sign folded below
+			den = FieldMul(den, FieldSub(sj.X, si.X)) // (xj - xi); sign matches num's
+		}
+		li := FieldDiv(num, den)
+		secret = FieldAdd(secret, FieldMul(si.Y, li))
+	}
+	return secret, nil
+}

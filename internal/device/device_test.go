@@ -1,0 +1,183 @@
+package device
+
+import (
+	"errors"
+	"testing"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+func fleet(t *testing.T, n int) *Fleet {
+	t.Helper()
+	f, err := NewFleet(n, "tk", crypto.NewDRBGFromUint64(1, "device-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestProduceVerify(t *testing.T) {
+	f := fleet(t, 1)
+	v := NewVerifier(f.Registry)
+	r := f.Devices[0].Produce([]byte("21.5C"), 1000)
+	if err := v.Verify(r, 0); err != nil {
+		t.Fatalf("valid reading rejected: %v", err)
+	}
+}
+
+func TestSequenceMonotonic(t *testing.T) {
+	f := fleet(t, 1)
+	d := f.Devices[0]
+	r1 := d.Produce([]byte("a"), 1)
+	r2 := d.Produce([]byte("b"), 2)
+	if r2.Seq != r1.Seq+1 {
+		t.Fatalf("seq %d after %d", r2.Seq, r1.Seq)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	f := fleet(t, 1)
+	v := NewVerifier(f.Registry)
+	r := f.Devices[0].Produce([]byte("x"), 1)
+	if err := v.Verify(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(r, 0); !errors.Is(err, ErrReplay) {
+		t.Fatalf("want ErrReplay, got %v", err)
+	}
+}
+
+func TestResellRejected(t *testing.T) {
+	// The same payload re-signed with a fresh sequence number is a
+	// resale attempt; the duplicate-payload check catches it.
+	f := fleet(t, 1)
+	v := NewVerifier(f.Registry)
+	d := f.Devices[0]
+	r1 := d.Produce([]byte("same data"), 1)
+	r2 := d.Produce([]byte("same data"), 2)
+	if err := v.Verify(r1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(r2, 0); !errors.Is(err, ErrDuplicateData) {
+		t.Fatalf("want ErrDuplicateData, got %v", err)
+	}
+}
+
+func TestSamePayloadDifferentDevicesAllowed(t *testing.T) {
+	// Two devices can legitimately observe the same value.
+	f := fleet(t, 2)
+	v := NewVerifier(f.Registry)
+	r1 := f.Devices[0].Produce([]byte("21C"), 1)
+	r2 := f.Devices[1].Produce([]byte("21C"), 1)
+	if err := v.Verify(r1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(r2, 0); err != nil {
+		t.Fatalf("cross-device duplicate rejected: %v", err)
+	}
+}
+
+func TestForgedDeviceRejected(t *testing.T) {
+	f := fleet(t, 1)
+	v := NewVerifier(f.Registry)
+	rogue := New("rogue", crypto.NewDRBGFromUint64(99, "rogue"))
+	r := rogue.Produce([]byte("fake"), 1)
+	if err := v.Verify(r, 0); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("want ErrUnknownDevice, got %v", err)
+	}
+}
+
+func TestTamperedPayloadRejected(t *testing.T) {
+	f := fleet(t, 1)
+	v := NewVerifier(f.Registry)
+	r := f.Devices[0].Produce([]byte("original"), 1)
+	r.Payload = []byte("tampered")
+	if err := v.Verify(r, 0); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestImpersonationRejected(t *testing.T) {
+	// Mallory signs with her own key but claims a registered device's
+	// address.
+	f := fleet(t, 1)
+	v := NewVerifier(f.Registry)
+	rogue := New("rogue", crypto.NewDRBGFromUint64(98, "rogue"))
+	r := rogue.Produce([]byte("fake"), 1)
+	r.Device = f.Devices[0].Address()
+	if err := v.Verify(r, 0); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestTimestampWindow(t *testing.T) {
+	f := fleet(t, 1)
+	v := NewVerifier(f.Registry)
+	v.MaxClockSkew = 60
+	ok := f.Devices[0].Produce([]byte("a"), 1000)
+	if err := v.Verify(ok, 1030); err != nil {
+		t.Fatalf("in-window rejected: %v", err)
+	}
+	stale := f.Devices[0].Produce([]byte("b"), 1000)
+	if err := v.Verify(stale, 2000); !errors.Is(err, ErrStaleTime) {
+		t.Fatalf("want ErrStaleTime, got %v", err)
+	}
+}
+
+func TestDeviceClockMonotone(t *testing.T) {
+	f := fleet(t, 1)
+	d := f.Devices[0]
+	d.Produce([]byte("a"), 100)
+	r := d.Produce([]byte("b"), 50) // clock went backwards
+	if r.Timestamp != 100 {
+		t.Fatalf("timestamp regressed to %d", r.Timestamp)
+	}
+}
+
+func TestVerifyBatchMixed(t *testing.T) {
+	f := fleet(t, 2)
+	v := NewVerifier(f.Registry)
+	good1 := f.Devices[0].Produce([]byte("a"), 1)
+	good2 := f.Devices[1].Produce([]byte("b"), 1)
+	tampered := f.Devices[0].Produce([]byte("c"), 2)
+	tampered.Payload = []byte("evil")
+	replay := good2
+
+	accepted, rejected := v.VerifyBatch([]Reading{good1, good2, tampered, replay}, 0)
+	if len(accepted) != 2 {
+		t.Fatalf("accepted %d", len(accepted))
+	}
+	if len(rejected) != 2 {
+		t.Fatalf("rejected %v", rejected)
+	}
+	if !errors.Is(rejected[2], ErrBadSignature) || !errors.Is(rejected[3], ErrReplay) {
+		t.Fatalf("rejection reasons: %v", rejected)
+	}
+}
+
+func TestFleetRegistryRoles(t *testing.T) {
+	f := fleet(t, 3)
+	if f.Registry.Len() != 3 {
+		t.Fatalf("registered %d", f.Registry.Len())
+	}
+	for _, d := range f.Devices {
+		if !f.Registry.HasRole(d.Address(), identity.RoleDevice) {
+			t.Fatal("device role missing")
+		}
+	}
+}
+
+func TestReadingIDStableAcrossSeq(t *testing.T) {
+	f := fleet(t, 1)
+	d := f.Devices[0]
+	r1 := d.Produce([]byte("same"), 1)
+	r2 := d.Produce([]byte("same"), 2)
+	if r1.ID() != r2.ID() {
+		t.Fatal("reading ID should depend on device+payload only")
+	}
+	r3 := d.Produce([]byte("different"), 3)
+	if r1.ID() == r3.ID() {
+		t.Fatal("different payloads share an ID")
+	}
+}

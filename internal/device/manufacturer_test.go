@@ -1,0 +1,95 @@
+package device
+
+import (
+	"errors"
+	"testing"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+func TestManufacturerEndorsementAdmitsDevice(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(1, "mfr-test")
+	mfr := NewManufacturer("acme", rng)
+	d := New("tk-1", rng)
+	cert := mfr.Endorse(d)
+	if err := cert.Verify(); err != nil {
+		t.Fatalf("valid endorsement rejected: %v", err)
+	}
+
+	policy := NewTrustPolicy(TrustBasic)
+	policy.SetLevel(mfr.Address(), TrustCertified)
+	reg := identity.NewRegistry()
+	level, err := policy.AdmitDevice(reg, cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level != TrustCertified {
+		t.Fatalf("level = %v", level)
+	}
+	// The admitted device's readings now verify.
+	v := NewVerifier(reg)
+	if err := v.Verify(d.Produce([]byte("r"), 1), 0); err != nil {
+		t.Fatalf("admitted device rejected: %v", err)
+	}
+}
+
+func TestUntrustedManufacturerRejected(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(2, "mfr-test")
+	mfr := NewManufacturer("noname", rng)
+	d := New("x", rng)
+	cert := mfr.Endorse(d)
+
+	policy := NewTrustPolicy(TrustBasic) // noname is ungraded = unknown
+	reg := identity.NewRegistry()
+	if _, err := policy.AdmitDevice(reg, cert); !errors.Is(err, ErrUntrustedVendor) {
+		t.Fatalf("want ErrUntrustedVendor, got %v", err)
+	}
+	// The device was not registered: its readings fail.
+	v := NewVerifier(reg)
+	if err := v.Verify(d.Produce([]byte("r"), 1), 0); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("want ErrUnknownDevice, got %v", err)
+	}
+}
+
+func TestForgedEndorsementRejected(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(3, "mfr-test")
+	mfr := NewManufacturer("acme", rng)
+	mallory := NewManufacturer("mallory", rng)
+	d := New("x", rng)
+
+	// Mallory endorses but claims to be acme.
+	cert := mallory.Endorse(d)
+	cert.Manufacturer = mfr.Address()
+	if err := cert.Verify(); !errors.Is(err, ErrCertForged) {
+		t.Fatalf("want ErrCertForged, got %v", err)
+	}
+	// Tampered model string invalidates the signature.
+	cert2 := mfr.Endorse(d)
+	cert2.Model = "premium-edition"
+	if err := cert2.Verify(); !errors.Is(err, ErrCertForged) {
+		t.Fatalf("want ErrCertForged, got %v", err)
+	}
+	// Endorsement for a different device key cannot admit this one.
+	other := New("y", rng)
+	cert3 := mfr.Endorse(other)
+	policy := NewTrustPolicy(TrustBasic)
+	policy.SetLevel(mfr.Address(), TrustBasic)
+	reg := identity.NewRegistry()
+	if _, err := policy.AdmitDevice(reg, cert3); err != nil {
+		t.Fatal(err) // admits `other`, fine
+	}
+	v := NewVerifier(reg)
+	if err := v.Verify(d.Produce([]byte("r"), 1), 0); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("device admitted by proxy: %v", err)
+	}
+}
+
+func TestTrustLevelOrderingAndString(t *testing.T) {
+	if !(TrustUnknown < TrustBasic && TrustBasic < TrustCertified) {
+		t.Fatal("trust ordering broken")
+	}
+	if TrustCertified.String() != "certified" || TrustUnknown.String() != "unknown" || TrustBasic.String() != "basic" {
+		t.Fatal("trust level strings")
+	}
+}

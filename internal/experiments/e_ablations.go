@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pds2/internal/crypto"
+	"pds2/internal/gossip"
+	"pds2/internal/ml"
+	"pds2/internal/reward"
+	"pds2/internal/simnet"
+)
+
+// The A-series tables are the ablations DESIGN.md §4 calls out: they
+// vary one design choice at a time and measure its effect.
+
+// A1MergeRules ablates the gossip merge rule.
+func A1MergeRules(quick bool) Table {
+	t := Table{
+		ID:         "A1",
+		Title:      "Ablation: gossip merge rule",
+		PaperClaim: "[22]: age-weighted merging dominates overwrite and plain averaging",
+		Columns:    []string{"merge-rule", "err@50%", "err@end", "spread(max-min)"},
+	}
+	nodes, horizon := 50, 1200*simnet.Second
+	if quick {
+		nodes, horizon = 20, 400*simnet.Second
+	}
+	for _, rule := range []gossip.MergeRule{gossip.MergeNone, gossip.MergeAverage, gossip.MergeAgeWeighted} {
+		rng := crypto.NewDRBGFromUint64(31, "a1")
+		data, _ := ml.GenerateClassification(ml.SyntheticConfig{N: nodes * 40, Dim: 10, LabelNoise: 0.05}, rng)
+		train, test := data.TrainTestSplit(0.2, rng)
+		parts := train.PartitionIID(nodes, rng)
+		net := simnet.New(simnet.Config{Seed: 31})
+		r, err := gossip.NewRunner(net, parts, gossip.Config{
+			Cycle:        10 * simnet.Second,
+			ModelFactory: func() ml.Model { return ml.NewLogisticModel(10, 1e-2) },
+			Merge:        rule,
+		})
+		if err != nil {
+			t.AddRow(rule.String(), "ERROR", err.Error(), "")
+			continue
+		}
+		hist := r.Track(test, horizon/4)
+		r.Start()
+		net.Run(horizon)
+		h := *hist
+		final := r.Evaluate(test)
+		t.AddRow(rule.String(), h[1].MeanError, final.MeanError, final.MaxError-final.MinError)
+	}
+	return t
+}
+
+// A2ViewSize ablates the peer-sampling view size under churn.
+func A2ViewSize(quick bool) Table {
+	t := Table{
+		ID:         "A2",
+		Title:      "Ablation: peer-sampling view size under 50% churn",
+		PaperClaim: "partial views must be large enough to keep the overlay connected when half the nodes are offline",
+		Columns:    []string{"view-size", "err@end", "messages-delivered%"},
+	}
+	nodes, horizon := 50, 1200*simnet.Second
+	if quick {
+		nodes, horizon = 20, 400*simnet.Second
+	}
+	for _, view := range []int{2, 4, 8, 16} {
+		rng := crypto.NewDRBGFromUint64(32, "a2")
+		data, _ := ml.GenerateClassification(ml.SyntheticConfig{N: nodes * 40, Dim: 10, LabelNoise: 0.05}, rng)
+		train, test := data.TrainTestSplit(0.2, rng)
+		parts := train.PartitionIID(nodes, rng)
+		net := simnet.New(simnet.Config{Seed: 32})
+		r, err := gossip.NewRunner(net, parts, gossip.Config{
+			Cycle:        10 * simnet.Second,
+			ModelFactory: func() ml.Model { return ml.NewLogisticModel(10, 1e-2) },
+			Merge:        gossip.MergeAgeWeighted,
+			ViewSize:     view,
+		})
+		if err != nil {
+			t.AddRow(view, "ERROR", err.Error())
+			continue
+		}
+		tr := simnet.GenerateChurn(nodes, horizon, 60*simnet.Second, 60*simnet.Second,
+			crypto.NewDRBGFromUint64(32, "churn"))
+		tr.Apply(net)
+		r.Start()
+		net.Run(horizon)
+		st := net.Stats()
+		delivered := float64(st.MessagesDelivered) / float64(st.MessagesSent+1) * 100
+		t.AddRow(view, r.Evaluate(test).MeanError, fmt.Sprintf("%.0f%%", delivered))
+	}
+	return t
+}
+
+// A3TMCTolerance ablates the truncated-Monte-Carlo truncation threshold.
+func A3TMCTolerance(quick bool) Table {
+	t := Table{
+		ID:         "A3",
+		Title:      "Ablation: TMC-Shapley truncation tolerance",
+		PaperClaim: "[30]: looser truncation saves model trainings at bounded attribution error",
+		Columns:    []string{"tolerance", "evaluations", "wall", "max-err-vs-exact"},
+	}
+	n := 12
+	samples := 200
+	if quick {
+		n, samples = 10, 60
+	}
+	rng := crypto.NewDRBGFromUint64(33, "a3")
+	data, _ := ml.GenerateClassification(ml.SyntheticConfig{N: 60 * n, Dim: 6, LabelNoise: 0.05}, rng)
+	train, test := data.TrainTestSplit(0.3, rng)
+	parts := train.PartitionIID(n, rng)
+	fn := reward.DataValueFn(parts, test, func() ml.Model { return ml.NewLogisticModel(6, 1e-3) }, 1)
+	exact, _, err := reward.ExactShapley(n, fn)
+	if err != nil {
+		t.Notes = append(t.Notes, "exact failed: "+err.Error())
+		return t
+	}
+	for _, tol := range []float64{0.005, 0.02, 0.05, 0.1} {
+		start := time.Now()
+		approx, evals, err := reward.TMCShapley(n, fn, samples, tol, rng.Fork(fmt.Sprintf("tol-%v", tol)))
+		if err != nil {
+			t.AddRow(tol, "ERROR", err.Error(), "")
+			continue
+		}
+		var maxErr float64
+		for i := range exact {
+			if e := math.Abs(approx[i] - exact[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		t.AddRow(tol, evals, time.Since(start).Round(time.Millisecond), maxErr)
+	}
+	return t
+}
+
+func init() {
+	All = append(All,
+		Experiment{"A1", "ablation: gossip merge rule", A1MergeRules},
+		Experiment{"A2", "ablation: peer-sampling view size", A2ViewSize},
+		Experiment{"A3", "ablation: TMC truncation tolerance", A3TMCTolerance},
+	)
+}

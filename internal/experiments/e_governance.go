@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pds2/internal/contract"
+	"pds2/internal/core"
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+	"pds2/internal/ledger"
+	"pds2/internal/market"
+	"pds2/internal/ml"
+	"pds2/internal/semantic"
+	"pds2/internal/storage"
+)
+
+// E1Lifecycle runs the full Fig. 2 lifecycle at increasing scale and
+// verifies that it completes, trains a usable model, pays out the exact
+// budget and leaves a complete audit trail.
+func E1Lifecycle(quick bool) Table {
+	t := Table{
+		ID:         "E1",
+		Title:      "Full workload lifecycle at increasing scale",
+		PaperClaim: "Fig. 2: the submission → discovery → certification → execution → reward sequence is executable end to end with full on-chain audit",
+		Columns:    []string{"providers", "executors", "blocks", "gas", "audit-events", "accuracy", "payout/budget", "wall"},
+	}
+	type cfg struct{ p, e int }
+	cfgs := []cfg{{4, 2}, {16, 4}, {64, 8}}
+	if quick {
+		cfgs = []cfg{{4, 2}, {8, 4}}
+	}
+	for i, c := range cfgs {
+		start := time.Now()
+		res, err := core.Run(core.Scenario{
+			Seed: uint64(100 + i), Providers: c.p, Executors: c.e,
+			SamplesEach: 100, Budget: 1_000_000,
+		})
+		if err != nil {
+			t.AddRow(c.p, c.e, "ERROR", err.Error(), "", "", "", "")
+			continue
+		}
+		var paid uint64
+		for _, v := range res.Payouts {
+			paid += v
+		}
+		t.AddRow(c.p, c.e, res.Blocks, res.TotalGas, res.AuditEvents,
+			res.Accuracy, fmt.Sprintf("%d/%d", paid, 1_000_000),
+			time.Since(start).Round(time.Millisecond))
+	}
+	t.Notes = append(t.Notes, "payout/budget must be exact: the contract escrow settles fully")
+	return t
+}
+
+// E2Governance measures the gas cost of each lifecycle phase and the
+// governance layer's transaction throughput.
+func E2Governance(quick bool) Table {
+	t := Table{
+		ID:         "E2",
+		Title:      "Gas per lifecycle phase and governance throughput",
+		PaperClaim: "§III-A: Turing-complete contracts can validate every lifecycle step; costs must stay within public-chain orders of magnitude",
+		Columns:    []string{"providers", "deploy", "register(total)", "start", "submit", "finalize", "tx/s"},
+	}
+	sizes := []int{2, 8, 32}
+	if quick {
+		sizes = []int{2, 8}
+	}
+	for _, n := range sizes {
+		row, err := governanceGasRow(n)
+		if err != nil {
+			t.AddRow(n, "ERROR", err.Error(), "", "", "", "")
+			continue
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"register(total) covers all executor registrations incl. certificate and quote verification",
+		"tx/s measured over the whole lifecycle on one core")
+	return t
+}
+
+func governanceGasRow(nProviders int) ([]string, error) {
+	rng := crypto.NewDRBGFromUint64(uint64(nProviders), "e2")
+	ids := make([]*identity.Identity, 0, nProviders+2)
+	alloc := map[identity.Address]uint64{}
+	for i := 0; i < nProviders+2; i++ {
+		id := identity.New("a", rng.Fork("id"))
+		ids = append(ids, id)
+		alloc[id.Address()] = 10_000_000
+	}
+	m, err := market.New(market.Config{Seed: uint64(nProviders), GenesisAlloc: alloc})
+	if err != nil {
+		return nil, err
+	}
+	node := storage.NewNode(storage.NewMemStore())
+	consumer, err := market.NewConsumer(m, ids[0])
+	if err != nil {
+		return nil, err
+	}
+	exec, err := market.NewExecutor(m, ids[1], node)
+	if err != nil {
+		return nil, err
+	}
+
+	data, _ := ml.GenerateClassification(ml.SyntheticConfig{N: 40 * nProviders, Dim: 4}, rng)
+	parts := data.PartitionIID(nProviders, rng)
+	providers := make([]*market.Provider, nProviders)
+	for i := range providers {
+		providers[i], err = market.NewProvider(m, ids[2+i], node)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := providers[i].AddDataset(parts[i], semantic.Metadata{
+			"category": semantic.String("sensor.x"),
+			"samples":  semantic.Number(float64(parts[i].Len())),
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	params := market.TrainerParams{Dim: 4, Epochs: 1, Lambda: 1e-3}
+	spec := &market.Spec{
+		Predicate:      `category isa "sensor"`,
+		MinProviders:   uint64(nProviders),
+		MinItems:       uint64(nProviders),
+		ExpiryHeight:   m.Height() + 10_000,
+		ExecutorFeeBps: 1_000,
+		Measurement:    market.TrainerMeasurement(params.Encode()),
+		QAPub:          m.QA.PublicKey(),
+		Params:         params.Encode(),
+	}
+
+	startWall := time.Now()
+	txCount := 0
+	gasOf := func(rcpt *ledger.Receipt, err error) (uint64, error) {
+		if err != nil {
+			return 0, err
+		}
+		txCount++
+		return rcpt.GasUsed, nil
+	}
+
+	// Deploy.
+	rcpt, err := market.MustSucceed(m.SendAndSeal(consumer.ID, identity.ZeroAddress, 500_000,
+		contract.DeployData(market.WorkloadCodeName, spec.Encode())))
+	deployGas, err := gasOf(rcpt, err)
+	if err != nil {
+		return nil, err
+	}
+	var workload identity.Address
+	copy(workload[:], rcpt.Return)
+	rcpt, err = market.MustSucceed(m.SendAndSeal(consumer.ID, m.Registry, 0, market.RegisterWorkloadData(workload)))
+	if _, err = gasOf(rcpt, err); err != nil {
+		return nil, err
+	}
+
+	// Providers authorize; executor registers all certs in one tx.
+	for _, p := range providers {
+		refs, err := p.EligibleData(spec)
+		if err != nil {
+			return nil, err
+		}
+		auths, err := p.Authorize(workload, exec.ID.Address(), refs, spec.ExpiryHeight)
+		if err != nil {
+			return nil, err
+		}
+		exec.Accept(workload, auths)
+	}
+	hBefore := m.Height()
+	if err := exec.Register(workload); err != nil {
+		return nil, err
+	}
+	var registerGas uint64
+	for h := hBefore + 1; h <= m.Height(); h++ {
+		b, _ := m.Chain.BlockAt(h)
+		registerGas += b.Header.GasUsed
+		txCount += len(b.Txs)
+	}
+
+	rcpt, err = market.MustSucceed(m.SendAndSeal(consumer.ID, workload, 0, contract.CallData("start", nil)))
+	startGas, err := gasOf(rcpt, err)
+	if err != nil {
+		return nil, err
+	}
+
+	if _, err := market.RunWorkloadExecution(workload, []*market.Executor{exec}); err != nil {
+		return nil, err
+	}
+	// The submit gas is in the last block.
+	lastBlock, _ := m.Chain.BlockAt(m.Height())
+	submitGas := lastBlock.Header.GasUsed
+	txCount += len(lastBlock.Txs)
+
+	rcpt, err = market.MustSucceed(m.SendAndSeal(consumer.ID, workload, 0, contract.CallData("finalize", nil)))
+	finalizeGas, err := gasOf(rcpt, err)
+	if err != nil {
+		return nil, err
+	}
+
+	elapsed := time.Since(startWall).Seconds()
+	tps := float64(txCount) / elapsed
+	return []string{
+		fmt.Sprintf("%d", nProviders),
+		fmt.Sprintf("%d", deployGas),
+		fmt.Sprintf("%d", registerGas),
+		fmt.Sprintf("%d", startGas),
+		fmt.Sprintf("%d", submitGas),
+		fmt.Sprintf("%d", finalizeGas),
+		fmt.Sprintf("%.0f", tps),
+	}, nil
+}

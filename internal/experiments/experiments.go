@@ -1,0 +1,120 @@
+// Package experiments regenerates every experiment in DESIGN.md's
+// experiment index (E1–E14). The paper is an architecture paper without
+// quantitative result tables, so each experiment validates a figure or a
+// quantitative *claim* from the text; the PaperClaim field records what
+// the paper leads us to expect and the generated table is the measured
+// counterpart recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Columns    []string
+	Rows       [][]string
+	Notes      []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	if t.PaperClaim != "" {
+		fmt.Fprintf(&sb, "paper: %s\n", t.PaperClaim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Runner generates one experiment table. quick selects reduced problem
+// sizes for use inside unit tests and benchmarks; the full sizes are
+// what EXPERIMENTS.md records.
+type Runner func(quick bool) Table
+
+// Experiment binds an ID to its runner.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  Runner
+}
+
+// All lists every experiment in DESIGN.md order.
+var All = []Experiment{
+	{"E1", "workload lifecycle (Fig. 2)", E1Lifecycle},
+	{"E2", "governance gas & throughput", E2Governance},
+	{"E3", "homomorphic-encryption overhead", E3HEOverhead},
+	{"E4", "SMC communication cost", E4SMC},
+	{"E5", "TEE vs crypto backends", E5TEE},
+	{"E6", "gossip vs federated learning", E6GossipVsFed},
+	{"E7", "gossip under heterogeneity", E7Heterogeneity},
+	{"E8", "Shapley reward schemes", E8Shapley},
+	{"E9", "model-based pricing", E9Pricing},
+	{"E10", "IoT data authenticity", E10Authenticity},
+	{"E11", "discovery & metadata leakage", E11Discovery},
+	{"E12", "membership-inference leakage & DP", E12Leakage},
+	{"E13", "hardware configurations (Fig. 3)", E13Configs},
+	{"E14", "tamper detection by governance", E14Tamper},
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

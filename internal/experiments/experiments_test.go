@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment at quick size and checks
+// structural sanity: rows present, no ERROR cells, rendering works.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			table := e.Run(true)
+			if table.ID != e.ID {
+				t.Fatalf("table ID %q != %q", table.ID, e.ID)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Columns) {
+					t.Fatalf("row width %d != %d columns: %v", len(row), len(table.Columns), row)
+				}
+				for _, cell := range row {
+					if strings.Contains(cell, "ERROR") {
+						t.Fatalf("experiment reported error row: %v", row)
+					}
+				}
+			}
+			out := table.String()
+			if !strings.Contains(out, e.ID) || !strings.Contains(out, table.Columns[0]) {
+				t.Fatalf("rendering broken:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E1"); !ok {
+		t.Fatal("E1 missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("phantom experiment found")
+	}
+}
+
+// TestE10AllAttacksRejected checks the authenticity experiment's core
+// promise in detail.
+func TestE10AllAttacksRejected(t *testing.T) {
+	table := E10Authenticity(true)
+	for _, row := range table.Rows {
+		switch {
+		case row[0] == "honest":
+			if row[3] != "0" {
+				t.Fatalf("honest readings rejected: %v", row)
+			}
+		case strings.HasPrefix(row[0], "throughput"):
+		default:
+			if row[2] != "0" {
+				t.Fatalf("attack accepted: %v", row)
+			}
+		}
+	}
+}
+
+// TestE14AllDetected checks that every injected attack was caught.
+func TestE14AllDetected(t *testing.T) {
+	table := E14Tamper(true)
+	if len(table.Rows) != 4 {
+		t.Fatalf("expected 4 attacks, got %d", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("attack not detected: %v", row)
+		}
+	}
+}
+
+// TestE9Monotone checks the price/accuracy curve shape.
+func TestE9Monotone(t *testing.T) {
+	table := E9Pricing(true)
+	var prev float64 = -1
+	for _, row := range table.Rows {
+		var acc float64
+		if _, err := fmt.Sscan(row[2], &acc); err != nil {
+			t.Fatalf("bad accuracy cell %q", row[2])
+		}
+		if acc+0.02 < prev { // allow small noise wiggle
+			t.Fatalf("accuracy decreased along the curve: %v", table.Rows)
+		}
+		if acc > prev {
+			prev = acc
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package fed implements federated learning (FedAvg, McMahan et al.
+// [17]), the centralized baseline that PDS² compares gossip learning
+// against (§III-C). A central server ships the global model to a sample
+// of clients each round; clients train locally and return their updates;
+// the server averages them weighted by local dataset size.
+//
+// The implementation runs on the same simnet.Network as the gossip
+// learner, so convergence-versus-bytes comparisons (experiment E6) see
+// identical latency, drop and churn conditions.
+package fed
+
+import (
+	"fmt"
+
+	"pds2/internal/crypto"
+	"pds2/internal/ml"
+	"pds2/internal/simnet"
+)
+
+// Config parameterizes a federated-learning run.
+type Config struct {
+	// Round is the server's aggregation period.
+	Round simnet.Time
+
+	// ModelFactory builds the initial global model.
+	ModelFactory func() ml.Model
+
+	// ClientFraction is the fraction of clients sampled per round
+	// (FedAvg's C parameter, default 0.1, clamped to at least 1 client).
+	ClientFraction float64
+
+	// LocalPasses is the number of passes over local data per selected
+	// client per round (FedAvg's E parameter, default 1).
+	LocalPasses int
+}
+
+// clientUpdate is the payload a client returns to the server.
+type clientUpdate struct {
+	round   int
+	model   ml.Model
+	samples int
+}
+
+// downlink is the payload the server ships to sampled clients.
+type downlink struct {
+	round int
+	model ml.Model
+}
+
+// client is one federated participant.
+type client struct {
+	id   simnet.NodeID
+	data *ml.Dataset
+}
+
+// Runner drives a FedAvg simulation.
+type Runner struct {
+	cfg      Config
+	net      *simnet.Network
+	serverID simnet.NodeID
+	global   ml.Model
+	clients  []*client
+	rng      *crypto.DRBG
+
+	round    int
+	pending  []clientUpdate // updates received for the current round
+	expected int
+}
+
+// NewRunner registers the server and one client per dataset partition.
+func NewRunner(net *simnet.Network, parts []*ml.Dataset, cfg Config) (*Runner, error) {
+	if cfg.ModelFactory == nil {
+		return nil, fmt.Errorf("fed: ModelFactory is required")
+	}
+	if cfg.Round <= 0 {
+		return nil, fmt.Errorf("fed: Round must be positive")
+	}
+	if cfg.ClientFraction <= 0 || cfg.ClientFraction > 1 {
+		cfg.ClientFraction = 0.1
+	}
+	if cfg.LocalPasses <= 0 {
+		cfg.LocalPasses = 1
+	}
+	r := &Runner{cfg: cfg, net: net, global: cfg.ModelFactory(), rng: net.Rng().Fork("fed")}
+	r.serverID = net.AddNode(simnet.HandlerFunc(func(now simnet.Time, msg simnet.Message) {
+		r.onServerReceive(msg)
+	}))
+	for _, part := range parts {
+		c := &client{data: part}
+		c.id = net.AddNode(simnet.HandlerFunc(func(now simnet.Time, msg simnet.Message) {
+			r.onClientReceive(c, msg)
+		}))
+		r.clients = append(r.clients, c)
+	}
+	return r, nil
+}
+
+// ServerID returns the simnet ID of the coordinator.
+func (r *Runner) ServerID() simnet.NodeID { return r.serverID }
+
+// Start schedules the training rounds.
+func (r *Runner) Start() {
+	r.net.Every(0, r.cfg.Round, func(now simnet.Time) bool {
+		r.startRound()
+		return true
+	})
+}
+
+// startRound aggregates the previous round's updates (if any) and ships
+// the global model to a fresh client sample.
+func (r *Runner) startRound() {
+	r.aggregate()
+	r.round++
+	k := int(r.cfg.ClientFraction * float64(len(r.clients)))
+	if k < 1 {
+		k = 1
+	}
+	perm := r.rng.Perm(len(r.clients))
+	r.expected = 0
+	for _, idx := range perm[:min(k, len(r.clients))] {
+		c := r.clients[idx]
+		if !r.net.Online(c.id) {
+			continue // offline clients are simply skipped this round
+		}
+		snapshot := r.global.Clone()
+		r.net.Send(r.serverID, c.id, downlink{round: r.round, model: snapshot}, snapshot.WireSize())
+		r.expected++
+	}
+}
+
+// aggregate folds the collected client updates into the global model,
+// weighted by sample counts (the FedAvg rule).
+func (r *Runner) aggregate() {
+	if len(r.pending) == 0 {
+		return
+	}
+	var total float64
+	for _, u := range r.pending {
+		total += float64(u.samples)
+	}
+	if total == 0 {
+		r.pending = r.pending[:0]
+		return
+	}
+	agg := r.pending[0].model.Clone()
+	accWeight := float64(r.pending[0].samples) / total
+	// Incremental convex combination: after step i, agg is the weighted
+	// mean of updates 0..i.
+	for _, u := range r.pending[1:] {
+		w := float64(u.samples) / total
+		newAcc := accWeight + w
+		_ = agg.MergeFrom(u.model, accWeight/newAcc, w/newAcc)
+		accWeight = newAcc
+	}
+	r.global = agg
+	r.pending = r.pending[:0]
+}
+
+// onClientReceive trains on local data and returns the update.
+func (r *Runner) onClientReceive(c *client, msg simnet.Message) {
+	dl, ok := msg.Payload.(downlink)
+	if !ok {
+		return
+	}
+	local := dl.model.Clone()
+	for p := 0; p < r.cfg.LocalPasses; p++ {
+		ml.TrainEpochs(local, c.data, 1)
+	}
+	r.net.Send(c.id, r.serverID, clientUpdate{
+		round: dl.round, model: local, samples: c.data.Len(),
+	}, local.WireSize())
+}
+
+// onServerReceive collects one client update.
+func (r *Runner) onServerReceive(msg simnet.Message) {
+	u, ok := msg.Payload.(clientUpdate)
+	if !ok || u.round != r.round {
+		return // stale update from an earlier round
+	}
+	r.pending = append(r.pending, u)
+	if len(r.pending) >= r.expected && r.expected > 0 {
+		r.aggregate() // all sampled clients answered: aggregate early
+	}
+}
+
+// Global returns the current global model.
+func (r *Runner) Global() ml.Model { return r.global }
+
+// EvalPoint is one sample of training progress, mirroring gossip's.
+type EvalPoint struct {
+	T         simnet.Time
+	Error     float64 // 0-1 error of the global model
+	BytesSent int64   // cumulative network bytes at sample time
+}
+
+// Track schedules periodic evaluation of the global model.
+func (r *Runner) Track(test *ml.Dataset, every simnet.Time) *[]EvalPoint {
+	history := &[]EvalPoint{}
+	r.net.Every(every, every, func(now simnet.Time) bool {
+		*history = append(*history, EvalPoint{
+			T:         now,
+			Error:     ml.ZeroOneError(r.global, test),
+			BytesSent: r.net.Stats().BytesSent,
+		})
+		return true
+	})
+	return history
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,347 @@
+package gossip
+
+import (
+	"fmt"
+
+	"pds2/internal/ml"
+	"pds2/internal/simnet"
+)
+
+// MergeRule selects how a node folds a received model into its own.
+type MergeRule int
+
+// Merge rules from the gossip-learning literature: None overwrites the
+// local model (pure model walk), Average is the unweighted mean, and
+// AgeWeighted weighs models by the number of examples they absorbed —
+// the rule shown to dominate in [22].
+const (
+	MergeNone MergeRule = iota
+	MergeAverage
+	MergeAgeWeighted
+)
+
+// String implements fmt.Stringer.
+func (r MergeRule) String() string {
+	switch r {
+	case MergeNone:
+		return "none"
+	case MergeAverage:
+		return "average"
+	case MergeAgeWeighted:
+		return "age-weighted"
+	default:
+		return fmt.Sprintf("MergeRule(%d)", int(r))
+	}
+}
+
+// Config parameterizes a gossip-learning run.
+type Config struct {
+	// Cycle is the gossip period: each node sends its model to one random
+	// peer every Cycle (scaled by its capacity).
+	Cycle simnet.Time
+
+	// ModelFactory builds the initial model for each node.
+	ModelFactory func() ml.Model
+
+	// Merge selects the merge rule (default MergeAgeWeighted).
+	Merge MergeRule
+
+	// LocalSteps is the number of SGD updates performed on local data
+	// after merging a received model. Each node advances a cursor through
+	// its local dataset, so over many cycles all local data is used —
+	// the online-update style of the original gossip-learning protocol
+	// [22]. Zero selects a full pass over the local data per receive.
+	LocalSteps int
+
+	// ViewSize is the peer-sampling partial-view size (default 8).
+	ViewSize int
+
+	// Capacities optionally scales each node's gossip frequency: a node
+	// with capacity 0.1 gossips 10x less often. Nil means uniform 1.0.
+	// This models the heterogeneous-device scenario of [26].
+	Capacities []float64
+
+	// TokenBudget, when positive, enables token-based flow control as in
+	// [26]: each node holds a token bucket refilled at its own capacity-
+	// scaled rate and may only send when a token is available, so slow
+	// nodes skip sends instead of queueing stale models.
+	TokenBudget int
+
+	// SendFraction in (0,1) enables model subsampling: each send carries
+	// only a random fraction of the coordinates (plus the intercept and
+	// age), and the receiver merges per coordinate. This is the
+	// communication-compression device of the gossip-learning line of
+	// work, trading per-message bytes for convergence speed. 0 or 1
+	// sends full models.
+	SendFraction float64
+}
+
+// node is one gossip-learning participant.
+type node struct {
+	id     simnet.NodeID
+	model  ml.Model
+	data   *ml.Dataset
+	cursor int // next local example for step-limited updates
+	tokens int
+}
+
+// localUpdate advances the node's SGD cursor by steps examples
+// (or performs a full pass when steps <= 0).
+func (n *node) localUpdate(steps int) {
+	if n.data.Len() == 0 {
+		return
+	}
+	if steps <= 0 {
+		steps = n.data.Len()
+	}
+	for s := 0; s < steps; s++ {
+		i := n.cursor % n.data.Len()
+		n.model.Update(n.data.X[i], n.data.Y[i])
+		n.cursor++
+	}
+}
+
+// modelMsg is the gossip payload: a snapshot of the sender's model.
+type modelMsg struct {
+	model ml.Model
+}
+
+// sparseMsg is the subsampled gossip payload: a random subset of
+// coordinates plus intercept and age.
+type sparseMsg struct {
+	idx       []int
+	vals      []float64
+	intercept float64
+	age       uint64
+}
+
+// wireSize returns the simulated byte size: 4 bytes per index, 8 per
+// value, plus intercept and age.
+func (m sparseMsg) wireSize() int { return 4*len(m.idx) + 8*len(m.vals) + 16 }
+
+// Runner drives a gossip-learning simulation over a simnet.Network.
+type Runner struct {
+	cfg     Config
+	net     *simnet.Network
+	nodes   []*node
+	sampler *PeerSampler
+}
+
+// NewRunner registers one gossip node per dataset partition on the
+// network. Each node trains on parts[i] and gossips its model.
+func NewRunner(net *simnet.Network, parts []*ml.Dataset, cfg Config) (*Runner, error) {
+	if cfg.ModelFactory == nil {
+		return nil, fmt.Errorf("gossip: ModelFactory is required")
+	}
+	if cfg.Cycle <= 0 {
+		return nil, fmt.Errorf("gossip: Cycle must be positive")
+	}
+	if cfg.Capacities != nil && len(cfg.Capacities) != len(parts) {
+		return nil, fmt.Errorf("gossip: %d capacities for %d nodes", len(cfg.Capacities), len(parts))
+	}
+	r := &Runner{cfg: cfg, net: net}
+	ids := make([]simnet.NodeID, len(parts))
+	for i, part := range parts {
+		n := &node{model: cfg.ModelFactory(), data: part, tokens: cfg.TokenBudget}
+		n.id = net.AddNode(simnet.HandlerFunc(func(now simnet.Time, msg simnet.Message) {
+			r.onReceive(n, msg)
+		}))
+		ids[i] = n.id
+		r.nodes = append(r.nodes, n)
+	}
+	r.sampler = NewPeerSampler(ids, cfg.ViewSize, net.Rng().Fork("gossip-sampler"))
+	return r, nil
+}
+
+// Start schedules the gossip cycles. Nodes warm their models with one
+// pass over local data before the first send, as in [22].
+func (r *Runner) Start() {
+	for i, n := range r.nodes {
+		n := n
+		ml.TrainEpochs(n.model, n.data, 1)
+		cycle := r.cfg.Cycle
+		capacity := 1.0
+		if r.cfg.Capacities != nil {
+			capacity = r.cfg.Capacities[i]
+		}
+		if capacity <= 0 {
+			capacity = 0.01
+		}
+		cycle = simnet.Time(float64(cycle) / capacity)
+		// Desynchronize first sends uniformly across one cycle.
+		start := simnet.Time(r.net.Rng().Intn(int(cycle) + 1))
+		r.net.Every(start, cycle, func(now simnet.Time) bool {
+			r.onCycle(n)
+			return true
+		})
+		// Token refill at the node's own pace (one token per cycle).
+		if r.cfg.TokenBudget > 0 {
+			r.net.Every(start, cycle, func(now simnet.Time) bool {
+				if n.tokens < r.cfg.TokenBudget {
+					n.tokens++
+				}
+				return true
+			})
+		}
+	}
+}
+
+// onCycle sends the node's current model to a random peer.
+func (r *Runner) onCycle(n *node) {
+	if !r.net.Online(n.id) {
+		return
+	}
+	if r.cfg.TokenBudget > 0 {
+		if n.tokens <= 0 {
+			return
+		}
+		n.tokens--
+	}
+	r.sampler.Shuffle(n.id)
+	peer, ok := r.sampler.Sample(n.id)
+	if !ok {
+		return
+	}
+	if f := r.cfg.SendFraction; f > 0 && f < 1 {
+		w := n.model.Weights()
+		k := int(f * float64(len(w)))
+		if k < 1 {
+			k = 1
+		}
+		perm := r.net.Rng().Perm(len(w))[:k]
+		msg := sparseMsg{
+			idx:       perm,
+			vals:      make([]float64, k),
+			intercept: n.model.Intercept(),
+			age:       n.model.Age(),
+		}
+		for i, j := range perm {
+			msg.vals[i] = w[j]
+		}
+		r.net.Send(n.id, peer, msg, msg.wireSize())
+		return
+	}
+	snapshot := n.model.Clone()
+	r.net.Send(n.id, peer, modelMsg{model: snapshot}, snapshot.WireSize())
+}
+
+// onReceive merges the incoming model and retrains on local data.
+func (r *Runner) onReceive(n *node, msg simnet.Message) {
+	if sp, ok := msg.Payload.(sparseMsg); ok {
+		r.mergeSparse(n, sp)
+		n.localUpdate(r.cfg.LocalSteps)
+		return
+	}
+	in, ok := msg.Payload.(modelMsg)
+	if !ok {
+		return
+	}
+	switch r.cfg.Merge {
+	case MergeNone:
+		n.model = in.model.Clone()
+	case MergeAverage:
+		// Ignore merge errors (type mismatch cannot happen within a run).
+		_ = n.model.MergeFrom(in.model, 0.5, 0.5)
+	case MergeAgeWeighted:
+		selfAge, otherAge := float64(n.model.Age()), float64(in.model.Age())
+		total := selfAge + otherAge
+		if total == 0 {
+			_ = n.model.MergeFrom(in.model, 0.5, 0.5)
+		} else {
+			_ = n.model.MergeFrom(in.model, selfAge/total, otherAge/total)
+		}
+	}
+	n.localUpdate(r.cfg.LocalSteps)
+}
+
+// mergeSparse folds a subsampled model into the local one, applying the
+// configured merge rule per received coordinate only.
+func (r *Runner) mergeSparse(n *node, in sparseMsg) {
+	w := n.model.Weights()
+	selfW, otherW := 0.5, 0.5
+	switch r.cfg.Merge {
+	case MergeNone:
+		selfW, otherW = 0, 1
+	case MergeAgeWeighted:
+		total := float64(n.model.Age()) + float64(in.age)
+		if total > 0 {
+			selfW = float64(n.model.Age()) / total
+			otherW = float64(in.age) / total
+		}
+	}
+	for i, j := range in.idx {
+		if j < 0 || j >= len(w) {
+			continue
+		}
+		w[j] = selfW*w[j] + otherW*in.vals[i]
+	}
+	n.model.SetIntercept(selfW*n.model.Intercept() + otherW*in.intercept)
+	// Age advances proportionally to the received fraction of the model,
+	// so heavily subsampled exchanges do not inflate the age statistic.
+	frac := float64(len(in.idx)) / float64(len(w))
+	merged := selfW*float64(n.model.Age()) + otherW*float64(in.age)
+	newAge := (1-frac)*float64(n.model.Age()) + frac*merged
+	if lm, ok := n.model.(*ml.LogisticModel); ok {
+		lm.SetAge(uint64(newAge))
+	}
+}
+
+// Models returns the current model of every node (live references).
+func (r *Runner) Models() []ml.Model {
+	out := make([]ml.Model, len(r.nodes))
+	for i, n := range r.nodes {
+		out[i] = n.model
+	}
+	return out
+}
+
+// NodeIDs returns the simnet IDs of the gossip nodes, in partition order.
+func (r *Runner) NodeIDs() []simnet.NodeID {
+	out := make([]simnet.NodeID, len(r.nodes))
+	for i, n := range r.nodes {
+		out[i] = n.id
+	}
+	return out
+}
+
+// EvalPoint is one sample of training progress.
+type EvalPoint struct {
+	T         simnet.Time
+	MeanError float64 // mean 0-1 error across nodes
+	MinError  float64
+	MaxError  float64
+	BytesSent int64 // cumulative network bytes at sample time
+}
+
+// Evaluate computes the current error statistics against a test set.
+func (r *Runner) Evaluate(test *ml.Dataset) EvalPoint {
+	p := EvalPoint{T: r.net.Now(), MinError: 1, BytesSent: r.net.Stats().BytesSent}
+	if len(r.nodes) == 0 {
+		return p
+	}
+	var sum float64
+	for _, n := range r.nodes {
+		e := ml.ZeroOneError(n.model, test)
+		sum += e
+		if e < p.MinError {
+			p.MinError = e
+		}
+		if e > p.MaxError {
+			p.MaxError = e
+		}
+	}
+	p.MeanError = sum / float64(len(r.nodes))
+	return p
+}
+
+// Track schedules periodic evaluation against test and returns a pointer
+// to the growing history slice, which is safe to read after net.Run
+// returns.
+func (r *Runner) Track(test *ml.Dataset, every simnet.Time) *[]EvalPoint {
+	history := &[]EvalPoint{}
+	r.net.Every(every, every, func(now simnet.Time) bool {
+		*history = append(*history, r.Evaluate(test))
+		return true
+	})
+	return history
+}

@@ -1,0 +1,300 @@
+package gossip
+
+import (
+	"testing"
+
+	"pds2/internal/crypto"
+	"pds2/internal/ml"
+	"pds2/internal/simnet"
+)
+
+// testSetup builds a 20-node gossip run over an IID partition.
+func testSetup(t *testing.T, merge MergeRule, seed uint64) (*simnet.Network, *Runner, *ml.Dataset) {
+	t.Helper()
+	rng := crypto.NewDRBGFromUint64(seed, "gossip-test")
+	data, _ := ml.GenerateClassification(ml.SyntheticConfig{N: 2000, Dim: 10, LabelNoise: 0.05}, rng)
+	train, test := data.TrainTestSplit(0.25, rng)
+	parts := train.PartitionIID(20, rng)
+
+	net := simnet.New(simnet.Config{Seed: seed, Latency: simnet.UniformLatency{Min: 10 * simnet.Millisecond, Max: 100 * simnet.Millisecond}})
+	r, err := NewRunner(net, parts, Config{
+		Cycle:        10 * simnet.Second,
+		ModelFactory: func() ml.Model { return ml.NewLogisticModel(10, 1e-3) },
+		Merge:        merge,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, r, test
+}
+
+func TestGossipConvergesIID(t *testing.T) {
+	net, r, test := testSetup(t, MergeAgeWeighted, 1)
+	r.Start()
+	before := r.Evaluate(test)
+	net.Run(600 * simnet.Second)
+	after := r.Evaluate(test)
+	if after.MeanError >= before.MeanError {
+		t.Fatalf("no improvement: %v -> %v", before.MeanError, after.MeanError)
+	}
+	if after.MeanError > 0.15 {
+		t.Fatalf("gossip mean error = %v, want < 0.15", after.MeanError)
+	}
+	if net.Stats().BytesSent == 0 {
+		t.Fatal("no bytes accounted")
+	}
+}
+
+func TestGossipConvergesNonIID(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(2, "gossip-test")
+	data, _ := ml.GenerateClassification(ml.SyntheticConfig{N: 2000, Dim: 10}, rng)
+	train, test := data.TrainTestSplit(0.25, rng)
+	parts := train.PartitionByLabel(20, rng) // worst-case 1 class per node
+
+	net := simnet.New(simnet.Config{Seed: 2})
+	r, err := NewRunner(net, parts, Config{
+		Cycle:        10 * simnet.Second,
+		ModelFactory: func() ml.Model { return ml.NewLogisticModel(10, 1e-3) },
+		Merge:        MergeAgeWeighted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	net.Run(900 * simnet.Second)
+	got := r.Evaluate(test)
+	if got.MeanError > 0.25 {
+		t.Fatalf("non-IID gossip error = %v", got.MeanError)
+	}
+}
+
+func TestGossipSurvivesChurn(t *testing.T) {
+	net, r, test := testSetup(t, MergeAgeWeighted, 3)
+	// 50% average availability.
+	trace := simnet.GenerateChurn(20, 900*simnet.Second, 60*simnet.Second, 60*simnet.Second,
+		crypto.NewDRBGFromUint64(3, "churn"))
+	trace.Apply(net)
+	r.Start()
+	net.Run(900 * simnet.Second)
+	got := r.Evaluate(test)
+	if got.MeanError > 0.3 {
+		t.Fatalf("gossip under churn error = %v", got.MeanError)
+	}
+}
+
+func TestGossipTrackHistory(t *testing.T) {
+	net, r, test := testSetup(t, MergeAgeWeighted, 4)
+	hist := r.Track(test, 60*simnet.Second)
+	r.Start()
+	net.Run(300 * simnet.Second)
+	if len(*hist) != 5 {
+		t.Fatalf("history samples = %d, want 5", len(*hist))
+	}
+	for i := 1; i < len(*hist); i++ {
+		if (*hist)[i].BytesSent < (*hist)[i-1].BytesSent {
+			t.Fatal("bytes counter not monotone")
+		}
+	}
+	last := (*hist)[len(*hist)-1]
+	if last.MinError > last.MeanError || last.MeanError > last.MaxError {
+		t.Fatalf("error stats inconsistent: %+v", last)
+	}
+}
+
+func TestGossipMergeRulesAllConverge(t *testing.T) {
+	for _, merge := range []MergeRule{MergeNone, MergeAverage, MergeAgeWeighted} {
+		net, r, test := testSetup(t, merge, 5)
+		r.Start()
+		net.Run(600 * simnet.Second)
+		if got := r.Evaluate(test); got.MeanError > 0.2 {
+			t.Fatalf("merge=%v error=%v", merge, got.MeanError)
+		}
+	}
+}
+
+func TestGossipTokenBudgetLimitsTraffic(t *testing.T) {
+	run := func(budget int) int64 {
+		net, r, _ := testSetup(t, MergeAgeWeighted, 6)
+		r.cfg.TokenBudget = budget
+		for _, n := range r.nodes {
+			n.tokens = budget
+		}
+		r.Start()
+		net.Run(300 * simnet.Second)
+		return net.Stats().MessagesSent
+	}
+	unlimited := run(0)
+	limited := run(1)
+	if limited > unlimited {
+		t.Fatalf("token bucket increased traffic: %d > %d", limited, unlimited)
+	}
+}
+
+func TestGossipHeterogeneousCapacities(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(7, "gossip-test")
+	data, _ := ml.GenerateClassification(ml.SyntheticConfig{N: 1000, Dim: 5}, rng)
+	parts := data.PartitionIID(10, rng)
+	caps := make([]float64, 10)
+	for i := range caps {
+		caps[i] = 1
+	}
+	caps[0], caps[1] = 0.1, 0.1 // two slow nodes
+
+	net := simnet.New(simnet.Config{Seed: 7})
+	r, err := NewRunner(net, parts, Config{
+		Cycle:        10 * simnet.Second,
+		ModelFactory: func() ml.Model { return ml.NewLogisticModel(5, 1e-3) },
+		Merge:        MergeAgeWeighted,
+		Capacities:   caps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	net.Run(600 * simnet.Second)
+
+	// Slow nodes must have sent roughly 10x fewer messages.
+	ids := r.NodeIDs()
+	slow := net.NodeStats(ids[0]).MessagesSent
+	fast := net.NodeStats(ids[5]).MessagesSent
+	if slow*5 > fast {
+		t.Fatalf("slow node sent %d, fast %d", slow, fast)
+	}
+}
+
+func TestGossipConfigValidation(t *testing.T) {
+	net := simnet.New(simnet.Config{Seed: 1})
+	parts := []*ml.Dataset{{}}
+	if _, err := NewRunner(net, parts, Config{Cycle: simnet.Second}); err == nil {
+		t.Fatal("missing factory accepted")
+	}
+	if _, err := NewRunner(net, parts, Config{ModelFactory: func() ml.Model { return ml.NewLogisticModel(1, 0) }}); err == nil {
+		t.Fatal("zero cycle accepted")
+	}
+	if _, err := NewRunner(net, parts, Config{
+		Cycle:        simnet.Second,
+		ModelFactory: func() ml.Model { return ml.NewLogisticModel(1, 0) },
+		Capacities:   []float64{1, 1},
+	}); err == nil {
+		t.Fatal("capacity length mismatch accepted")
+	}
+}
+
+func TestPeerSamplerViewsExcludeSelf(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(8, "ps")
+	nodes := make([]simnet.NodeID, 30)
+	for i := range nodes {
+		nodes[i] = simnet.NodeID(i)
+	}
+	ps := NewPeerSampler(nodes, 8, rng)
+	for _, n := range nodes {
+		view := ps.View(n)
+		if len(view) == 0 || len(view) > 8 {
+			t.Fatalf("view size %d", len(view))
+		}
+		seen := map[simnet.NodeID]bool{}
+		for _, p := range view {
+			if p == n {
+				t.Fatal("view contains self")
+			}
+			if seen[p] {
+				t.Fatal("view contains duplicate")
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestPeerSamplerShuffleKeepsInvariants(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(9, "ps")
+	nodes := make([]simnet.NodeID, 20)
+	for i := range nodes {
+		nodes[i] = simnet.NodeID(i)
+	}
+	ps := NewPeerSampler(nodes, 5, rng)
+	for round := 0; round < 200; round++ {
+		ps.Shuffle(nodes[rng.Intn(len(nodes))])
+	}
+	for _, n := range nodes {
+		view := ps.View(n)
+		if len(view) > 5 {
+			t.Fatalf("view grew to %d", len(view))
+		}
+		for _, p := range view {
+			if p == n {
+				t.Fatal("self in view after shuffles")
+			}
+		}
+	}
+}
+
+func TestPeerSamplerSampleEmptyView(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(10, "ps")
+	ps := NewPeerSampler([]simnet.NodeID{0}, 4, rng) // single node: empty view
+	if _, ok := ps.Sample(0); ok {
+		t.Fatal("sample from empty view succeeded")
+	}
+}
+
+func TestGossipSubsamplingConvergesWithFewerBytes(t *testing.T) {
+	run := func(fraction float64) (float64, int64) {
+		net, r, test := testSetup(t, MergeAgeWeighted, 11)
+		r.cfg.SendFraction = fraction
+		r.Start()
+		net.Run(900 * simnet.Second)
+		return r.Evaluate(test).MeanError, net.Stats().BytesSent
+	}
+	fullErr, fullBytes := run(0)
+	subErr, subBytes := run(0.25)
+	// At dim 10, the 16-byte header bounds the saving to ~2.4x.
+	if subBytes*2 > fullBytes {
+		t.Fatalf("subsampling did not reduce traffic: %d vs %d bytes", subBytes, fullBytes)
+	}
+	// Subsampled gossip must still learn (allow a modest error gap).
+	if subErr > fullErr+0.15 || subErr > 0.3 {
+		t.Fatalf("subsampled gossip error = %v (full %v)", subErr, fullErr)
+	}
+}
+
+func TestGossipSubsamplingSingleCoordinateFloor(t *testing.T) {
+	// Even an absurdly small fraction sends at least one coordinate and
+	// keeps running.
+	net, r, test := testSetup(t, MergeAverage, 12)
+	r.cfg.SendFraction = 0.001
+	r.Start()
+	net.Run(300 * simnet.Second)
+	if p := r.Evaluate(test); p.MeanError > 0.6 {
+		t.Fatalf("degenerate subsampling diverged: %v", p.MeanError)
+	}
+	if net.Stats().MessagesSent == 0 {
+		t.Fatal("no messages sent")
+	}
+}
+
+func TestGossipHealsAfterPartition(t *testing.T) {
+	// Split-brain: the overlay is partitioned into two halves for the
+	// first third of the run; models diverge per island, then the
+	// partition heals and the population converges anyway.
+	net, r, test := testSetup(t, MergeAgeWeighted, 13)
+	ids := r.NodeIDs()
+	half := len(ids) / 2
+	net.SetPartition(ids[:half], ids[half:])
+	net.After(300*simnet.Second, func(simnet.Time) { net.ClearPartition() })
+
+	r.Start()
+	net.Run(300 * simnet.Second)
+	split := r.Evaluate(test)
+	net.Run(1200 * simnet.Second)
+	healed := r.Evaluate(test)
+
+	if healed.MeanError > 0.15 {
+		t.Fatalf("error after healing = %v", healed.MeanError)
+	}
+	if healed.MeanError > split.MeanError {
+		t.Fatalf("no improvement after healing: %v -> %v", split.MeanError, healed.MeanError)
+	}
+	// During the partition some traffic must have been dropped.
+	if net.Stats().MessagesDropped == 0 {
+		t.Fatal("partition dropped nothing")
+	}
+}

@@ -1,0 +1,135 @@
+// Package gossip implements gossip learning, the decentralized
+// aggregation technique PDS² selects for ML workloads (§III-C): "each
+// node randomly sends and receives model updates from others and merges
+// them with its local updates". The implementation follows the
+// gossip-learning line of work the paper cites — Ormándi et al. [22] for
+// the protocol and age-weighted merge, Hegedűs et al. [25] for the
+// evaluation methodology, and Giaretta & Girdzijauskas [26] for
+// token-based flow control in heterogeneous networks.
+package gossip
+
+import (
+	"pds2/internal/crypto"
+	"pds2/internal/simnet"
+)
+
+// peerDescriptor is one entry of a partial view: a peer and the age of
+// the information about it, in gossip cycles.
+type peerDescriptor struct {
+	id  simnet.NodeID
+	age int
+}
+
+// PeerSampler provides each node with a stream of gossip partners. The
+// implementation is a NewsCast-style peer-sampling service: each node
+// keeps a bounded partial view and periodically swaps halves of it with a
+// random neighbour, which keeps the overlay connected under churn without
+// any global membership oracle.
+type PeerSampler struct {
+	viewSize int
+	views    map[simnet.NodeID][]peerDescriptor
+	rng      *crypto.DRBG
+}
+
+// NewPeerSampler bootstraps views for the given nodes: every node starts
+// with viewSize random other nodes, the usual "tracker bootstrap".
+func NewPeerSampler(nodes []simnet.NodeID, viewSize int, rng *crypto.DRBG) *PeerSampler {
+	if viewSize < 1 {
+		viewSize = 8
+	}
+	ps := &PeerSampler{
+		viewSize: viewSize,
+		views:    make(map[simnet.NodeID][]peerDescriptor, len(nodes)),
+		rng:      rng,
+	}
+	for _, n := range nodes {
+		view := make([]peerDescriptor, 0, viewSize)
+		for len(view) < viewSize && len(view) < len(nodes)-1 {
+			p := nodes[rng.Intn(len(nodes))]
+			if p == n || containsPeer(view, p) {
+				continue
+			}
+			view = append(view, peerDescriptor{id: p})
+		}
+		ps.views[n] = view
+	}
+	return ps
+}
+
+func containsPeer(view []peerDescriptor, id simnet.NodeID) bool {
+	for _, d := range view {
+		if d.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Sample returns a random peer from node's current view, or (0, false)
+// when the view is empty.
+func (ps *PeerSampler) Sample(node simnet.NodeID) (simnet.NodeID, bool) {
+	view := ps.views[node]
+	if len(view) == 0 {
+		return 0, false
+	}
+	return view[ps.rng.Intn(len(view))].id, true
+}
+
+// Shuffle performs one view-exchange step for node with a random
+// neighbour: both sides age their descriptors, pool their views together
+// with fresh self-descriptors, and draw new views as *random* subsets of
+// the pool (Cyclon-style survivor selection). Randomized survivors keep
+// the overlay close to a uniform random graph; deterministic
+// freshest-first selection would hand both partners identical views and
+// collapse the overlay into isolated clusters. The exchange is modelled
+// without network traffic: view entries are tiny compared to models, and
+// the experiments account model bytes only.
+func (ps *PeerSampler) Shuffle(node simnet.NodeID) {
+	partner, ok := ps.Sample(node)
+	if !ok {
+		return
+	}
+	for i := range ps.views[node] {
+		ps.views[node][i].age++
+	}
+	merged := append(append([]peerDescriptor{}, ps.views[node]...), ps.views[partner]...)
+	merged = append(merged, peerDescriptor{id: partner}, peerDescriptor{id: node})
+	ps.views[node] = ps.selectView(merged, node)
+	ps.views[partner] = ps.selectView(merged, partner)
+}
+
+// selectView draws up to viewSize distinct random descriptors (freshest
+// copy of each peer wins), excluding self.
+func (ps *PeerSampler) selectView(descs []peerDescriptor, self simnet.NodeID) []peerDescriptor {
+	// Deduplicate, keeping the freshest copy of each peer.
+	freshest := make(map[simnet.NodeID]int, len(descs))
+	pool := make([]peerDescriptor, 0, len(descs))
+	for _, d := range descs {
+		if d.id == self {
+			continue
+		}
+		if i, ok := freshest[d.id]; ok {
+			if d.age < pool[i].age {
+				pool[i] = d
+			}
+			continue
+		}
+		freshest[d.id] = len(pool)
+		pool = append(pool, d)
+	}
+	ps.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) > ps.viewSize {
+		pool = pool[:ps.viewSize]
+	}
+	return pool
+}
+
+// View returns a copy of node's current view, for tests and diagnostics.
+func (ps *PeerSampler) View(node simnet.NodeID) []simnet.NodeID {
+	view := ps.views[node]
+	out := make([]simnet.NodeID, len(view))
+	for i, d := range view {
+		out[i] = d.id
+	}
+	return out
+}

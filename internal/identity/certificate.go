@@ -1,0 +1,95 @@
+package identity
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pds2/internal/crypto"
+)
+
+// ParticipationCert is the signed authorization of Fig. 2: by issuing it,
+// a data provider certifies that it has agreed to contribute the dataset
+// identified by DataRef to the workload identified by WorkloadID, through
+// the executor at Executor. The executor presents the certificate to the
+// governance layer when registering its participation, which lets the
+// chain verify that "all executors have indeed been granted access to a
+// specific set of data for the specific workload in question" (§II-D).
+type ParticipationCert struct {
+	WorkloadID crypto.Digest `json:"workload_id"`
+	DataRef    crypto.Digest `json:"data_ref"` // content hash of the dataset
+	Provider   Address       `json:"provider"`
+	Executor   Address       `json:"executor"`
+	Expiry     uint64        `json:"expiry"` // ledger height after which the cert is void
+	Pub        []byte        `json:"pub"`
+	Sig        []byte        `json:"sig"`
+}
+
+// certSigningBytes produces the canonical byte string the provider signs.
+func certSigningBytes(workloadID, dataRef crypto.Digest, provider, executor Address, expiry uint64) []byte {
+	buf := make([]byte, 0, 2*crypto.HashSize+2*AddressSize+8+len("pds2/cert/v1"))
+	buf = append(buf, "pds2/cert/v1"...)
+	buf = append(buf, workloadID[:]...)
+	buf = append(buf, dataRef[:]...)
+	buf = append(buf, provider[:]...)
+	buf = append(buf, executor[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, expiry)
+	return buf
+}
+
+// IssueCert creates a participation certificate signed by provider.
+func IssueCert(provider *Identity, workloadID, dataRef crypto.Digest, executor Address, expiry uint64) ParticipationCert {
+	msg := certSigningBytes(workloadID, dataRef, provider.Address(), executor, expiry)
+	return ParticipationCert{
+		WorkloadID: workloadID,
+		DataRef:    dataRef,
+		Provider:   provider.Address(),
+		Executor:   executor,
+		Expiry:     expiry,
+		Pub:        provider.PublicKey(),
+		Sig:        provider.Sign(msg),
+	}
+}
+
+// Errors returned by ParticipationCert.Verify.
+var (
+	ErrCertSignature = errors.New("identity: certificate signature invalid")
+	ErrCertExpired   = errors.New("identity: certificate expired")
+	ErrCertIssuer    = errors.New("identity: certificate public key does not match provider address")
+	ErrCertExecutor  = errors.New("identity: certificate bound to a different executor")
+	ErrCertWorkload  = errors.New("identity: certificate bound to a different workload")
+)
+
+// Verify checks the certificate against the claimed executor, workload
+// and current ledger height. It verifies that the embedded public key
+// matches the provider address, that the signature is valid, and that the
+// certificate has not expired.
+func (c ParticipationCert) Verify(workloadID crypto.Digest, executor Address, height uint64) error {
+	if c.WorkloadID != workloadID {
+		return ErrCertWorkload
+	}
+	if c.Executor != executor {
+		return ErrCertExecutor
+	}
+	if height > c.Expiry {
+		return fmt.Errorf("%w: height %d > expiry %d", ErrCertExpired, height, c.Expiry)
+	}
+	if AddressFromPub(c.Pub) != c.Provider {
+		return ErrCertIssuer
+	}
+	msg := certSigningBytes(c.WorkloadID, c.DataRef, c.Provider, c.Executor, c.Expiry)
+	if !Verify(c.Pub, msg, c.Sig) {
+		return ErrCertSignature
+	}
+	return nil
+}
+
+// ID returns a unique digest identifying this certificate, used by the
+// governance layer to prevent the same authorization from being replayed
+// by multiple executors.
+func (c ParticipationCert) ID() crypto.Digest {
+	return crypto.HashConcat(
+		[]byte("pds2/cert-id"),
+		c.WorkloadID[:], c.DataRef[:], c.Provider[:], c.Executor[:],
+	)
+}

@@ -1,0 +1,89 @@
+package identity
+
+import (
+	"errors"
+	"testing"
+
+	"pds2/internal/crypto"
+)
+
+func TestParticipationCertVerify(t *testing.T) {
+	provider := newTestIdentity(t, "provider", 1)
+	executor := newTestIdentity(t, "executor", 2)
+	wid := crypto.HashString("workload-1")
+	data := crypto.HashString("dataset-1")
+
+	cert := IssueCert(provider, wid, data, executor.Address(), 100)
+	if err := cert.Verify(wid, executor.Address(), 50); err != nil {
+		t.Fatalf("valid cert rejected: %v", err)
+	}
+}
+
+func TestParticipationCertExpired(t *testing.T) {
+	provider := newTestIdentity(t, "provider", 1)
+	executor := newTestIdentity(t, "executor", 2)
+	wid := crypto.HashString("w")
+	cert := IssueCert(provider, wid, crypto.HashString("d"), executor.Address(), 10)
+	if err := cert.Verify(wid, executor.Address(), 11); !errors.Is(err, ErrCertExpired) {
+		t.Fatalf("want ErrCertExpired, got %v", err)
+	}
+	// Boundary: exactly at expiry is still valid.
+	if err := cert.Verify(wid, executor.Address(), 10); err != nil {
+		t.Fatalf("cert at expiry height rejected: %v", err)
+	}
+}
+
+func TestParticipationCertWrongBinding(t *testing.T) {
+	provider := newTestIdentity(t, "provider", 1)
+	executor := newTestIdentity(t, "executor", 2)
+	mallory := newTestIdentity(t, "mallory", 3)
+	wid := crypto.HashString("w")
+	cert := IssueCert(provider, wid, crypto.HashString("d"), executor.Address(), 100)
+
+	if err := cert.Verify(crypto.HashString("other"), executor.Address(), 1); !errors.Is(err, ErrCertWorkload) {
+		t.Fatalf("want ErrCertWorkload, got %v", err)
+	}
+	if err := cert.Verify(wid, mallory.Address(), 1); !errors.Is(err, ErrCertExecutor) {
+		t.Fatalf("want ErrCertExecutor, got %v", err)
+	}
+}
+
+func TestParticipationCertForgedSignature(t *testing.T) {
+	provider := newTestIdentity(t, "provider", 1)
+	executor := newTestIdentity(t, "executor", 2)
+	mallory := newTestIdentity(t, "mallory", 3)
+	wid := crypto.HashString("w")
+	cert := IssueCert(provider, wid, crypto.HashString("d"), executor.Address(), 100)
+
+	// Mallory swaps in her own key: address check must fail.
+	forged := cert
+	forged.Pub = mallory.PublicKey()
+	forged.Sig = mallory.Sign([]byte("whatever"))
+	if err := forged.Verify(wid, executor.Address(), 1); !errors.Is(err, ErrCertIssuer) {
+		t.Fatalf("want ErrCertIssuer, got %v", err)
+	}
+
+	// Tampering with the data reference invalidates the signature.
+	tampered := cert
+	tampered.DataRef = crypto.HashString("different data")
+	if err := tampered.Verify(wid, executor.Address(), 1); !errors.Is(err, ErrCertSignature) {
+		t.Fatalf("want ErrCertSignature, got %v", err)
+	}
+}
+
+func TestParticipationCertIDUnique(t *testing.T) {
+	provider := newTestIdentity(t, "provider", 1)
+	executor := newTestIdentity(t, "executor", 2)
+	wid := crypto.HashString("w")
+	a := IssueCert(provider, wid, crypto.HashString("d1"), executor.Address(), 100)
+	b := IssueCert(provider, wid, crypto.HashString("d2"), executor.Address(), 100)
+	if a.ID() == b.ID() {
+		t.Fatal("certs over different data share an ID")
+	}
+	// Expiry does not change the ID: re-issuing with a later expiry is the
+	// same logical authorization.
+	c := IssueCert(provider, wid, crypto.HashString("d1"), executor.Address(), 200)
+	if a.ID() != c.ID() {
+		t.Fatal("re-issued cert changed ID")
+	}
+}

@@ -1,0 +1,93 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+// Header is the sealed metadata of a block. Proposers sign the header;
+// the transactions are bound through TxRoot and the resulting world state
+// through StateRoot.
+type Header struct {
+	Parent    crypto.Digest    `json:"parent"`
+	Height    uint64           `json:"height"`
+	Timestamp uint64           `json:"timestamp"` // virtual, seconds
+	TxRoot    crypto.Digest    `json:"tx_root"`
+	StateRoot crypto.Digest    `json:"state_root"`
+	GasUsed   uint64           `json:"gas_used"`
+	Proposer  identity.Address `json:"proposer"`
+	Pub       []byte           `json:"pub"`
+	Sig       []byte           `json:"sig"`
+}
+
+// signingBytes is the canonical encoding covered by the proposer seal.
+func (h *Header) signingBytes() []byte {
+	buf := make([]byte, 0, 3*crypto.HashSize+identity.AddressSize+3*8+16)
+	buf = append(buf, "pds2/block/v1"...)
+	buf = append(buf, h.Parent[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, h.Height)
+	buf = binary.BigEndian.AppendUint64(buf, h.Timestamp)
+	buf = append(buf, h.TxRoot[:]...)
+	buf = append(buf, h.StateRoot[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, h.GasUsed)
+	buf = append(buf, h.Proposer[:]...)
+	return buf
+}
+
+// Hash returns the block hash (over the sealed header).
+func (h *Header) Hash() crypto.Digest {
+	return crypto.HashConcat([]byte("pds2/blockhash"), h.signingBytes(), h.Sig)
+}
+
+// Block is a sealed header plus its ordered transaction list.
+type Block struct {
+	Header Header         `json:"header"`
+	Txs    []*Transaction `json:"txs"`
+}
+
+// Hash returns the block hash.
+func (b *Block) Hash() crypto.Digest { return b.Header.Hash() }
+
+// txRoot computes the Merkle root of the block's transactions.
+func txRoot(txs []*Transaction) crypto.Digest {
+	leaves := make([][]byte, len(txs))
+	for i, tx := range txs {
+		h := tx.Hash()
+		leaves[i] = h[:]
+	}
+	return crypto.MerkleRootOf(leaves)
+}
+
+// Block validation errors.
+var (
+	ErrBadParent      = errors.New("ledger: block parent mismatch")
+	ErrBadHeight      = errors.New("ledger: block height mismatch")
+	ErrBadTxRoot      = errors.New("ledger: block tx root mismatch")
+	ErrBadStateRoot   = errors.New("ledger: block state root mismatch")
+	ErrBadProposer    = errors.New("ledger: proposer not authorized for this height")
+	ErrBadSeal        = errors.New("ledger: invalid proposer seal")
+	ErrBlockGasLimit  = errors.New("ledger: block exceeds gas limit")
+	ErrNonMonotonicTS = errors.New("ledger: block timestamp not monotonic")
+)
+
+// seal signs the header with the proposer identity.
+func (b *Block) seal(proposer *identity.Identity) {
+	b.Header.Proposer = proposer.Address()
+	b.Header.Pub = proposer.PublicKey()
+	b.Header.Sig = proposer.Sign(b.Header.signingBytes())
+}
+
+// verifySeal checks the proposer signature and address binding.
+func (b *Block) verifySeal() error {
+	if identity.AddressFromPub(b.Header.Pub) != b.Header.Proposer {
+		return fmt.Errorf("%w: key/address mismatch", ErrBadSeal)
+	}
+	if !identity.Verify(b.Header.Pub, b.Header.signingBytes(), b.Header.Sig) {
+		return ErrBadSeal
+	}
+	return nil
+}

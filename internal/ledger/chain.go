@@ -1,0 +1,291 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+// TxApplier executes a transaction against the state and produces its
+// receipt. The ledger ships a plain value-transfer applier; the contract
+// runtime (internal/contract) wraps it to dispatch contract creation and
+// calls. Apply must leave the state unchanged when it returns an error
+// (as opposed to a failed receipt, which may still consume gas).
+type TxApplier interface {
+	Apply(st *State, tx *Transaction, height uint64) (*Receipt, error)
+}
+
+// TransferApplier is the base applier: native token transfers only.
+// Transactions carrying data to a non-contract destination fail.
+type TransferApplier struct{}
+
+// Apply implements TxApplier.
+func (TransferApplier) Apply(st *State, tx *Transaction, height uint64) (*Receipt, error) {
+	rcpt := &Receipt{TxHash: tx.Hash(), GasUsed: tx.IntrinsicGas(), Height: height}
+	snap := st.Snapshot()
+	st.BumpNonce(tx.From)
+	if err := st.SubBalance(tx.From, tx.Value); err != nil {
+		st.RevertTo(snap)
+		st.BumpNonce(tx.From) // failed txs still consume their nonce
+		rcpt.Status = StatusFailed
+		rcpt.Err = err.Error()
+		return rcpt, nil
+	}
+	if err := st.AddBalance(tx.To, tx.Value); err != nil {
+		st.RevertTo(snap)
+		st.BumpNonce(tx.From)
+		rcpt.Status = StatusFailed
+		rcpt.Err = err.Error()
+		return rcpt, nil
+	}
+	rcpt.Status = StatusOK
+	return rcpt, nil
+}
+
+// ChainConfig parameterizes a Chain.
+type ChainConfig struct {
+	// Authorities is the proof-of-authority validator set, in rotation
+	// order. Block at height h must be proposed (and sealed) by
+	// Authorities[(h-1) % len(Authorities)].
+	Authorities []identity.Address
+
+	// BlockGasLimit bounds the total gas of a block. Zero selects
+	// DefaultBlockGasLimit.
+	BlockGasLimit uint64
+
+	// Applier executes transactions. Nil selects TransferApplier.
+	Applier TxApplier
+
+	// Genesis allocations: balances credited at height 0.
+	GenesisAlloc map[identity.Address]uint64
+}
+
+// DefaultBlockGasLimit matches the order of magnitude of Ethereum blocks.
+const DefaultBlockGasLimit uint64 = 30_000_000
+
+// Chain is a validated proof-of-authority blockchain with its world
+// state, receipts and a queryable event log.
+type Chain struct {
+	cfg      ChainConfig
+	blocks   []*Block
+	state    *State
+	receipts map[crypto.Digest]*Receipt
+	events   []Event // flat, append-only audit log across all blocks
+}
+
+// NewChain creates a chain with a genesis block at height 0.
+func NewChain(cfg ChainConfig) (*Chain, error) {
+	if len(cfg.Authorities) == 0 {
+		return nil, errors.New("ledger: proof of authority requires at least one authority")
+	}
+	if cfg.BlockGasLimit == 0 {
+		cfg.BlockGasLimit = DefaultBlockGasLimit
+	}
+	if cfg.Applier == nil {
+		cfg.Applier = TransferApplier{}
+	}
+	st := NewState()
+	for addr, bal := range cfg.GenesisAlloc {
+		st.SetBalance(addr, bal)
+	}
+	st.Commit()
+	genesis := &Block{Header: Header{
+		Height:    0,
+		StateRoot: st.Root(),
+	}}
+	return &Chain{
+		cfg:      cfg,
+		blocks:   []*Block{genesis},
+		state:    st,
+		receipts: make(map[crypto.Digest]*Receipt),
+	}, nil
+}
+
+// Height returns the height of the latest block.
+func (c *Chain) Height() uint64 { return c.blocks[len(c.blocks)-1].Header.Height }
+
+// Head returns the latest block.
+func (c *Chain) Head() *Block { return c.blocks[len(c.blocks)-1] }
+
+// BlockAt returns the block at the given height.
+func (c *Chain) BlockAt(h uint64) (*Block, error) {
+	if h >= uint64(len(c.blocks)) {
+		return nil, fmt.Errorf("ledger: no block at height %d (head %d)", h, c.Height())
+	}
+	return c.blocks[h], nil
+}
+
+// State returns the live world state. Callers outside block processing
+// must treat it as read-only; contract views go through it.
+func (c *Chain) State() *State { return c.state }
+
+// Receipt returns the receipt for a transaction hash.
+func (c *Chain) Receipt(txHash crypto.Digest) (*Receipt, bool) {
+	r, ok := c.receipts[txHash]
+	return r, ok
+}
+
+// Events returns all audit-log events whose topic matches topic
+// (empty string matches all), in chain order.
+func (c *Chain) Events(topic string) []Event {
+	if topic == "" {
+		return append([]Event(nil), c.events...)
+	}
+	var out []Event
+	for _, e := range c.events {
+		if e.Topic == topic {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EventsFrom returns events emitted by a specific contract, optionally
+// filtered by topic.
+func (c *Chain) EventsFrom(contract identity.Address, topic string) []Event {
+	var out []Event
+	for _, e := range c.events {
+		if e.Contract != contract {
+			continue
+		}
+		if topic != "" && e.Topic != topic {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// expectedProposer returns the authority expected to seal height h.
+func (c *Chain) expectedProposer(h uint64) identity.Address {
+	return c.cfg.Authorities[(h-1)%uint64(len(c.cfg.Authorities))]
+}
+
+// ProposeBlock builds, executes and seals the next block from the given
+// transactions. The proposer identity must match the PoA rotation for the
+// next height. On success the block is appended to the chain and its
+// receipts recorded. Transactions that fail stateless verification cause
+// the whole proposal to be rejected — a correct proposer never includes
+// them.
+func (c *Chain) ProposeBlock(proposer *identity.Identity, timestamp uint64, txs []*Transaction) (*Block, error) {
+	height := c.Height() + 1
+	if c.expectedProposer(height) != proposer.Address() {
+		return nil, fmt.Errorf("%w: %s at height %d", ErrBadProposer, proposer.Address().Short(), height)
+	}
+	parent := c.Head()
+	if timestamp <= parent.Header.Timestamp && height > 1 {
+		return nil, ErrNonMonotonicTS
+	}
+
+	snap := c.state.Snapshot()
+	receipts, gasUsed, err := c.executeTxs(txs, height)
+	if err != nil {
+		c.state.RevertTo(snap)
+		return nil, err
+	}
+
+	block := &Block{
+		Header: Header{
+			Parent:    parent.Hash(),
+			Height:    height,
+			Timestamp: timestamp,
+			TxRoot:    txRoot(txs),
+			StateRoot: c.state.Root(),
+			GasUsed:   gasUsed,
+		},
+		Txs: txs,
+	}
+	block.seal(proposer)
+	c.commitBlock(block, receipts)
+	return block, nil
+}
+
+// executeTxs runs the transactions in order, enforcing nonces and the
+// block gas limit. It returns the receipts and total gas used, leaving
+// the state mutated; the caller owns snapshot/revert.
+func (c *Chain) executeTxs(txs []*Transaction, height uint64) ([]*Receipt, uint64, error) {
+	var gasUsed uint64
+	receipts := make([]*Receipt, 0, len(txs))
+	for i, tx := range txs {
+		if err := tx.VerifyBasic(); err != nil {
+			return nil, 0, fmt.Errorf("ledger: tx %d invalid: %w", i, err)
+		}
+		if want := c.state.Nonce(tx.From); tx.Nonce != want {
+			return nil, 0, fmt.Errorf("ledger: tx %d nonce %d, want %d for %s", i, tx.Nonce, want, tx.From.Short())
+		}
+		rcpt, err := c.cfg.Applier.Apply(c.state, tx, height)
+		if err != nil {
+			return nil, 0, fmt.Errorf("ledger: tx %d apply: %w", i, err)
+		}
+		gasUsed += rcpt.GasUsed
+		if gasUsed > c.cfg.BlockGasLimit {
+			return nil, 0, fmt.Errorf("%w: %d > %d", ErrBlockGasLimit, gasUsed, c.cfg.BlockGasLimit)
+		}
+		receipts = append(receipts, rcpt)
+	}
+	return receipts, gasUsed, nil
+}
+
+func (c *Chain) commitBlock(block *Block, receipts []*Receipt) {
+	c.state.Commit()
+	c.blocks = append(c.blocks, block)
+	for _, r := range receipts {
+		c.receipts[r.TxHash] = r
+		c.events = append(c.events, r.Events...)
+	}
+}
+
+// VerifyBlock re-validates a sealed block against this chain's tip
+// without applying it. Replicas use it (via ImportBlock) to check blocks
+// produced elsewhere; the full check replays the transactions on a
+// snapshot and compares the resulting state root.
+func (c *Chain) VerifyBlock(block *Block) error {
+	parent := c.Head()
+	if block.Header.Parent != parent.Hash() {
+		return ErrBadParent
+	}
+	if block.Header.Height != parent.Header.Height+1 {
+		return ErrBadHeight
+	}
+	if block.Header.Height > 1 && block.Header.Timestamp <= parent.Header.Timestamp {
+		return ErrNonMonotonicTS
+	}
+	if c.expectedProposer(block.Header.Height) != block.Header.Proposer {
+		return ErrBadProposer
+	}
+	if err := block.verifySeal(); err != nil {
+		return err
+	}
+	if txRoot(block.Txs) != block.Header.TxRoot {
+		return ErrBadTxRoot
+	}
+	snap := c.state.Snapshot()
+	defer c.state.RevertTo(snap)
+	receipts, gasUsed, err := c.executeTxs(block.Txs, block.Header.Height)
+	if err != nil {
+		return err
+	}
+	_ = receipts
+	if gasUsed != block.Header.GasUsed {
+		return fmt.Errorf("ledger: gas used %d, header claims %d", gasUsed, block.Header.GasUsed)
+	}
+	if root := c.state.Root(); root != block.Header.StateRoot {
+		return fmt.Errorf("%w: computed %s, header %s", ErrBadStateRoot, root.Short(), block.Header.StateRoot.Short())
+	}
+	return nil
+}
+
+// ImportBlock validates and appends a block produced by another node.
+func (c *Chain) ImportBlock(block *Block) error {
+	if err := c.VerifyBlock(block); err != nil {
+		return err
+	}
+	receipts, _, err := c.executeTxs(block.Txs, block.Header.Height)
+	if err != nil {
+		return err // unreachable after VerifyBlock, kept for safety
+	}
+	c.commitBlock(block, receipts)
+	return nil
+}

@@ -1,0 +1,227 @@
+package ledger
+
+import (
+	"errors"
+	"testing"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+// testChain builds a chain with a single authority and two funded users.
+func testChain(t *testing.T) (*Chain, *identity.Identity, *identity.Identity, *identity.Identity) {
+	t.Helper()
+	authority := testIdentity(100)
+	alice := testIdentity(1)
+	bob := testIdentity(2)
+	chain, err := NewChain(ChainConfig{
+		Authorities: []identity.Address{authority.Address()},
+		GenesisAlloc: map[identity.Address]uint64{
+			alice.Address(): 1_000,
+			bob.Address():   500,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chain, authority, alice, bob
+}
+
+func TestChainGenesis(t *testing.T) {
+	chain, _, alice, bob := testChain(t)
+	if chain.Height() != 0 {
+		t.Fatalf("genesis height = %d", chain.Height())
+	}
+	if chain.State().Balance(alice.Address()) != 1_000 || chain.State().Balance(bob.Address()) != 500 {
+		t.Fatal("genesis allocation wrong")
+	}
+}
+
+func TestChainTransfer(t *testing.T) {
+	chain, authority, alice, bob := testChain(t)
+	tx := SignTx(alice, bob.Address(), 100, 0, 50_000, nil)
+	block, err := chain.ProposeBlock(authority, 1, []*Transaction{tx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.Header.Height != 1 {
+		t.Fatalf("height = %d", block.Header.Height)
+	}
+	if chain.State().Balance(alice.Address()) != 900 || chain.State().Balance(bob.Address()) != 600 {
+		t.Fatal("transfer not applied")
+	}
+	rcpt, ok := chain.Receipt(tx.Hash())
+	if !ok || !rcpt.Succeeded() {
+		t.Fatalf("receipt: %+v ok=%v", rcpt, ok)
+	}
+}
+
+func TestChainFailedTransferKeepsNonceAndFunds(t *testing.T) {
+	chain, authority, alice, bob := testChain(t)
+	tx := SignTx(alice, bob.Address(), 10_000, 0, 50_000, nil) // overdraft
+	if _, err := chain.ProposeBlock(authority, 1, []*Transaction{tx}); err != nil {
+		t.Fatal(err)
+	}
+	rcpt, _ := chain.Receipt(tx.Hash())
+	if rcpt.Succeeded() {
+		t.Fatal("overdraft succeeded")
+	}
+	if chain.State().Balance(alice.Address()) != 1_000 {
+		t.Fatal("failed tx moved funds")
+	}
+	if chain.State().Nonce(alice.Address()) != 1 {
+		t.Fatal("failed tx did not consume nonce")
+	}
+}
+
+func TestChainRejectsWrongNonce(t *testing.T) {
+	chain, authority, alice, bob := testChain(t)
+	tx := SignTx(alice, bob.Address(), 1, 5, 50_000, nil)
+	if _, err := chain.ProposeBlock(authority, 1, []*Transaction{tx}); err == nil {
+		t.Fatal("wrong nonce accepted")
+	}
+	if chain.Height() != 0 {
+		t.Fatal("failed proposal advanced the chain")
+	}
+	if chain.State().Balance(alice.Address()) != 1_000 {
+		t.Fatal("failed proposal mutated state")
+	}
+}
+
+func TestChainRejectsWrongProposer(t *testing.T) {
+	chain, _, alice, _ := testChain(t)
+	if _, err := chain.ProposeBlock(alice, 1, nil); !errors.Is(err, ErrBadProposer) {
+		t.Fatalf("want ErrBadProposer, got %v", err)
+	}
+}
+
+func TestChainAuthorityRotation(t *testing.T) {
+	auth1, auth2 := testIdentity(100), testIdentity(101)
+	chain, err := NewChain(ChainConfig{
+		Authorities: []identity.Address{auth1.Address(), auth2.Address()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.ProposeBlock(auth1, 1, nil); err != nil {
+		t.Fatalf("auth1 at height 1: %v", err)
+	}
+	if _, err := chain.ProposeBlock(auth1, 2, nil); !errors.Is(err, ErrBadProposer) {
+		t.Fatal("rotation not enforced")
+	}
+	if _, err := chain.ProposeBlock(auth2, 2, nil); err != nil {
+		t.Fatalf("auth2 at height 2: %v", err)
+	}
+}
+
+func TestChainTimestampMonotonic(t *testing.T) {
+	chain, authority, _, _ := testChain(t)
+	if _, err := chain.ProposeBlock(authority, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.ProposeBlock(authority, 5, nil); !errors.Is(err, ErrNonMonotonicTS) {
+		t.Fatalf("want ErrNonMonotonicTS, got %v", err)
+	}
+}
+
+func TestChainImportBlockReplica(t *testing.T) {
+	// Two replicas with identical config; blocks produced on one must
+	// import cleanly on the other and converge to the same state root.
+	authority := testIdentity(100)
+	alice := testIdentity(1)
+	cfg := ChainConfig{
+		Authorities:  []identity.Address{authority.Address()},
+		GenesisAlloc: map[identity.Address]uint64{alice.Address(): 1_000},
+	}
+	producer, _ := NewChain(cfg)
+	replica, _ := NewChain(cfg)
+
+	tx := SignTx(alice, testIdentity(2).Address(), 50, 0, 50_000, nil)
+	block, err := producer.ProposeBlock(authority, 1, []*Transaction{tx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.ImportBlock(block); err != nil {
+		t.Fatalf("replica rejected valid block: %v", err)
+	}
+	if producer.State().Root() != replica.State().Root() {
+		t.Fatal("replicas diverged")
+	}
+}
+
+func TestChainImportRejectsTamperedBlock(t *testing.T) {
+	authority := testIdentity(100)
+	alice := testIdentity(1)
+	cfg := ChainConfig{
+		Authorities:  []identity.Address{authority.Address()},
+		GenesisAlloc: map[identity.Address]uint64{alice.Address(): 1_000},
+	}
+	producer, _ := NewChain(cfg)
+
+	tx := SignTx(alice, testIdentity(2).Address(), 50, 0, 50_000, nil)
+	block, _ := producer.ProposeBlock(authority, 1, []*Transaction{tx})
+
+	// Tampered state root.
+	replica, _ := NewChain(cfg)
+	bad := *block
+	bad.Header.StateRoot = crypto.HashString("forged")
+	if err := replica.ImportBlock(&bad); err == nil {
+		t.Fatal("tampered state root accepted")
+	}
+
+	// Tampered tx list (tx root mismatch).
+	bad2 := *block
+	bad2.Txs = nil
+	if err := replica.ImportBlock(&bad2); !errors.Is(err, ErrBadTxRoot) {
+		t.Fatalf("want ErrBadTxRoot, got %v", err)
+	}
+
+	// Reseal by a non-authority.
+	mallory := testIdentity(66)
+	bad3 := *block
+	bad3.seal(mallory)
+	if err := replica.ImportBlock(&bad3); !errors.Is(err, ErrBadProposer) {
+		t.Fatalf("want ErrBadProposer, got %v", err)
+	}
+
+	// The untampered block still imports.
+	if err := replica.ImportBlock(block); err != nil {
+		t.Fatalf("valid block rejected after attacks: %v", err)
+	}
+}
+
+func TestChainBlockGasLimit(t *testing.T) {
+	authority := testIdentity(100)
+	alice := testIdentity(1)
+	chain, _ := NewChain(ChainConfig{
+		Authorities:   []identity.Address{authority.Address()},
+		GenesisAlloc:  map[identity.Address]uint64{alice.Address(): 1_000},
+		BlockGasLimit: TxBaseGas + 10, // room for exactly one plain tx
+	})
+	tx0 := SignTx(alice, testIdentity(2).Address(), 1, 0, 50_000, nil)
+	tx1 := SignTx(alice, testIdentity(2).Address(), 1, 1, 50_000, nil)
+	if _, err := chain.ProposeBlock(authority, 1, []*Transaction{tx0, tx1}); !errors.Is(err, ErrBlockGasLimit) {
+		t.Fatalf("want ErrBlockGasLimit, got %v", err)
+	}
+	if _, err := chain.ProposeBlock(authority, 1, []*Transaction{tx0}); err != nil {
+		t.Fatalf("single tx should fit: %v", err)
+	}
+}
+
+func TestChainBlockAt(t *testing.T) {
+	chain, authority, _, _ := testChain(t)
+	chain.ProposeBlock(authority, 1, nil)
+	b, err := chain.BlockAt(1)
+	if err != nil || b.Header.Height != 1 {
+		t.Fatalf("BlockAt(1): %v, %v", b, err)
+	}
+	if _, err := chain.BlockAt(9); err == nil {
+		t.Fatal("missing height accepted")
+	}
+}
+
+func TestNewChainRequiresAuthority(t *testing.T) {
+	if _, err := NewChain(ChainConfig{}); err == nil {
+		t.Fatal("empty authority set accepted")
+	}
+}

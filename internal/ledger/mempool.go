@@ -1,0 +1,132 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+// Mempool holds verified pending transactions, ordered per sender by
+// nonce. It enforces stateless validity on admission and hands the block
+// proposer batches of executable transactions (those whose nonces chain
+// directly from the sender's current account nonce).
+type Mempool struct {
+	bySender map[identity.Address][]*Transaction // sorted by nonce
+	byHash   map[crypto.Digest]*Transaction
+	maxSize  int
+}
+
+// DefaultMempoolSize bounds the total number of pending transactions.
+const DefaultMempoolSize = 100_000
+
+// NewMempool returns an empty mempool. maxSize <= 0 selects the default.
+func NewMempool(maxSize int) *Mempool {
+	if maxSize <= 0 {
+		maxSize = DefaultMempoolSize
+	}
+	return &Mempool{
+		bySender: make(map[identity.Address][]*Transaction),
+		byHash:   make(map[crypto.Digest]*Transaction),
+		maxSize:  maxSize,
+	}
+}
+
+// Mempool errors.
+var (
+	ErrMempoolFull      = errors.New("ledger: mempool full")
+	ErrMempoolDuplicate = errors.New("ledger: transaction already pending")
+	ErrMempoolNonceGap  = errors.New("ledger: duplicate nonce for sender")
+)
+
+// Add admits a transaction after stateless verification.
+func (m *Mempool) Add(tx *Transaction) error {
+	if err := tx.VerifyBasic(); err != nil {
+		return err
+	}
+	h := tx.Hash()
+	if _, ok := m.byHash[h]; ok {
+		return ErrMempoolDuplicate
+	}
+	if len(m.byHash) >= m.maxSize {
+		return ErrMempoolFull
+	}
+	list := m.bySender[tx.From]
+	for _, pending := range list {
+		if pending.Nonce == tx.Nonce {
+			return fmt.Errorf("%w: nonce %d", ErrMempoolNonceGap, tx.Nonce)
+		}
+	}
+	list = append(list, tx)
+	sort.Slice(list, func(i, j int) bool { return list[i].Nonce < list[j].Nonce })
+	m.bySender[tx.From] = list
+	m.byHash[h] = tx
+	return nil
+}
+
+// Len returns the number of pending transactions.
+func (m *Mempool) Len() int { return len(m.byHash) }
+
+// Contains reports whether a transaction with the given hash is pending.
+func (m *Mempool) Contains(h crypto.Digest) bool {
+	_, ok := m.byHash[h]
+	return ok
+}
+
+// NextBatch returns up to max transactions executable against the given
+// state: for each sender, the longest prefix of its pending list whose
+// nonces chain from the account nonce. Senders are visited in
+// deterministic (address) order. The returned transactions remain in the
+// pool until Remove is called — typically after block inclusion.
+func (m *Mempool) NextBatch(st *State, max int) []*Transaction {
+	senders := make([]identity.Address, 0, len(m.bySender))
+	for a := range m.bySender {
+		senders = append(senders, a)
+	}
+	sortAddresses(senders)
+
+	var batch []*Transaction
+	for _, sender := range senders {
+		next := st.Nonce(sender)
+		for _, tx := range m.bySender[sender] {
+			if len(batch) >= max {
+				return batch
+			}
+			if tx.Nonce < next {
+				continue // stale: already executed on chain
+			}
+			if tx.Nonce != next {
+				break // gap: later nonces are not yet executable
+			}
+			batch = append(batch, tx)
+			next++
+		}
+	}
+	return batch
+}
+
+// Remove deletes the given transactions from the pool, typically after
+// they have been included in a block.
+func (m *Mempool) Remove(txs []*Transaction) {
+	for _, tx := range txs {
+		h := tx.Hash()
+		if _, ok := m.byHash[h]; !ok {
+			continue
+		}
+		delete(m.byHash, h)
+		list := m.bySender[tx.From]
+		for i, pending := range list {
+			if pending.Hash() == h {
+				list = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(m.bySender, tx.From)
+		} else {
+			m.bySender[tx.From] = list
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package ledger
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMempoolAddAndBatch(t *testing.T) {
+	alice := testIdentity(1)
+	bob := testIdentity(2)
+	pool := NewMempool(0)
+	st := NewState()
+
+	// Out-of-order admission; batch must come out nonce-ordered.
+	tx1 := SignTx(alice, bob.Address(), 1, 1, 50_000, nil)
+	tx0 := SignTx(alice, bob.Address(), 1, 0, 50_000, nil)
+	if err := pool.Add(tx1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Add(tx0); err != nil {
+		t.Fatal(err)
+	}
+	batch := pool.NextBatch(st, 10)
+	if len(batch) != 2 || batch[0].Nonce != 0 || batch[1].Nonce != 1 {
+		t.Fatalf("batch = %+v", batch)
+	}
+}
+
+func TestMempoolNonceGapBlocksLaterTxs(t *testing.T) {
+	alice := testIdentity(1)
+	pool := NewMempool(0)
+	st := NewState()
+	// Nonces 0 and 2: only nonce 0 is executable.
+	pool.Add(SignTx(alice, testIdentity(2).Address(), 1, 0, 50_000, nil))
+	pool.Add(SignTx(alice, testIdentity(2).Address(), 1, 2, 50_000, nil))
+	batch := pool.NextBatch(st, 10)
+	if len(batch) != 1 || batch[0].Nonce != 0 {
+		t.Fatalf("batch = %+v", batch)
+	}
+}
+
+func TestMempoolRespectsStateNonce(t *testing.T) {
+	alice := testIdentity(1)
+	pool := NewMempool(0)
+	st := NewState()
+	st.BumpNonce(alice.Address()) // account nonce is now 1
+	pool.Add(SignTx(alice, testIdentity(2).Address(), 1, 0, 50_000, nil))
+	pool.Add(SignTx(alice, testIdentity(2).Address(), 1, 1, 50_000, nil))
+	batch := pool.NextBatch(st, 10)
+	if len(batch) != 1 || batch[0].Nonce != 1 {
+		t.Fatalf("batch = %+v", batch)
+	}
+}
+
+func TestMempoolDuplicateRejected(t *testing.T) {
+	alice := testIdentity(1)
+	pool := NewMempool(0)
+	tx := SignTx(alice, testIdentity(2).Address(), 1, 0, 50_000, nil)
+	if err := pool.Add(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Add(tx); !errors.Is(err, ErrMempoolDuplicate) {
+		t.Fatalf("want ErrMempoolDuplicate, got %v", err)
+	}
+	// Same sender+nonce, different payload: still rejected (nonce clash).
+	other := SignTx(alice, testIdentity(3).Address(), 2, 0, 50_000, nil)
+	if err := pool.Add(other); !errors.Is(err, ErrMempoolNonceGap) {
+		t.Fatalf("want ErrMempoolNonceGap, got %v", err)
+	}
+}
+
+func TestMempoolCapacity(t *testing.T) {
+	alice := testIdentity(1)
+	pool := NewMempool(2)
+	for n := uint64(0); n < 2; n++ {
+		if err := pool.Add(SignTx(alice, testIdentity(2).Address(), 1, n, 50_000, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := pool.Add(SignTx(alice, testIdentity(2).Address(), 1, 2, 50_000, nil))
+	if !errors.Is(err, ErrMempoolFull) {
+		t.Fatalf("want ErrMempoolFull, got %v", err)
+	}
+}
+
+func TestMempoolRemove(t *testing.T) {
+	alice := testIdentity(1)
+	pool := NewMempool(0)
+	st := NewState()
+	tx0 := SignTx(alice, testIdentity(2).Address(), 1, 0, 50_000, nil)
+	tx1 := SignTx(alice, testIdentity(2).Address(), 1, 1, 50_000, nil)
+	pool.Add(tx0)
+	pool.Add(tx1)
+	pool.Remove([]*Transaction{tx0})
+	if pool.Len() != 1 {
+		t.Fatalf("Len = %d", pool.Len())
+	}
+	if pool.Contains(tx0.Hash()) {
+		t.Fatal("removed tx still present")
+	}
+	st.BumpNonce(alice.Address())
+	batch := pool.NextBatch(st, 10)
+	if len(batch) != 1 || batch[0].Nonce != 1 {
+		t.Fatalf("batch = %+v", batch)
+	}
+	// Removing everything clears the sender bucket.
+	pool.Remove([]*Transaction{tx1})
+	if pool.Len() != 0 {
+		t.Fatal("pool not empty")
+	}
+}
+
+func TestMempoolRejectsInvalidTx(t *testing.T) {
+	alice := testIdentity(1)
+	pool := NewMempool(0)
+	tx := SignTx(alice, testIdentity(2).Address(), 1, 0, 50_000, nil)
+	tx.Value = 999 // break the signature
+	if err := pool.Add(tx); err == nil {
+		t.Fatal("invalid tx admitted")
+	}
+}
+
+func TestMempoolBatchLimit(t *testing.T) {
+	alice := testIdentity(1)
+	pool := NewMempool(0)
+	st := NewState()
+	for n := uint64(0); n < 5; n++ {
+		pool.Add(SignTx(alice, testIdentity(2).Address(), 1, n, 50_000, nil))
+	}
+	if got := len(pool.NextBatch(st, 3)); got != 3 {
+		t.Fatalf("batch size = %d, want 3", got)
+	}
+}

@@ -1,0 +1,239 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+// State is the replicated world state of the governance ledger: native
+// token balances, account nonces and per-contract key/value storage.
+//
+// All mutations are journaled, so the contract runtime can take snapshots
+// and revert to them — the mechanism behind transactional contract calls
+// ("revert semantics"). Commit collapses the journal at the end of every
+// successfully applied transaction.
+type State struct {
+	balances map[identity.Address]uint64
+	nonces   map[identity.Address]uint64
+	storage  map[identity.Address]map[string][]byte
+	journal  []journalEntry
+}
+
+// journalEntry is the undo record for one primitive mutation.
+type journalEntry struct {
+	kind     journalKind
+	addr     identity.Address
+	key      string
+	prevU64  uint64
+	prevBlob []byte
+	existed  bool
+}
+
+type journalKind uint8
+
+const (
+	jBalance journalKind = iota
+	jNonce
+	jStorage
+)
+
+// NewState returns an empty world state.
+func NewState() *State {
+	return &State{
+		balances: make(map[identity.Address]uint64),
+		nonces:   make(map[identity.Address]uint64),
+		storage:  make(map[identity.Address]map[string][]byte),
+	}
+}
+
+// Balance returns the native-token balance of addr.
+func (s *State) Balance(addr identity.Address) uint64 { return s.balances[addr] }
+
+// SetBalance sets the balance of addr, journaling the previous value.
+func (s *State) SetBalance(addr identity.Address, v uint64) {
+	s.journal = append(s.journal, journalEntry{kind: jBalance, addr: addr, prevU64: s.balances[addr]})
+	s.balances[addr] = v
+}
+
+// AddBalance credits addr. It returns an error on overflow.
+func (s *State) AddBalance(addr identity.Address, v uint64) error {
+	cur := s.balances[addr]
+	if cur+v < cur {
+		return fmt.Errorf("ledger: balance overflow for %s", addr.Short())
+	}
+	s.SetBalance(addr, cur+v)
+	return nil
+}
+
+// SubBalance debits addr. It returns an error on insufficient funds.
+func (s *State) SubBalance(addr identity.Address, v uint64) error {
+	cur := s.balances[addr]
+	if cur < v {
+		return fmt.Errorf("ledger: insufficient balance for %s: have %d, need %d", addr.Short(), cur, v)
+	}
+	s.SetBalance(addr, cur-v)
+	return nil
+}
+
+// Nonce returns the next expected transaction nonce for addr.
+func (s *State) Nonce(addr identity.Address) uint64 { return s.nonces[addr] }
+
+// BumpNonce increments addr's nonce.
+func (s *State) BumpNonce(addr identity.Address) {
+	s.journal = append(s.journal, journalEntry{kind: jNonce, addr: addr, prevU64: s.nonces[addr]})
+	s.nonces[addr]++
+}
+
+// GetStorage returns the stored value for (contract, key), or nil.
+func (s *State) GetStorage(contract identity.Address, key string) []byte {
+	v, ok := s.storage[contract][key]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
+
+// SetStorage writes a value to (contract, key). A nil or empty value
+// deletes the key.
+func (s *State) SetStorage(contract identity.Address, key string, value []byte) {
+	slot := s.storage[contract]
+	prev, existed := slot[key]
+	s.journal = append(s.journal, journalEntry{
+		kind: jStorage, addr: contract, key: key,
+		prevBlob: append([]byte(nil), prev...), existed: existed,
+	})
+	if len(value) == 0 {
+		delete(slot, key)
+		return
+	}
+	if slot == nil {
+		slot = make(map[string][]byte)
+		s.storage[contract] = slot
+	}
+	slot[key] = append([]byte(nil), value...)
+}
+
+// StorageKeys returns the sorted keys under a contract's storage with the
+// given prefix. Sorted iteration keeps contract logic deterministic.
+func (s *State) StorageKeys(contract identity.Address, prefix string) []string {
+	var keys []string
+	for k := range s.storage[contract] {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot returns a marker for the current journal position.
+func (s *State) Snapshot() int { return len(s.journal) }
+
+// RevertTo undoes every mutation recorded after the snapshot marker.
+func (s *State) RevertTo(snap int) {
+	if snap < 0 || snap > len(s.journal) {
+		panic(fmt.Sprintf("ledger: invalid snapshot %d (journal %d)", snap, len(s.journal)))
+	}
+	for i := len(s.journal) - 1; i >= snap; i-- {
+		e := s.journal[i]
+		switch e.kind {
+		case jBalance:
+			s.balances[e.addr] = e.prevU64
+		case jNonce:
+			s.nonces[e.addr] = e.prevU64
+		case jStorage:
+			slot := s.storage[e.addr]
+			if e.existed {
+				if slot == nil {
+					slot = make(map[string][]byte)
+					s.storage[e.addr] = slot
+				}
+				slot[e.key] = e.prevBlob
+			} else if slot != nil {
+				delete(slot, e.key)
+			}
+		}
+	}
+	s.journal = s.journal[:snap]
+}
+
+// Commit discards undo information, making all mutations permanent.
+func (s *State) Commit() { s.journal = s.journal[:0] }
+
+// Root computes a deterministic digest of the entire world state. It is
+// recomputed per block and stored in the header, so any two replicas can
+// cheaply compare their states.
+func (s *State) Root() crypto.Digest {
+	h := make([][]byte, 0, len(s.balances)+len(s.nonces)+len(s.storage))
+
+	addrs := make([]identity.Address, 0, len(s.balances))
+	for a := range s.balances {
+		addrs = append(addrs, a)
+	}
+	sortAddresses(addrs)
+	for _, a := range addrs {
+		if s.balances[a] == 0 {
+			continue
+		}
+		rec := make([]byte, 0, identity.AddressSize+9)
+		rec = append(rec, 'B')
+		rec = append(rec, a[:]...)
+		rec = binary.BigEndian.AppendUint64(rec, s.balances[a])
+		h = append(h, rec)
+	}
+
+	addrs = addrs[:0]
+	for a := range s.nonces {
+		addrs = append(addrs, a)
+	}
+	sortAddresses(addrs)
+	for _, a := range addrs {
+		if s.nonces[a] == 0 {
+			continue
+		}
+		rec := make([]byte, 0, identity.AddressSize+9)
+		rec = append(rec, 'N')
+		rec = append(rec, a[:]...)
+		rec = binary.BigEndian.AppendUint64(rec, s.nonces[a])
+		h = append(h, rec)
+	}
+
+	addrs = addrs[:0]
+	for a := range s.storage {
+		addrs = append(addrs, a)
+	}
+	sortAddresses(addrs)
+	for _, a := range addrs {
+		slot := s.storage[a]
+		keys := make([]string, 0, len(slot))
+		for k := range slot {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			rec := make([]byte, 0, identity.AddressSize+len(k)+len(slot[k])+10)
+			rec = append(rec, 'S')
+			rec = append(rec, a[:]...)
+			rec = binary.BigEndian.AppendUint64(rec, uint64(len(k)))
+			rec = append(rec, k...)
+			rec = append(rec, slot[k]...)
+			h = append(h, rec)
+		}
+	}
+	return crypto.MerkleRootOf(h)
+}
+
+func sortAddresses(addrs []identity.Address) {
+	sort.Slice(addrs, func(i, j int) bool {
+		for k := 0; k < identity.AddressSize; k++ {
+			if addrs[i][k] != addrs[j][k] {
+				return addrs[i][k] < addrs[j][k]
+			}
+		}
+		return false
+	})
+}

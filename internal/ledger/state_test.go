@@ -1,0 +1,195 @@
+package ledger
+
+import (
+	"bytes"
+	"testing"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+func testAddr(seed uint64) identity.Address {
+	return identity.New("t", crypto.NewDRBGFromUint64(seed, "ledger-test")).Address()
+}
+
+func TestStateBalanceArithmetic(t *testing.T) {
+	st := NewState()
+	a := testAddr(1)
+	if err := st.AddBalance(a, 100); err != nil {
+		t.Fatal(err)
+	}
+	if st.Balance(a) != 100 {
+		t.Fatalf("balance = %d", st.Balance(a))
+	}
+	if err := st.SubBalance(a, 40); err != nil {
+		t.Fatal(err)
+	}
+	if st.Balance(a) != 60 {
+		t.Fatalf("balance = %d", st.Balance(a))
+	}
+	if err := st.SubBalance(a, 61); err == nil {
+		t.Fatal("overdraft allowed")
+	}
+}
+
+func TestStateBalanceOverflow(t *testing.T) {
+	st := NewState()
+	a := testAddr(1)
+	st.SetBalance(a, ^uint64(0))
+	if err := st.AddBalance(a, 1); err == nil {
+		t.Fatal("overflow not detected")
+	}
+}
+
+func TestStateNonce(t *testing.T) {
+	st := NewState()
+	a := testAddr(1)
+	if st.Nonce(a) != 0 {
+		t.Fatal("fresh nonce not zero")
+	}
+	st.BumpNonce(a)
+	st.BumpNonce(a)
+	if st.Nonce(a) != 2 {
+		t.Fatalf("nonce = %d", st.Nonce(a))
+	}
+}
+
+func TestStateStorageRoundTrip(t *testing.T) {
+	st := NewState()
+	c := testAddr(9)
+	st.SetStorage(c, "key", []byte("value"))
+	if got := st.GetStorage(c, "key"); !bytes.Equal(got, []byte("value")) {
+		t.Fatalf("got %q", got)
+	}
+	if st.GetStorage(c, "missing") != nil {
+		t.Fatal("missing key returned non-nil")
+	}
+	// Empty value deletes.
+	st.SetStorage(c, "key", nil)
+	if st.GetStorage(c, "key") != nil {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestStateStorageReturnsCopy(t *testing.T) {
+	st := NewState()
+	c := testAddr(9)
+	st.SetStorage(c, "k", []byte("abc"))
+	got := st.GetStorage(c, "k")
+	got[0] = 'X'
+	if !bytes.Equal(st.GetStorage(c, "k"), []byte("abc")) {
+		t.Fatal("caller mutation leaked into state")
+	}
+}
+
+func TestStateStorageKeysSortedWithPrefix(t *testing.T) {
+	st := NewState()
+	c := testAddr(9)
+	st.SetStorage(c, "w/2", []byte("b"))
+	st.SetStorage(c, "w/1", []byte("a"))
+	st.SetStorage(c, "x/1", []byte("c"))
+	keys := st.StorageKeys(c, "w/")
+	if len(keys) != 2 || keys[0] != "w/1" || keys[1] != "w/2" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestStateSnapshotRevert(t *testing.T) {
+	st := NewState()
+	a, c := testAddr(1), testAddr(2)
+	st.AddBalance(a, 100)
+	st.SetStorage(c, "k", []byte("v0"))
+	st.Commit()
+
+	snap := st.Snapshot()
+	st.SubBalance(a, 30)
+	st.BumpNonce(a)
+	st.SetStorage(c, "k", []byte("v1"))
+	st.SetStorage(c, "new", []byte("n"))
+	st.RevertTo(snap)
+
+	if st.Balance(a) != 100 {
+		t.Fatalf("balance after revert = %d", st.Balance(a))
+	}
+	if st.Nonce(a) != 0 {
+		t.Fatalf("nonce after revert = %d", st.Nonce(a))
+	}
+	if !bytes.Equal(st.GetStorage(c, "k"), []byte("v0")) {
+		t.Fatal("storage not reverted")
+	}
+	if st.GetStorage(c, "new") != nil {
+		t.Fatal("new key survived revert")
+	}
+}
+
+func TestStateNestedSnapshots(t *testing.T) {
+	st := NewState()
+	a := testAddr(1)
+	st.AddBalance(a, 10)
+	outer := st.Snapshot()
+	st.AddBalance(a, 5)
+	inner := st.Snapshot()
+	st.AddBalance(a, 3)
+	st.RevertTo(inner)
+	if st.Balance(a) != 15 {
+		t.Fatalf("after inner revert: %d", st.Balance(a))
+	}
+	st.RevertTo(outer)
+	if st.Balance(a) != 10 {
+		t.Fatalf("after outer revert: %d", st.Balance(a))
+	}
+}
+
+func TestStateRevertDeleteRestores(t *testing.T) {
+	st := NewState()
+	c := testAddr(2)
+	st.SetStorage(c, "k", []byte("keep"))
+	st.Commit()
+	snap := st.Snapshot()
+	st.SetStorage(c, "k", nil) // delete
+	st.RevertTo(snap)
+	if !bytes.Equal(st.GetStorage(c, "k"), []byte("keep")) {
+		t.Fatal("delete not reverted")
+	}
+}
+
+func TestStateRootDeterministicAndSensitive(t *testing.T) {
+	build := func(extra bool) crypto.Digest {
+		st := NewState()
+		a, b, c := testAddr(1), testAddr(2), testAddr(3)
+		st.AddBalance(a, 5)
+		st.AddBalance(b, 7)
+		st.BumpNonce(a)
+		st.SetStorage(c, "k1", []byte("v1"))
+		if extra {
+			st.SetStorage(c, "k2", []byte("v2"))
+		}
+		return st.Root()
+	}
+	if build(false) != build(false) {
+		t.Fatal("state root not deterministic")
+	}
+	if build(false) == build(true) {
+		t.Fatal("state root insensitive to storage change")
+	}
+}
+
+func TestStateRootIgnoresZeroBalances(t *testing.T) {
+	st1 := NewState()
+	st2 := NewState()
+	a := testAddr(1)
+	st2.SetBalance(a, 0) // explicit zero should not change the root
+	if st1.Root() != st2.Root() {
+		t.Fatal("explicit zero balance changed the root")
+	}
+}
+
+func TestStateRevertInvalidSnapshotPanics(t *testing.T) {
+	st := NewState()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid snapshot did not panic")
+		}
+	}()
+	st.RevertTo(5)
+}

@@ -1,0 +1,146 @@
+// Package ledger implements the blockchain substrate of the PDS²
+// governance layer (§III-A): signed transactions, a journaled account
+// state, a mempool, proof-of-authority consensus and a validated chain
+// with receipts and event logs.
+//
+// The paper selects Ethereum for governance; this package reproduces the
+// Ethereum programming model that PDS² actually relies on — ordered,
+// replayable, gas-metered state transitions; addresses; token balances;
+// contract storage; and event logs for auditability — on top of a
+// proof-of-authority validator set, which is the standard choice for
+// permissioned research deployments.
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+// Gas costs. The absolute values follow Ethereum's order of magnitude so
+// that gas-per-operation results are comparable with the public chain.
+const (
+	TxBaseGas      uint64 = 21_000 // flat cost of any transaction
+	TxDataGasPerB  uint64 = 16     // per byte of call data
+	MaxTxDataBytes        = 1 << 20
+)
+
+// Transaction is a signed state transition request. To == ZeroAddress
+// with non-empty Data denotes contract creation, mirroring Ethereum.
+type Transaction struct {
+	From     identity.Address `json:"from"`
+	To       identity.Address `json:"to"`
+	Value    uint64           `json:"value"`
+	Nonce    uint64           `json:"nonce"`
+	GasLimit uint64           `json:"gas_limit"`
+	Data     []byte           `json:"data"`
+	Pub      []byte           `json:"pub"`
+	Sig      []byte           `json:"sig"`
+}
+
+// signingBytes returns the canonical byte encoding covered by the sender
+// signature. Every field except Pub and Sig is included.
+func (tx *Transaction) signingBytes() []byte {
+	buf := make([]byte, 0, 2*identity.AddressSize+3*8+len(tx.Data)+16)
+	buf = append(buf, "pds2/tx/v1"...)
+	buf = append(buf, tx.From[:]...)
+	buf = append(buf, tx.To[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, tx.Value)
+	buf = binary.BigEndian.AppendUint64(buf, tx.Nonce)
+	buf = binary.BigEndian.AppendUint64(buf, tx.GasLimit)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(tx.Data)))
+	buf = append(buf, tx.Data...)
+	return buf
+}
+
+// Hash returns the transaction's unique digest, covering the signature so
+// that two identically-signed transactions have the same hash.
+func (tx *Transaction) Hash() crypto.Digest {
+	return crypto.HashConcat([]byte("pds2/txhash"), tx.signingBytes(), tx.Sig)
+}
+
+// SignTx builds and signs a transaction from the given identity.
+func SignTx(from *identity.Identity, to identity.Address, value, nonce, gasLimit uint64, data []byte) *Transaction {
+	tx := &Transaction{
+		From:     from.Address(),
+		To:       to,
+		Value:    value,
+		Nonce:    nonce,
+		GasLimit: gasLimit,
+		Data:     append([]byte(nil), data...),
+		Pub:      from.PublicKey(),
+	}
+	tx.Sig = from.Sign(tx.signingBytes())
+	return tx
+}
+
+// Verification errors.
+var (
+	ErrTxSignature = errors.New("ledger: invalid transaction signature")
+	ErrTxSender    = errors.New("ledger: public key does not match sender address")
+	ErrTxTooLarge  = errors.New("ledger: transaction data too large")
+	ErrTxGasLimit  = errors.New("ledger: gas limit below intrinsic gas")
+)
+
+// IntrinsicGas returns the gas charged before any execution happens.
+func (tx *Transaction) IntrinsicGas() uint64 {
+	return TxBaseGas + TxDataGasPerB*uint64(len(tx.Data))
+}
+
+// VerifyBasic performs stateless validity checks: size, signature, sender
+// address binding and intrinsic gas affordability.
+func (tx *Transaction) VerifyBasic() error {
+	if len(tx.Data) > MaxTxDataBytes {
+		return fmt.Errorf("%w: %d bytes", ErrTxTooLarge, len(tx.Data))
+	}
+	if identity.AddressFromPub(tx.Pub) != tx.From {
+		return ErrTxSender
+	}
+	if !identity.Verify(tx.Pub, tx.signingBytes(), tx.Sig) {
+		return ErrTxSignature
+	}
+	if tx.GasLimit < tx.IntrinsicGas() {
+		return fmt.Errorf("%w: limit %d < intrinsic %d", ErrTxGasLimit, tx.GasLimit, tx.IntrinsicGas())
+	}
+	return nil
+}
+
+// IsContractCreation reports whether this transaction deploys a contract.
+func (tx *Transaction) IsContractCreation() bool {
+	return tx.To.IsZero() && len(tx.Data) > 0
+}
+
+// Event is an audit-log entry emitted by a contract during execution,
+// the ledger-side realization of §II-E's "all actions in the platform
+// should be automatically audited by the governance layer".
+type Event struct {
+	Contract identity.Address `json:"contract"`
+	Topic    string           `json:"topic"`
+	Data     []byte           `json:"data"`
+}
+
+// ReceiptStatus indicates whether a transaction's execution succeeded.
+type ReceiptStatus uint8
+
+// Receipt statuses.
+const (
+	StatusFailed ReceiptStatus = iota
+	StatusOK
+)
+
+// Receipt records the outcome of executing one transaction.
+type Receipt struct {
+	TxHash  crypto.Digest `json:"tx_hash"`
+	Status  ReceiptStatus `json:"status"`
+	GasUsed uint64        `json:"gas_used"`
+	Return  []byte        `json:"return,omitempty"`
+	Err     string        `json:"err,omitempty"`
+	Events  []Event       `json:"events,omitempty"`
+	Height  uint64        `json:"height"`
+}
+
+// Succeeded reports whether the transaction executed without reverting.
+func (r *Receipt) Succeeded() bool { return r.Status == StatusOK }

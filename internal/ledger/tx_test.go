@@ -1,0 +1,91 @@
+package ledger
+
+import (
+	"errors"
+	"testing"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+func testIdentity(seed uint64) *identity.Identity {
+	return identity.New("t", crypto.NewDRBGFromUint64(seed, "ledger-test"))
+}
+
+func TestSignTxVerifyBasic(t *testing.T) {
+	alice := testIdentity(1)
+	bob := testIdentity(2)
+	tx := SignTx(alice, bob.Address(), 10, 0, 50_000, []byte("data"))
+	if err := tx.VerifyBasic(); err != nil {
+		t.Fatalf("valid tx rejected: %v", err)
+	}
+}
+
+func TestTxTamperDetection(t *testing.T) {
+	alice := testIdentity(1)
+	bob := testIdentity(2)
+	tx := SignTx(alice, bob.Address(), 10, 0, 50_000, nil)
+
+	tampered := *tx
+	tampered.Value = 11
+	if err := tampered.VerifyBasic(); !errors.Is(err, ErrTxSignature) {
+		t.Fatalf("want ErrTxSignature, got %v", err)
+	}
+
+	wrongSender := *tx
+	wrongSender.From = testIdentity(3).Address()
+	if err := wrongSender.VerifyBasic(); !errors.Is(err, ErrTxSender) {
+		t.Fatalf("want ErrTxSender, got %v", err)
+	}
+}
+
+func TestTxIntrinsicGas(t *testing.T) {
+	alice := testIdentity(1)
+	tx := SignTx(alice, testIdentity(2).Address(), 0, 0, 1_000_000, make([]byte, 100))
+	want := TxBaseGas + 100*TxDataGasPerB
+	if tx.IntrinsicGas() != want {
+		t.Fatalf("intrinsic gas = %d, want %d", tx.IntrinsicGas(), want)
+	}
+}
+
+func TestTxGasLimitBelowIntrinsicRejected(t *testing.T) {
+	alice := testIdentity(1)
+	tx := SignTx(alice, testIdentity(2).Address(), 0, 0, TxBaseGas-1, nil)
+	if err := tx.VerifyBasic(); !errors.Is(err, ErrTxGasLimit) {
+		t.Fatalf("want ErrTxGasLimit, got %v", err)
+	}
+}
+
+func TestTxHashUniqueness(t *testing.T) {
+	alice := testIdentity(1)
+	to := testIdentity(2).Address()
+	a := SignTx(alice, to, 1, 0, 50_000, nil)
+	b := SignTx(alice, to, 1, 1, 50_000, nil)
+	if a.Hash() == b.Hash() {
+		t.Fatal("different nonces, same hash")
+	}
+	c := SignTx(alice, to, 1, 0, 50_000, nil)
+	if a.Hash() != c.Hash() {
+		t.Fatal("identical txs hash differently")
+	}
+}
+
+func TestTxContractCreation(t *testing.T) {
+	alice := testIdentity(1)
+	deploy := SignTx(alice, identity.ZeroAddress, 0, 0, 100_000, []byte("code"))
+	if !deploy.IsContractCreation() {
+		t.Fatal("deploy tx not recognized")
+	}
+	call := SignTx(alice, testIdentity(2).Address(), 0, 0, 100_000, []byte("code"))
+	if call.IsContractCreation() {
+		t.Fatal("call tx misclassified as creation")
+	}
+}
+
+func TestTxDataTooLarge(t *testing.T) {
+	alice := testIdentity(1)
+	tx := SignTx(alice, testIdentity(2).Address(), 0, 0, ^uint64(0)/2, make([]byte, MaxTxDataBytes+1))
+	if err := tx.VerifyBasic(); !errors.Is(err, ErrTxTooLarge) {
+		t.Fatalf("want ErrTxTooLarge, got %v", err)
+	}
+}

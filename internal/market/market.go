@@ -1,0 +1,282 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+
+	"pds2/internal/contract"
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+	"pds2/internal/ledger"
+	"pds2/internal/tee"
+	"pds2/internal/token"
+)
+
+// Config parameterizes a Market instance.
+type Config struct {
+	// Seed drives all deterministic randomness (keys, nonces).
+	Seed uint64
+
+	// GenesisAlloc funds accounts at genesis, in native tokens.
+	GenesisAlloc map[identity.Address]uint64
+
+	// Authorities optionally overrides the PoA validator set; by default
+	// the market creates a single governor authority.
+	Authorities []*identity.Identity
+}
+
+// Market is one deployment of the PDS² governance layer: a
+// proof-of-authority chain running the contract runtime with the
+// registry, workload, and token contracts registered, plus the quoting
+// authority that anchors executor attestation.
+type Market struct {
+	Chain   *ledger.Chain
+	Runtime *contract.Runtime
+	Pool    *ledger.Mempool
+	QA      *tee.QuotingAuthority
+
+	// Registry is the address of the deployed registry contract.
+	Registry identity.Address
+
+	// Deeds is the ERC-721 contract deeding registered datasets
+	// (§III-A: NFTs for "indivisible, unique assets"). The registry
+	// holds its minter role and mints a deed per data registration.
+	Deeds identity.Address
+
+	authorities []*identity.Identity
+	rng         *crypto.DRBG
+	timestamp   uint64
+
+	// DefaultGasLimit is attached to transactions sent through helpers.
+	DefaultGasLimit uint64
+}
+
+// New builds a market: chain, runtime, quoting authority and a deployed
+// registry contract owned by the first authority.
+func New(cfg Config) (*Market, error) {
+	rng := crypto.NewDRBGFromUint64(cfg.Seed, "market")
+	rt := contract.NewRuntime()
+	for name, code := range map[string]contract.Contract{
+		RegistryCodeName:     RegistryContract{},
+		WorkloadCodeName:     WorkloadContract{},
+		token.ERC20CodeName:  token.ERC20{},
+		token.ERC721CodeName: token.ERC721{},
+	} {
+		if err := rt.RegisterCode(name, code); err != nil {
+			return nil, err
+		}
+	}
+	authorities := cfg.Authorities
+	if len(authorities) == 0 {
+		authorities = []*identity.Identity{identity.New("governor", rng.Fork("governor"))}
+	}
+	addrs := make([]identity.Address, len(authorities))
+	alloc := make(map[identity.Address]uint64, len(cfg.GenesisAlloc)+len(authorities))
+	for a, v := range cfg.GenesisAlloc {
+		alloc[a] = v
+	}
+	for i, auth := range authorities {
+		addrs[i] = auth.Address()
+		if alloc[auth.Address()] == 0 {
+			alloc[auth.Address()] = 1_000_000 // gas-free chain; funds for deploys
+		}
+	}
+	chain, err := ledger.NewChain(ledger.ChainConfig{
+		Authorities:  addrs,
+		Applier:      rt,
+		GenesisAlloc: alloc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Market{
+		Chain:           chain,
+		Runtime:         rt,
+		Pool:            ledger.NewMempool(0),
+		QA:              tee.NewQuotingAuthority(rng.Fork("qa")),
+		authorities:     authorities,
+		rng:             rng,
+		DefaultGasLimit: 40_000_000,
+	}
+	// Deploy the registry.
+	rcpt, err := m.SendAndSeal(authorities[0], identity.ZeroAddress, 0, contract.DeployData(RegistryCodeName, nil))
+	if err != nil {
+		return nil, fmt.Errorf("market: deploy registry: %w", err)
+	}
+	if !rcpt.Succeeded() {
+		return nil, fmt.Errorf("market: deploy registry: %s", rcpt.Err)
+	}
+	copy(m.Registry[:], rcpt.Return)
+
+	// Deploy the data-deeds NFT, hand its minter role to the registry,
+	// and wire the registry to mint a deed per dataset registration.
+	rcpt, err = MustSucceed(m.SendAndSeal(authorities[0], identity.ZeroAddress, 0,
+		contract.DeployData(token.ERC721CodeName, token.ERC721InitArgs("PDS2 Data Deeds"))))
+	if err != nil {
+		return nil, fmt.Errorf("market: deploy deeds: %w", err)
+	}
+	copy(m.Deeds[:], rcpt.Return)
+	if _, err := MustSucceed(m.SendAndSeal(authorities[0], m.Deeds,
+		0, token.ERC721TransferMinterData(m.Registry))); err != nil {
+		return nil, fmt.Errorf("market: transfer deed minter: %w", err)
+	}
+	if _, err := MustSucceed(m.SendAndSeal(authorities[0], m.Registry, 0,
+		contract.CallData("setDeeds", contract.NewEncoder().Address(m.Deeds).Bytes()))); err != nil {
+		return nil, fmt.Errorf("market: wire deeds: %w", err)
+	}
+	return m, nil
+}
+
+// DeedOwner returns the current holder of a dataset's ERC-721 deed.
+func (m *Market) DeedOwner(dataID crypto.Digest) (identity.Address, error) {
+	raw, err := m.View(identity.ZeroAddress, m.Deeds, "ownerOf", token.ERC721OwnerArgs(dataID))
+	if err != nil {
+		return identity.ZeroAddress, err
+	}
+	return contract.NewDecoder(raw).Address()
+}
+
+// Rng returns the market's deterministic randomness source.
+func (m *Market) Rng() *crypto.DRBG { return m.rng }
+
+// Height returns the current chain height.
+func (m *Market) Height() uint64 { return m.Chain.Height() }
+
+// Submit adds a signed transaction to the mempool.
+func (m *Market) Submit(tx *ledger.Transaction) error { return m.Pool.Add(tx) }
+
+// SealBlock packages the executable mempool transactions into the next
+// block, signed by the rotating authority.
+func (m *Market) SealBlock() (*ledger.Block, error) {
+	batch := m.Pool.NextBatch(m.Chain.State(), 10_000)
+	m.timestamp++
+	height := m.Chain.Height() + 1
+	proposer := m.authorities[(height-1)%uint64(len(m.authorities))]
+	block, err := m.Chain.ProposeBlock(proposer, m.timestamp, batch)
+	if err != nil {
+		return nil, err
+	}
+	m.Pool.Remove(batch)
+	return block, nil
+}
+
+// SignedTx builds a signed transaction from the identity using its
+// current on-chain nonce plus its pending mempool transactions.
+func (m *Market) SignedTx(from *identity.Identity, to identity.Address, value uint64, data []byte) *ledger.Transaction {
+	nonce := m.Chain.State().Nonce(from.Address())
+	// Account for transactions already pending from this sender.
+	for m.poolHasNonce(from.Address(), nonce) {
+		nonce++
+	}
+	return ledger.SignTx(from, to, value, nonce, m.DefaultGasLimit, data)
+}
+
+func (m *Market) poolHasNonce(addr identity.Address, nonce uint64) bool {
+	probe := m.Pool.NextBatch(m.Chain.State(), 1<<30)
+	for _, tx := range probe {
+		if tx.From == addr && tx.Nonce == nonce {
+			return true
+		}
+	}
+	return false
+}
+
+// SendAndSeal signs, submits and seals a transaction in its own block,
+// returning the receipt — the convenience path used by actors and tests.
+func (m *Market) SendAndSeal(from *identity.Identity, to identity.Address, value uint64, data []byte) (*ledger.Receipt, error) {
+	tx := m.SignedTx(from, to, value, data)
+	if err := m.Submit(tx); err != nil {
+		return nil, err
+	}
+	if _, err := m.SealBlock(); err != nil {
+		return nil, err
+	}
+	rcpt, ok := m.Chain.Receipt(tx.Hash())
+	if !ok {
+		return nil, errors.New("market: transaction not included")
+	}
+	return rcpt, nil
+}
+
+// MustSucceed converts a failed receipt into an error.
+func MustSucceed(rcpt *ledger.Receipt, err error) (*ledger.Receipt, error) {
+	if err != nil {
+		return nil, err
+	}
+	if !rcpt.Succeeded() {
+		return rcpt, fmt.Errorf("market: transaction reverted: %s", rcpt.Err)
+	}
+	return rcpt, nil
+}
+
+// View performs a read-only contract call.
+func (m *Market) View(caller, to identity.Address, method string, args []byte) ([]byte, error) {
+	return m.Runtime.View(m.Chain.State(), caller, to, method, args)
+}
+
+// WorkloadStateOf reads a workload contract's lifecycle state.
+func (m *Market) WorkloadStateOf(addr identity.Address) (WorkloadState, error) {
+	raw, err := m.View(identity.ZeroAddress, addr, "state", nil)
+	if err != nil {
+		return 0, err
+	}
+	v, err := contract.NewDecoder(raw).Uint64()
+	return WorkloadState(v), err
+}
+
+// WorkloadSpecOf reads a workload contract's spec.
+func (m *Market) WorkloadSpecOf(addr identity.Address) (*Spec, error) {
+	raw, err := m.View(identity.ZeroAddress, addr, "spec", nil)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSpec(raw)
+}
+
+// WorkloadResultOf reads the accepted result hash and scores.
+func (m *Market) WorkloadResultOf(addr identity.Address) (crypto.Digest, []Score, error) {
+	raw, err := m.View(identity.ZeroAddress, addr, "result", nil)
+	if err != nil {
+		return crypto.ZeroDigest, nil, err
+	}
+	d := contract.NewDecoder(raw)
+	h, err := d.Digest()
+	if err != nil {
+		return crypto.ZeroDigest, nil, err
+	}
+	blob, err := d.Blob()
+	if err != nil {
+		return crypto.ZeroDigest, nil, err
+	}
+	if len(blob) == 0 {
+		return h, nil, nil
+	}
+	scores, err := DecodeScores(blob)
+	return h, scores, err
+}
+
+// Workloads lists all workload contract addresses in the registry.
+func (m *Market) Workloads() ([]identity.Address, error) {
+	raw, err := m.View(identity.ZeroAddress, m.Registry, "workloadCount", nil)
+	if err != nil {
+		return nil, err
+	}
+	n, err := contract.NewDecoder(raw).Uint64()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]identity.Address, 0, n)
+	for i := uint64(0); i < n; i++ {
+		raw, err := m.View(identity.ZeroAddress, m.Registry, "workloadAt",
+			contract.NewEncoder().Uint64(i).Bytes())
+		if err != nil {
+			return nil, err
+		}
+		addr, err := contract.NewDecoder(raw).Address()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, addr)
+	}
+	return out, nil
+}

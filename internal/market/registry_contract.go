@@ -1,0 +1,256 @@
+package market
+
+import (
+	"fmt"
+
+	"pds2/internal/contract"
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+// RegistryCodeName is the code name of the platform registry contract.
+const RegistryCodeName = "pds2/registry"
+
+// RegistryContract is the governance layer's directory (§III-A: the
+// blockchain "is used for the registration of all actors … as well as
+// the registration of datasets and workloads, by means of their
+// hashes"). It records actor roles, dataset registrations (digest →
+// owner) and the directory of workload contracts, emitting events that
+// providers' storage subsystems watch to learn about new workloads.
+//
+// Storage layout:
+//
+//	owner               — the deploying governor (may wire the deeds NFT)
+//	deeds               — ERC-721 contract minting data deeds (optional)
+//	role/<role>/<addr>  — actor has role
+//	data/<dataID>       — owner address of a registered dataset
+//	datameta/<dataID>   — hash of the dataset's metadata document
+//	wl/<seq>            — workload contract address, in registration order
+//	wlseq               — number of registered workloads
+type RegistryContract struct{}
+
+// Init implements contract.Contract; the registry has no constructor
+// arguments. The deployer becomes the registry owner, able to wire the
+// data-deeds NFT contract once.
+func (RegistryContract) Init(ctx *contract.Context, args []byte) error {
+	if len(args) != 0 {
+		return contract.Revertf("registry takes no constructor arguments")
+	}
+	return ctx.Set("owner", ctx.Caller[:])
+}
+
+// Registry events.
+const (
+	EvActorRegistered    = "ActorRegistered"
+	EvDataRegistered     = "DataRegistered"
+	EvWorkloadRegistered = "WorkloadRegistered"
+)
+
+// Call implements contract.Contract.
+func (RegistryContract) Call(ctx *contract.Context, method string, args []byte) ([]byte, error) {
+	dec := contract.NewDecoder(args)
+	switch method {
+	case "registerActor":
+		// (role string) — the caller registers itself under a role.
+		role, err := dec.String()
+		if err != nil {
+			return nil, contract.Revertf("registerActor: %v", err)
+		}
+		switch identity.Role(role) {
+		case identity.RoleConsumer, identity.RoleProvider, identity.RoleExecutor,
+			identity.RoleStorage, identity.RoleGovernor, identity.RoleDevice:
+		default:
+			return nil, contract.Revertf("registerActor: unknown role %q", role)
+		}
+		if err := ctx.Set("role/"+role+"/"+ctx.Caller.Hex(), []byte{1}); err != nil {
+			return nil, err
+		}
+		return nil, ctx.Emit(EvActorRegistered, contract.NewEncoder().
+			Address(ctx.Caller).String(role).Bytes())
+
+	case "hasRole":
+		// (addr, role) → bool
+		addr, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("hasRole: %v", err)
+		}
+		role, err := dec.String()
+		if err != nil {
+			return nil, contract.Revertf("hasRole: %v", err)
+		}
+		v, err := ctx.Get("role/" + role + "/" + addr.Hex())
+		if err != nil {
+			return nil, err
+		}
+		return contract.NewEncoder().Bool(len(v) > 0).Bytes(), nil
+
+	case "setDeeds":
+		// (nftAddr) — owner-only, once: datasets registered from now on
+		// are deeded as ERC-721 tokens (§III-A: NFTs "model data and
+		// workload code in PDS²"). The registry must hold the NFT
+		// contract's minter role.
+		nft, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("setDeeds: %v", err)
+		}
+		owner, err := ctx.Get("owner")
+		if err != nil {
+			return nil, err
+		}
+		if string(owner) != string(ctx.Caller[:]) {
+			return nil, contract.Revertf("setDeeds: caller is not the registry owner")
+		}
+		existing, err := ctx.Get("deeds")
+		if err != nil {
+			return nil, err
+		}
+		if len(existing) > 0 {
+			return nil, contract.Revertf("setDeeds: already wired")
+		}
+		exists, err := ctx.ContractExists(nft)
+		if err != nil {
+			return nil, err
+		}
+		if !exists {
+			return nil, contract.Revertf("setDeeds: %s is not a contract", nft.Short())
+		}
+		return nil, ctx.Set("deeds", nft[:])
+
+	case "deeds":
+		raw, err := ctx.Get("deeds")
+		if err != nil {
+			return nil, err
+		}
+		var addr identity.Address
+		copy(addr[:], raw)
+		return contract.NewEncoder().Address(addr).Bytes(), nil
+
+	case "registerData":
+		// (dataID digest, metaHash digest) — caller claims ownership of a
+		// dataset by content hash. First registration wins, which is what
+		// prevents relisting someone else's published data.
+		dataID, err := dec.Digest()
+		if err != nil {
+			return nil, contract.Revertf("registerData: %v", err)
+		}
+		metaHash, err := dec.Digest()
+		if err != nil {
+			return nil, contract.Revertf("registerData: %v", err)
+		}
+		existing, err := ctx.Get("data/" + dataID.Hex())
+		if err != nil {
+			return nil, err
+		}
+		if len(existing) > 0 {
+			return nil, contract.Revertf("registerData: %s already registered", dataID.Short())
+		}
+		if err := ctx.Set("data/"+dataID.Hex(), ctx.Caller[:]); err != nil {
+			return nil, err
+		}
+		if err := ctx.Set("datameta/"+dataID.Hex(), metaHash[:]); err != nil {
+			return nil, err
+		}
+		// Mint the ERC-721 deed to the registrant when the deeds
+		// contract is wired.
+		deedsRaw, err := ctx.Get("deeds")
+		if err != nil {
+			return nil, err
+		}
+		if len(deedsRaw) == identity.AddressSize {
+			var nft identity.Address
+			copy(nft[:], deedsRaw)
+			mintArgs := contract.NewEncoder().
+				Address(ctx.Caller).Digest(dataID).Blob(metaHash[:]).Bytes()
+			if _, err := ctx.CallContract(nft, "mint", mintArgs, 0); err != nil {
+				return nil, contract.Revertf("registerData: deed mint: %v", err)
+			}
+		}
+		return nil, ctx.Emit(EvDataRegistered, contract.NewEncoder().
+			Digest(dataID).Address(ctx.Caller).Bytes())
+
+	case "dataOwner":
+		// (dataID) → address (zero when unregistered)
+		dataID, err := dec.Digest()
+		if err != nil {
+			return nil, contract.Revertf("dataOwner: %v", err)
+		}
+		raw, err := ctx.Get("data/" + dataID.Hex())
+		if err != nil {
+			return nil, err
+		}
+		var owner identity.Address
+		copy(owner[:], raw)
+		return contract.NewEncoder().Address(owner).Bytes(), nil
+
+	case "registerWorkload":
+		// (workloadAddr) — called by the consumer after deploying a
+		// workload contract; adds it to the public directory.
+		addr, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("registerWorkload: %v", err)
+		}
+		exists, err := ctx.ContractExists(addr)
+		if err != nil {
+			return nil, err
+		}
+		if !exists {
+			return nil, contract.Revertf("registerWorkload: %s is not a contract", addr.Short())
+		}
+		seq, err := ctx.GetUint64("wlseq")
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Set(fmt.Sprintf("wl/%016d", seq), addr[:]); err != nil {
+			return nil, err
+		}
+		if err := ctx.SetUint64("wlseq", seq+1); err != nil {
+			return nil, err
+		}
+		return nil, ctx.Emit(EvWorkloadRegistered, contract.NewEncoder().
+			Address(addr).Digest(WorkloadIDFor(addr)).Bytes())
+
+	case "workloadCount":
+		seq, err := ctx.GetUint64("wlseq")
+		if err != nil {
+			return nil, err
+		}
+		return contract.NewEncoder().Uint64(seq).Bytes(), nil
+
+	case "workloadAt":
+		// (index) → address
+		idx, err := dec.Uint64()
+		if err != nil {
+			return nil, contract.Revertf("workloadAt: %v", err)
+		}
+		raw, err := ctx.Get(fmt.Sprintf("wl/%016d", idx))
+		if err != nil {
+			return nil, err
+		}
+		if len(raw) != identity.AddressSize {
+			return nil, contract.Revertf("workloadAt: index %d out of range", idx)
+		}
+		var addr identity.Address
+		copy(addr[:], raw)
+		return contract.NewEncoder().Address(addr).Bytes(), nil
+
+	default:
+		return nil, fmt.Errorf("%w: registry.%s", contract.ErrUnknownMethod, method)
+	}
+}
+
+// Client-side helpers.
+
+// RegisterActorData builds call data for registerActor.
+func RegisterActorData(role identity.Role) []byte {
+	return contract.CallData("registerActor", contract.NewEncoder().String(string(role)).Bytes())
+}
+
+// RegisterDataData builds call data for registerData.
+func RegisterDataData(dataID, metaHash crypto.Digest) []byte {
+	return contract.CallData("registerData", contract.NewEncoder().Digest(dataID).Digest(metaHash).Bytes())
+}
+
+// RegisterWorkloadData builds call data for registerWorkload.
+func RegisterWorkloadData(addr identity.Address) []byte {
+	return contract.CallData("registerWorkload", contract.NewEncoder().Address(addr).Bytes())
+}

@@ -1,0 +1,92 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"pds2/internal/ml"
+)
+
+// AttackResult summarizes a membership-inference attack.
+type AttackResult struct {
+	// Advantage is max over thresholds of TPR - FPR, in [0, 1]: zero
+	// means the model leaks nothing distinguishable; one means perfect
+	// membership recovery.
+	Advantage float64
+
+	// AUC is the area under the ROC curve of the loss-threshold attack
+	// (0.5 = no signal).
+	AUC float64
+
+	// Threshold is the loss threshold achieving Advantage.
+	Threshold float64
+}
+
+// exampleLoss is the per-example logistic loss -log σ(y·z), the signal
+// the Yeom et al. threshold attack uses: members tend to have lower loss
+// than non-members on an overfit model.
+func exampleLoss(m ml.Predictor, x []float64, y float64) float64 {
+	z := m.Predict(x)
+	margin := y * z
+	if margin > 0 {
+		return math.Log1p(math.Exp(-margin))
+	}
+	return -margin + math.Log1p(math.Exp(margin))
+}
+
+// MembershipAttack runs the loss-threshold membership-inference attack
+// against the model: for every threshold τ, an example is declared a
+// member when its loss is below τ; the result reports the best
+// achievable advantage and the ROC AUC. members should be (a sample of)
+// the training data, nonMembers fresh data from the same distribution.
+func MembershipAttack(m ml.Predictor, members, nonMembers *ml.Dataset) (AttackResult, error) {
+	if members.Len() == 0 || nonMembers.Len() == 0 {
+		return AttackResult{}, errors.New("privacy: attack needs non-empty member and non-member sets")
+	}
+	type scored struct {
+		loss   float64
+		member bool
+	}
+	all := make([]scored, 0, members.Len()+nonMembers.Len())
+	for i := range members.X {
+		all = append(all, scored{loss: exampleLoss(m, members.X[i], members.Y[i]), member: true})
+	}
+	for i := range nonMembers.X {
+		all = append(all, scored{loss: exampleLoss(m, nonMembers.X[i], nonMembers.Y[i]), member: false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].loss < all[j].loss })
+
+	nM := float64(members.Len())
+	nN := float64(nonMembers.Len())
+	var tp, fp float64
+	best := AttackResult{}
+	var auc float64
+	var prevFPR, prevTPR float64
+	for _, s := range all {
+		if s.member {
+			tp++
+		} else {
+			fp++
+		}
+		tpr, fpr := tp/nM, fp/nN
+		if adv := tpr - fpr; adv > best.Advantage {
+			best.Advantage = adv
+			best.Threshold = s.loss
+		}
+		// Trapezoidal AUC accumulation over the ROC path.
+		auc += (fpr - prevFPR) * (tpr + prevTPR) / 2
+		prevFPR, prevTPR = fpr, tpr
+	}
+	best.AUC = auc
+	return best, nil
+}
+
+// TrainOverfitModel is a helper for leakage experiments: it trains a
+// deliberately overfit logistic model (many epochs, weak regularization
+// on a small dataset), the worst case for membership leakage.
+func TrainOverfitModel(train *ml.Dataset, epochs int) *ml.LogisticModel {
+	m := ml.NewLogisticModel(train.Dim(), 1e-6)
+	ml.TrainEpochs(m, train, epochs)
+	return m
+}

@@ -1,0 +1,110 @@
+package reward
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pds2/internal/crypto"
+	"pds2/internal/ml"
+)
+
+// ModelMarket implements model-based pricing (Chen et al. [32], §IV-A):
+// "given an ML model, an optimal instance is trained. Then based on the
+// budget available to the potential buyer, Gaussian noise is injected
+// into the model to reduce its accuracy. The larger the buyer's budget,
+// the smaller the injected noise variance and the greater the accuracy."
+//
+// The noise schedule σ(p) = BaseSigma · √(FullPrice/p − 1) is monotone
+// decreasing in the price p, reaches zero at the full price, and grows
+// without bound as p → 0 — which yields a monotone price/accuracy curve
+// and rules out the trivial arbitrage of buying cheap and having the
+// noisy model be as good as the clean one.
+type ModelMarket struct {
+	optimal   ml.Model
+	FullPrice uint64  // price of the noise-free model
+	BaseSigma float64 // noise scale at half price
+	rng       *crypto.DRBG
+}
+
+// NewModelMarket creates a market around a trained optimal model.
+func NewModelMarket(optimal ml.Model, fullPrice uint64, baseSigma float64, rng *crypto.DRBG) (*ModelMarket, error) {
+	if fullPrice == 0 {
+		return nil, errors.New("reward: full price must be positive")
+	}
+	if baseSigma <= 0 {
+		return nil, errors.New("reward: base sigma must be positive")
+	}
+	return &ModelMarket{
+		optimal:   optimal.Clone(),
+		FullPrice: fullPrice,
+		BaseSigma: baseSigma,
+		rng:       rng,
+	}, nil
+}
+
+// Sigma returns the noise standard deviation sold at the given price.
+func (m *ModelMarket) Sigma(price uint64) (float64, error) {
+	if price == 0 {
+		return 0, errors.New("reward: price must be positive")
+	}
+	if price >= m.FullPrice {
+		return 0, nil
+	}
+	ratio := float64(m.FullPrice)/float64(price) - 1
+	return m.BaseSigma * math.Sqrt(ratio), nil
+}
+
+// Purchase returns a noise-injected copy of the optimal model for the
+// given price.
+func (m *ModelMarket) Purchase(price uint64) (ml.Model, error) {
+	sigma, err := m.Sigma(price)
+	if err != nil {
+		return nil, err
+	}
+	return NoiseInjected(m.optimal, sigma, m.rng), nil
+}
+
+// NoiseInjected returns a copy of the model with iid Gaussian noise of
+// the given standard deviation added to every weight.
+func NoiseInjected(m ml.Model, sigma float64, rng *crypto.DRBG) ml.Model {
+	out := m.Clone()
+	if sigma <= 0 {
+		return out
+	}
+	w := out.Weights()
+	for i := range w {
+		w[i] += sigma * rng.NormFloat64()
+	}
+	return out
+}
+
+// PricePoint is one sample of the price/accuracy curve.
+type PricePoint struct {
+	Price    uint64
+	Sigma    float64
+	Accuracy float64
+}
+
+// Curve evaluates the price/accuracy curve at the given prices,
+// averaging accuracy over trials noise draws per point to smooth the
+// randomness of a single injection.
+func (m *ModelMarket) Curve(prices []uint64, test *ml.Dataset, trials int) ([]PricePoint, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	out := make([]PricePoint, 0, len(prices))
+	for _, p := range prices {
+		sigma, err := m.Sigma(p)
+		if err != nil {
+			return nil, fmt.Errorf("reward: curve at price %d: %w", p, err)
+		}
+		var acc float64
+		for t := 0; t < trials; t++ {
+			noisy := NoiseInjected(m.optimal, sigma, m.rng)
+			acc += ml.Accuracy(noisy, test)
+		}
+		out = append(out, PricePoint{Price: p, Sigma: sigma, Accuracy: acc / float64(trials)})
+	}
+	return out, nil
+}

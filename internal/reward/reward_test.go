@@ -1,0 +1,355 @@
+package reward
+
+import (
+	"math"
+	"testing"
+
+	"pds2/internal/crypto"
+	"pds2/internal/ml"
+)
+
+// additiveGame returns a ValueFn where each player contributes a fixed
+// weight; the Shapley value of an additive game is exactly the weight.
+func additiveGame(weights []float64) ValueFn {
+	return func(coalition []int) float64 {
+		var s float64
+		for _, i := range coalition {
+			s += weights[i]
+		}
+		return s
+	}
+}
+
+// gloveGame: player 0 holds a left glove, players 1 and 2 right gloves;
+// a pair is worth 1. Known Shapley values: 2/3, 1/6, 1/6.
+func gloveGame(coalition []int) float64 {
+	var left, right bool
+	for _, p := range coalition {
+		if p == 0 {
+			left = true
+		} else {
+			right = true
+		}
+	}
+	if left && right {
+		return 1
+	}
+	return 0
+}
+
+func TestExactShapleyAdditiveGame(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	phi, evals, err := ExactShapley(4, additiveGame(weights))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range weights {
+		if math.Abs(phi[i]-w) > 1e-9 {
+			t.Fatalf("phi[%d] = %v, want %v", i, phi[i], w)
+		}
+	}
+	if evals != 16 {
+		t.Fatalf("evaluations = %d, want 2^4", evals)
+	}
+}
+
+func TestExactShapleyGloveGame(t *testing.T) {
+	phi, _, err := ExactShapley(3, gloveGame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2.0 / 3, 1.0 / 6, 1.0 / 6}
+	for i := range want {
+		if math.Abs(phi[i]-want[i]) > 1e-9 {
+			t.Fatalf("phi = %v, want %v", phi, want)
+		}
+	}
+}
+
+func TestExactShapleyEfficiency(t *testing.T) {
+	// Sum of Shapley values equals v(N) - v(∅) for any game.
+	game := func(coalition []int) float64 {
+		s := 0.3 // v(∅) offset
+		for _, i := range coalition {
+			s += float64(i+1) * 0.1
+			if len(coalition) > 2 {
+				s += 0.05 // superadditive interaction
+			}
+		}
+		return s
+	}
+	n := 5
+	phi, _, err := ExactShapley(n, game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range phi {
+		sum += p
+	}
+	full := make([]int, n)
+	for i := range full {
+		full[i] = i
+	}
+	want := game(full) - game(nil)
+	if math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("efficiency violated: sum %v, want %v", sum, want)
+	}
+}
+
+func TestExactShapleyDummyPlayer(t *testing.T) {
+	// Player 2 never changes the value: its Shapley value must be zero.
+	game := func(coalition []int) float64 {
+		for _, p := range coalition {
+			if p == 0 {
+				return 10
+			}
+		}
+		return 0
+	}
+	phi, _, err := ExactShapley(3, game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi[1]) > 1e-9 || math.Abs(phi[2]) > 1e-9 {
+		t.Fatalf("dummy players credited: %v", phi)
+	}
+	if math.Abs(phi[0]-10) > 1e-9 {
+		t.Fatalf("carrier player: %v", phi[0])
+	}
+}
+
+func TestExactShapleyRefusesLargeN(t *testing.T) {
+	if _, _, err := ExactShapley(26, additiveGame(make([]float64, 26))); err == nil {
+		t.Fatal("n=26 accepted")
+	}
+}
+
+func TestMonteCarloApproximatesExact(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(1, "mc")
+	weights := []float64{5, 1, 1, 1, 2}
+	exact, _, _ := ExactShapley(5, additiveGame(weights))
+	approx, _, err := MonteCarloShapley(5, additiveGame(weights), 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if math.Abs(exact[i]-approx[i]) > 0.3 {
+			t.Fatalf("MC estimate %v far from exact %v", approx, exact)
+		}
+	}
+}
+
+func TestTMCFewerEvaluationsThanMC(t *testing.T) {
+	// A saturating game: value plateaus once 3 players joined, so TMC
+	// truncates most permutations early.
+	game := func(coalition []int) float64 {
+		v := float64(len(coalition))
+		if v > 3 {
+			v = 3
+		}
+		return v
+	}
+	rng1 := crypto.NewDRBGFromUint64(2, "tmc")
+	rng2 := crypto.NewDRBGFromUint64(2, "tmc")
+	_, evalsMC, err := MonteCarloShapley(12, game, 50, rng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, evalsTMC, err := TMCShapley(12, game, 50, 0.01, rng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evalsTMC >= evalsMC {
+		t.Fatalf("TMC evals %d not fewer than MC %d", evalsTMC, evalsMC)
+	}
+}
+
+func TestTMCStillAccurate(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(3, "tmc")
+	weights := []float64{3, 1, 0.5, 0.5}
+	exact, _, _ := ExactShapley(4, additiveGame(weights))
+	approx, _, err := TMCShapley(4, additiveGame(weights), 800, 1e-6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if math.Abs(exact[i]-approx[i]) > 0.3 {
+			t.Fatalf("TMC estimate %v far from exact %v", approx, exact)
+		}
+	}
+}
+
+func TestLeaveOneOut(t *testing.T) {
+	phi, evals, err := LeaveOneOut(3, additiveGame([]float64{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if math.Abs(phi[i]-want) > 1e-9 {
+			t.Fatalf("LOO = %v", phi)
+		}
+	}
+	if evals != 4 {
+		t.Fatalf("evaluations = %d, want n+1", evals)
+	}
+	// LOO misses interaction effects: in the glove game it credits both
+	// right-glove holders zero (removing either one changes nothing).
+	loo, _, _ := LeaveOneOut(3, gloveGame)
+	if loo[1] != 0 || loo[2] != 0 {
+		t.Fatalf("glove LOO = %v", loo)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	if _, _, err := ExactShapley(0, additiveGame(nil)); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	rng := crypto.NewDRBGFromUint64(4, "x")
+	if _, _, err := MonteCarloShapley(2, gloveGame, 0, rng); err == nil {
+		t.Fatal("0 samples accepted")
+	}
+	if _, _, err := TMCShapley(2, gloveGame, 10, 0, rng); err == nil {
+		t.Fatal("zero tolerance accepted")
+	}
+	if _, _, err := LeaveOneOut(0, gloveGame); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestAllocateProRata(t *testing.T) {
+	out := Allocate([]float64{1, 3, 0, -2}, 1000)
+	var sum uint64
+	for _, v := range out {
+		sum += v
+	}
+	if sum != 1000 {
+		t.Fatalf("allocation sums to %d", sum)
+	}
+	if out[3] != 0 {
+		t.Fatal("negative contributor paid")
+	}
+	if out[1] <= out[0] {
+		t.Fatalf("allocation not proportional: %v", out)
+	}
+}
+
+func TestAllocateDegenerate(t *testing.T) {
+	// All non-positive: equal split.
+	out := Allocate([]float64{-1, 0, -3}, 100)
+	var sum uint64
+	for _, v := range out {
+		sum += v
+	}
+	if sum != 100 {
+		t.Fatalf("sum = %d", sum)
+	}
+	if out[1] < 33 || out[2] < 33 {
+		t.Fatalf("not near-equal: %v", out)
+	}
+	// Empty and zero-budget cases.
+	if len(Allocate(nil, 100)) != 0 {
+		t.Fatal("nil scores")
+	}
+	if Allocate([]float64{1}, 0)[0] != 0 {
+		t.Fatal("zero budget paid")
+	}
+}
+
+func TestDataValueFnRewardsInformativeData(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(5, "dv")
+	data, _ := ml.GenerateClassification(ml.SyntheticConfig{N: 1200, Dim: 8}, rng)
+	train, test := data.TrainTestSplit(0.3, rng)
+	parts := train.PartitionIID(4, rng)
+	// Replace part 3 with label noise: its marginal value should be the
+	// lowest.
+	for i := range parts[3].Y {
+		if rng.Float64() < 0.5 {
+			parts[3].Y[i] = -parts[3].Y[i]
+		}
+	}
+	fn := DataValueFn(parts, test, func() ml.Model { return ml.NewLogisticModel(8, 1e-3) }, 2)
+	phi, _, err := ExactShapley(4, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if phi[3] >= phi[i] {
+			t.Fatalf("noisy provider not penalized: %v", phi)
+		}
+	}
+}
+
+func TestPricingSigmaMonotone(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(6, "price")
+	m := ml.NewLogisticModel(4, 1e-3)
+	market, err := NewModelMarket(m, 1000, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = math.Inf(1)
+	for _, p := range []uint64{100, 250, 500, 900, 1000} {
+		sigma, err := market.Sigma(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sigma > prev {
+			t.Fatalf("sigma not monotone decreasing at price %d", p)
+		}
+		prev = sigma
+	}
+	if s, _ := market.Sigma(1000); s != 0 {
+		t.Fatalf("full price sigma = %v", s)
+	}
+	if s, _ := market.Sigma(2000); s != 0 {
+		t.Fatal("overpaying adds noise")
+	}
+	if _, err := market.Sigma(0); err == nil {
+		t.Fatal("zero price accepted")
+	}
+}
+
+func TestPricingAccuracyIncreasesWithBudget(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(7, "price")
+	data, _ := ml.GenerateClassification(ml.SyntheticConfig{N: 3000, Dim: 10}, rng)
+	train, test := data.TrainTestSplit(0.3, rng)
+	optimal := ml.NewLogisticModel(10, 1e-3)
+	ml.TrainEpochs(optimal, train, 5)
+
+	market, _ := NewModelMarket(optimal, 1000, 2.0, rng)
+	curve, err := market.Curve([]uint64{50, 200, 1000}, test, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(curve[0].Accuracy < curve[2].Accuracy) {
+		t.Fatalf("accuracy not increasing with budget: %+v", curve)
+	}
+	if curve[2].Accuracy < 0.85 {
+		t.Fatalf("full-price accuracy = %v", curve[2].Accuracy)
+	}
+}
+
+func TestPurchaseDoesNotMutateOptimal(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(8, "price")
+	optimal := ml.NewLogisticModel(3, 1e-3)
+	optimal.W[0] = 1
+	market, _ := NewModelMarket(optimal, 100, 5.0, rng)
+	if _, err := market.Purchase(10); err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := market.Purchase(100)
+	if clean.Weights()[0] != 1 {
+		t.Fatal("optimal model mutated by purchases")
+	}
+}
+
+func TestNewModelMarketValidation(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(9, "price")
+	m := ml.NewLogisticModel(2, 1e-3)
+	if _, err := NewModelMarket(m, 0, 1, rng); err == nil {
+		t.Fatal("zero price accepted")
+	}
+	if _, err := NewModelMarket(m, 10, 0, rng); err == nil {
+		t.Fatal("zero sigma accepted")
+	}
+}

@@ -1,0 +1,262 @@
+// Package reward implements the reward schemes of §IV-A: Shapley-value
+// attribution of a workload's value to the contributing data providers —
+// exact (exponential, "unfeasible to use as is"), permutation-sampling
+// Monte Carlo, and truncated Monte Carlo (TMC-Shapley, Ghorbani & Zou
+// [30]) — plus the leave-one-out baseline, payout allocation, and the
+// model-based pricing scheme of Chen et al. [32] where a buyer's budget
+// buys a correspondingly noisy version of the optimal model.
+package reward
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pds2/internal/crypto"
+	"pds2/internal/ml"
+)
+
+// ValueFn evaluates a coalition of players (provider indices) and
+// returns its utility — in PDS², typically the test accuracy of a model
+// trained on the union of the coalition's datasets. Implementations must
+// be deterministic: the same coalition always yields the same value.
+type ValueFn func(coalition []int) float64
+
+// CachedValue memoizes a ValueFn by coalition bitmask, which is what
+// makes exact Shapley (2^n evaluations, each reused n times) tractable
+// for the feasible range of n. It also counts distinct evaluations, the
+// cost metric of experiment E8. Only usable for n <= 63 players.
+type CachedValue struct {
+	fn    ValueFn
+	cache map[uint64]float64
+
+	// Evaluations counts calls that missed the cache — the number of
+	// model trainings a real deployment would pay for.
+	Evaluations int
+}
+
+// NewCachedValue wraps fn with memoization.
+func NewCachedValue(fn ValueFn) *CachedValue {
+	return &CachedValue{fn: fn, cache: make(map[uint64]float64)}
+}
+
+// Value evaluates the coalition given as a bitmask.
+func (c *CachedValue) Value(mask uint64) float64 {
+	if v, ok := c.cache[mask]; ok {
+		return v
+	}
+	coalition := maskToCoalition(mask)
+	v := c.fn(coalition)
+	c.cache[mask] = v
+	c.Evaluations++
+	return v
+}
+
+func maskToCoalition(mask uint64) []int {
+	var out []int
+	for i := 0; mask != 0; i++ {
+		if mask&1 == 1 {
+			out = append(out, i)
+		}
+		mask >>= 1
+	}
+	return out
+}
+
+// ExactShapley computes exact Shapley values for n players by direct
+// summation over all subsets: φ_i = Σ_S |S|!(n-|S|-1)!/n! [v(S∪{i})-v(S)].
+// Cost is Θ(2^n) value evaluations — the exponential blow-up §IV-A warns
+// about; callers should keep n below ~20.
+func ExactShapley(n int, fn ValueFn) ([]float64, int, error) {
+	if n < 1 {
+		return nil, 0, errors.New("reward: need at least one player")
+	}
+	if n > 25 {
+		return nil, 0, fmt.Errorf("reward: exact Shapley for n=%d is infeasible (2^%d evaluations); use TMCShapley", n, n)
+	}
+	cv := NewCachedValue(fn)
+	// Precompute |S|!(n-|S|-1)!/n! for every subset size.
+	weights := make([]float64, n)
+	for s := 0; s < n; s++ {
+		weights[s] = math.Exp(lnFact(s) + lnFact(n-1-s) - lnFact(n))
+	}
+	phi := make([]float64, n)
+	full := uint64(1)<<n - 1
+	for mask := uint64(0); mask <= full; mask++ {
+		size := popcount(mask)
+		if size == n {
+			continue
+		}
+		vS := cv.Value(mask)
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << i
+			if mask&bit != 0 {
+				continue
+			}
+			phi[i] += weights[size] * (cv.Value(mask|bit) - vS)
+		}
+	}
+	return phi, cv.Evaluations, nil
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// lnFact returns ln(k!).
+func lnFact(k int) float64 {
+	s := 0.0
+	for i := 2; i <= k; i++ {
+		s += math.Log(float64(i))
+	}
+	return s
+}
+
+// MonteCarloShapley estimates Shapley values by permutation sampling:
+// for each sampled permutation, players are added one by one and credited
+// their marginal contribution. Converges at O(1/√samples) with
+// n evaluations per sample.
+func MonteCarloShapley(n int, fn ValueFn, samples int, rng *crypto.DRBG) ([]float64, int, error) {
+	return tmcShapley(n, fn, samples, 0, rng)
+}
+
+// TMCShapley is truncated Monte Carlo Shapley [30]: within each sampled
+// permutation, once the running coalition's value is within tolerance of
+// the full-coalition value, the remaining players are credited zero
+// marginal contribution without evaluating the model — the standard
+// answer to the exponential cost §IV-A describes.
+func TMCShapley(n int, fn ValueFn, samples int, tolerance float64, rng *crypto.DRBG) ([]float64, int, error) {
+	if tolerance <= 0 {
+		return nil, 0, errors.New("reward: TMC tolerance must be positive")
+	}
+	return tmcShapley(n, fn, samples, tolerance, rng)
+}
+
+func tmcShapley(n int, fn ValueFn, samples int, tolerance float64, rng *crypto.DRBG) ([]float64, int, error) {
+	if n < 1 {
+		return nil, 0, errors.New("reward: need at least one player")
+	}
+	if n > 63 {
+		return nil, 0, errors.New("reward: bitmask caching supports up to 63 players")
+	}
+	if samples < 1 {
+		return nil, 0, errors.New("reward: need at least one sample")
+	}
+	cv := NewCachedValue(fn)
+	full := uint64(1)<<n - 1
+	vFull := cv.Value(full)
+	vEmpty := cv.Value(0)
+
+	phi := make([]float64, n)
+	for s := 0; s < samples; s++ {
+		perm := rng.Perm(n)
+		mask := uint64(0)
+		prev := vEmpty
+		truncated := false
+		for _, p := range perm {
+			if truncated {
+				// Remaining players get zero credit this permutation.
+				continue
+			}
+			mask |= uint64(1) << p
+			cur := cv.Value(mask)
+			phi[p] += cur - prev
+			prev = cur
+			if tolerance > 0 && math.Abs(vFull-cur) < tolerance {
+				truncated = true
+			}
+		}
+	}
+	for i := range phi {
+		phi[i] /= float64(samples)
+	}
+	return phi, cv.Evaluations, nil
+}
+
+// LeaveOneOut is the naive baseline: each player's value is the drop in
+// utility when only that player is removed. It is cheap (n+1
+// evaluations) but ignores interactions, which the experiments contrast
+// with Shapley.
+func LeaveOneOut(n int, fn ValueFn) ([]float64, int, error) {
+	if n < 1 {
+		return nil, 0, errors.New("reward: need at least one player")
+	}
+	if n > 63 {
+		return nil, 0, errors.New("reward: bitmask caching supports up to 63 players")
+	}
+	cv := NewCachedValue(fn)
+	full := uint64(1)<<n - 1
+	vFull := cv.Value(full)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = vFull - cv.Value(full&^(uint64(1)<<i))
+	}
+	return out, cv.Evaluations, nil
+}
+
+// Allocate converts attribution scores into token payouts summing to
+// budget: negative scores are clamped to zero (a provider cannot owe the
+// platform), the rest share pro rata, and rounding residue goes to the
+// highest-valued provider so the sum is exact. A zero or all-negative
+// score vector splits the budget equally.
+func Allocate(scores []float64, budget uint64) []uint64 {
+	n := len(scores)
+	out := make([]uint64, n)
+	if n == 0 || budget == 0 {
+		return out
+	}
+	clamped := make([]float64, n)
+	var total float64
+	best := 0
+	for i, s := range scores {
+		if s > 0 {
+			clamped[i] = s
+			total += s
+		}
+		if scores[i] > scores[best] {
+			best = i
+		}
+	}
+	if total <= 0 {
+		// Degenerate: equal split.
+		each := budget / uint64(n)
+		var used uint64
+		for i := range out {
+			out[i] = each
+			used += each
+		}
+		out[0] += budget - used
+		return out
+	}
+	var used uint64
+	for i := range out {
+		out[i] = uint64(float64(budget) * clamped[i] / total)
+		used += out[i]
+	}
+	out[best] += budget - used
+	return out
+}
+
+// DataValueFn builds the canonical PDS² value function: the utility of a
+// coalition is the test accuracy of a model trained on the union of the
+// coalition members' datasets. The training order is fixed per coalition
+// so values are deterministic.
+func DataValueFn(parts []*ml.Dataset, test *ml.Dataset, factory func() ml.Model, epochs int) ValueFn {
+	return func(coalition []int) float64 {
+		if len(coalition) == 0 {
+			return 0.5 // random-guess accuracy for balanced binary labels
+		}
+		union := make([]*ml.Dataset, 0, len(coalition))
+		for _, i := range coalition {
+			union = append(union, parts[i])
+		}
+		m := factory()
+		ml.TrainEpochs(m, ml.Concat(union...), epochs)
+		return ml.Accuracy(m, test)
+	}
+}

@@ -1,0 +1,263 @@
+package semantic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is a metadata value: a string, a number or a boolean.
+type Value struct {
+	Kind ValueKind
+	S    string
+	N    float64
+	B    bool
+}
+
+// ValueKind discriminates Value.
+type ValueKind int
+
+// Value kinds.
+const (
+	KindString ValueKind = iota
+	KindNumber
+	KindBool
+)
+
+// String builds a string value.
+func String(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Number builds a numeric value.
+func Number(n float64) Value { return Value{Kind: KindNumber, N: n} }
+
+// Bool builds a boolean value.
+func Bool(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// Equal compares two values of any kind.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindString:
+		return v.S == o.S
+	case KindNumber:
+		return v.N == o.N
+	default:
+		return v.B == o.B
+	}
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindString:
+		return strconv.Quote(v.S)
+	case KindNumber:
+		return strconv.FormatFloat(v.N, 'g', -1, 64)
+	default:
+		return strconv.FormatBool(v.B)
+	}
+}
+
+// Metadata is the machine-readable description a provider attaches to a
+// dataset. Field names are dotted paths ("device.model"); values follow
+// the ontology conventions of the deployment.
+type Metadata map[string]Value
+
+// Expr is a parsed predicate node.
+type Expr interface {
+	// Eval evaluates the predicate against metadata.
+	Eval(m Metadata) bool
+
+	// String renders the node back to predicate syntax.
+	String() string
+
+	// leakage accumulates the leakage/complexity statistics.
+	leakage(stats *LeakageStats)
+}
+
+// binaryExpr is "and" / "or".
+type binaryExpr struct {
+	op    string // "and" | "or"
+	left  Expr
+	right Expr
+}
+
+func (e *binaryExpr) Eval(m Metadata) bool {
+	if e.op == "and" {
+		return e.left.Eval(m) && e.right.Eval(m)
+	}
+	return e.left.Eval(m) || e.right.Eval(m)
+}
+
+func (e *binaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.left, e.op, e.right)
+}
+
+func (e *binaryExpr) leakage(st *LeakageStats) {
+	st.Nodes++
+	e.left.leakage(st)
+	e.right.leakage(st)
+}
+
+// notExpr is negation.
+type notExpr struct{ inner Expr }
+
+func (e *notExpr) Eval(m Metadata) bool { return !e.inner.Eval(m) }
+func (e *notExpr) String() string       { return fmt.Sprintf("(not %s)", e.inner) }
+func (e *notExpr) leakage(st *LeakageStats) {
+	st.Nodes++
+	e.inner.leakage(st)
+}
+
+// hasExpr checks field presence.
+type hasExpr struct{ field string }
+
+func (e *hasExpr) Eval(m Metadata) bool {
+	_, ok := m[e.field]
+	return ok
+}
+func (e *hasExpr) String() string { return "has " + e.field }
+func (e *hasExpr) leakage(st *LeakageStats) {
+	st.Nodes++
+	st.addField(e.field, leakPresence)
+}
+
+// cmpExpr is a field-against-constant comparison.
+type cmpExpr struct {
+	field string
+	op    string // == != < <= > >= contains isa
+	value Value
+}
+
+func (e *cmpExpr) Eval(m Metadata) bool {
+	v, ok := m[e.field]
+	if !ok {
+		return false
+	}
+	switch e.op {
+	case "==":
+		return v.Equal(e.value)
+	case "!=":
+		return !v.Equal(e.value)
+	case "contains":
+		return v.Kind == KindString && e.value.Kind == KindString &&
+			strings.Contains(v.S, e.value.S)
+	case "isa":
+		// Ontology subsumption over dotted category paths:
+		// "sensor.temperature.indoor" isa "sensor.temperature".
+		if v.Kind != KindString || e.value.Kind != KindString {
+			return false
+		}
+		return v.S == e.value.S || strings.HasPrefix(v.S, e.value.S+".")
+	case "<", "<=", ">", ">=":
+		if v.Kind != KindNumber || e.value.Kind != KindNumber {
+			return false
+		}
+		switch e.op {
+		case "<":
+			return v.N < e.value.N
+		case "<=":
+			return v.N <= e.value.N
+		case ">":
+			return v.N > e.value.N
+		default:
+			return v.N >= e.value.N
+		}
+	default:
+		return false
+	}
+}
+
+func (e *cmpExpr) String() string {
+	return fmt.Sprintf("%s %s %s", e.field, e.op, e.value)
+}
+
+func (e *cmpExpr) leakage(st *LeakageStats) {
+	st.Nodes++
+	switch e.op {
+	case "==", "!=":
+		st.addField(e.field, leakExact)
+	case "isa", "contains":
+		st.addField(e.field, leakCategory)
+	default:
+		st.addField(e.field, leakRange)
+	}
+}
+
+// inExpr is set membership.
+type inExpr struct {
+	field  string
+	values []Value
+}
+
+func (e *inExpr) Eval(m Metadata) bool {
+	v, ok := m[e.field]
+	if !ok {
+		return false
+	}
+	for _, cand := range e.values {
+		if v.Equal(cand) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *inExpr) String() string {
+	parts := make([]string, len(e.values))
+	for i, v := range e.values {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s in [%s]", e.field, strings.Join(parts, ", "))
+}
+
+func (e *inExpr) leakage(st *LeakageStats) {
+	st.Nodes++
+	st.addField(e.field, leakExact)
+}
+
+// Leakage weights per comparison granularity: learning the exact value of
+// a field reveals more than learning a range, which reveals more than
+// mere presence. These weights realize §IV-C's "tradeoff between the
+// amount of information leaked by the metadata and the complexity of the
+// verifiable requirements".
+const (
+	leakPresence = 1.0
+	leakCategory = 2.0
+	leakRange    = 2.0
+	leakExact    = 3.0
+)
+
+// LeakageStats quantifies what a predicate reveals about matching data.
+type LeakageStats struct {
+	Nodes  int                // AST size: requirement complexity
+	Fields map[string]float64 // per-field maximum leakage weight
+}
+
+func (st *LeakageStats) addField(field string, weight float64) {
+	if st.Fields == nil {
+		st.Fields = make(map[string]float64)
+	}
+	if st.Fields[field] < weight {
+		st.Fields[field] = weight
+	}
+}
+
+// Score is the total leakage: the sum of per-field weights. A storage
+// subsystem can refuse to evaluate predicates above a leakage budget.
+func (st LeakageStats) Score() float64 {
+	var s float64
+	for _, w := range st.Fields {
+		s += w
+	}
+	return s
+}
+
+// Analyze computes leakage statistics for a predicate.
+func Analyze(e Expr) LeakageStats {
+	var st LeakageStats
+	e.leakage(&st)
+	return st
+}

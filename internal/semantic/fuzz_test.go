@@ -1,0 +1,43 @@
+package semantic
+
+import "testing"
+
+// FuzzParse checks that the predicate parser never panics and that any
+// successfully parsed expression can be rendered and re-parsed to an
+// equivalent expression (evaluation agreement on a fixed metadata set).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`samples > 100`,
+		`category isa "sensor" and not (region == "eu" or has restricted)`,
+		`a in [1, 2, "x", true]`,
+		`x contains "y" and z <= -4.5`,
+		`((((a == 1))))`,
+		`not not not has a`,
+		"", "(", `"`, `a >`, `a in []`, `𝛼 == 1`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	m := Metadata{
+		"samples":  Number(500),
+		"category": String("sensor.temperature"),
+		"region":   String("eu"),
+		"a":        Number(1),
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		expr, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := expr.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", rendered, src, err)
+		}
+		if expr.Eval(m) != again.Eval(m) {
+			t.Fatalf("round trip changed semantics: %q vs %q", src, rendered)
+		}
+		// Leakage analysis must not panic either.
+		_ = Analyze(expr).Score()
+	})
+}

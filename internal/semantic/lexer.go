@@ -1,0 +1,183 @@
+// Package semantic implements the data discovery and filtering layer of
+// PDS² (§IV-C): machine-readable metadata for datasets, a predicate
+// language in which consumers express "the data requirements of [the]
+// workload", an evaluator the storage subsystem runs to match provider
+// data against workloads without reading the data itself, and a leakage
+// score quantifying "the amount of information leaked by the metadata" —
+// the §IV-C trade-off between expressiveness and privacy.
+//
+// The predicate grammar:
+//
+//	expr   := or
+//	or     := and ("or" and)*
+//	and    := unary ("and" unary)*
+//	unary  := "not" unary | "(" expr ")" | comparison
+//	comparison :=
+//	       "has" FIELD
+//	     | FIELD "isa" STRING          (ontology subsumption)
+//	     | FIELD "contains" STRING
+//	     | FIELD ("=="|"!="|"<"|"<="|">"|">=") value
+//	     | FIELD "in" "[" value ("," value)* "]"
+//	value  := STRING | NUMBER | "true" | "false"
+//
+// Example: `category isa "sensor.temperature" and samples >= 100 and not
+// (region == "restricted")`.
+package semantic
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokOp     // == != < <= > >=
+	tokLParen // (
+	tokRParen // )
+	tokLBrack // [
+	tokRBrack // ]
+	tokComma
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits a predicate string into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the source or returns a position-annotated error.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == '[':
+			l.emit(tokLBrack, "[")
+		case c == ']':
+			l.emit(tokRBrack, "]")
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)) || c == '-':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("semantic: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.pos})
+	l.pos += len(text)
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("semantic: unterminated string at %d", start)
+}
+
+func (l *lexer) lexOp() error {
+	start := l.pos
+	c := l.src[l.pos]
+	two := ""
+	if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch {
+	case two == "==" || two == "!=" || two == "<=" || two == ">=":
+		l.toks = append(l.toks, token{kind: tokOp, text: two, pos: start})
+		l.pos += 2
+	case c == '<' || c == '>':
+		l.toks = append(l.toks, token{kind: tokOp, text: string(c), pos: start})
+		l.pos++
+	default:
+		return fmt.Errorf("semantic: invalid operator at %d", start)
+	}
+	return nil
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	digits := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) {
+			digits = true
+			l.pos++
+		} else if c == '.' {
+			l.pos++
+		} else {
+			break
+		}
+	}
+	if !digits {
+		return fmt.Errorf("semantic: malformed number at %d", start)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '.' {
+			l.pos++
+		} else {
+			break
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}

@@ -1,0 +1,200 @@
+package semantic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse compiles a predicate string into an evaluable expression.
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("semantic: trailing input at %d", p.peek().pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse for statically-known predicates; it panics on error.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// acceptIdent consumes the next token if it is the given keyword.
+func (p *parser) acceptIdent(kw string) bool {
+	if p.peek().kind == tokIdent && p.peek().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptIdent("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: "or", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptIdent("and") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: "and", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptIdent("not") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &notExpr{inner: inner}, nil
+	}
+	if p.peek().kind == tokLParen {
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("semantic: missing ')' at %d", p.peek().pos)
+		}
+		p.next()
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	if p.acceptIdent("has") {
+		f := p.next()
+		if f.kind != tokIdent {
+			return nil, fmt.Errorf("semantic: 'has' needs a field at %d", f.pos)
+		}
+		return &hasExpr{field: f.text}, nil
+	}
+	f := p.next()
+	if f.kind != tokIdent {
+		return nil, fmt.Errorf("semantic: expected field at %d", f.pos)
+	}
+	switch reservedWord(f.text) {
+	case true:
+		return nil, fmt.Errorf("semantic: reserved word %q used as field at %d", f.text, f.pos)
+	}
+	op := p.next()
+	switch {
+	case op.kind == tokOp:
+		val, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		return &cmpExpr{field: f.text, op: op.text, value: val}, nil
+	case op.kind == tokIdent && (op.text == "contains" || op.text == "isa"):
+		val, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		if val.Kind != KindString {
+			return nil, fmt.Errorf("semantic: %q requires a string at %d", op.text, op.pos)
+		}
+		return &cmpExpr{field: f.text, op: op.text, value: val}, nil
+	case op.kind == tokIdent && op.text == "in":
+		if p.peek().kind != tokLBrack {
+			return nil, fmt.Errorf("semantic: 'in' needs '[' at %d", p.peek().pos)
+		}
+		p.next()
+		var values []Value
+		for {
+			v, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			values = append(values, v)
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if p.peek().kind != tokRBrack {
+			return nil, fmt.Errorf("semantic: missing ']' at %d", p.peek().pos)
+		}
+		p.next()
+		return &inExpr{field: f.text, values: values}, nil
+	default:
+		return nil, fmt.Errorf("semantic: expected operator after %q at %d", f.text, op.pos)
+	}
+}
+
+func (p *parser) parseValue() (Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString:
+		return String(t.text), nil
+	case tokNumber:
+		n, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("semantic: bad number %q at %d", t.text, t.pos)
+		}
+		return Number(n), nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return Bool(true), nil
+		case "false":
+			return Bool(false), nil
+		}
+	}
+	return Value{}, fmt.Errorf("semantic: expected value at %d", t.pos)
+}
+
+func reservedWord(s string) bool {
+	switch s {
+	case "and", "or", "not", "has", "in", "contains", "isa", "true", "false":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,235 @@
+package semantic
+
+import (
+	"testing"
+)
+
+func meta() Metadata {
+	return Metadata{
+		"category":     String("sensor.temperature.indoor"),
+		"samples":      Number(500),
+		"region":       String("eu-north"),
+		"calibrated":   Bool(true),
+		"device.model": String("tk-300"),
+	}
+}
+
+func evalOK(t *testing.T, src string, m Metadata) bool {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return e.Eval(m)
+}
+
+func TestComparisons(t *testing.T) {
+	m := meta()
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`samples == 500`, true},
+		{`samples != 500`, false},
+		{`samples > 499`, true},
+		{`samples >= 500`, true},
+		{`samples < 500`, false},
+		{`samples <= 500`, true},
+		{`region == "eu-north"`, true},
+		{`region == "us-east"`, false},
+		{`calibrated == true`, true},
+		{`calibrated == false`, false},
+		{`region contains "north"`, true},
+		{`region contains "south"`, false},
+		{`category isa "sensor.temperature"`, true},
+		{`category isa "sensor"`, true},
+		{`category isa "sensor.temperature.indoor"`, true},
+		{`category isa "sensor.humidity"`, false},
+		{`category isa "sensor.temp"`, false}, // no partial segments
+		{`has calibrated`, true},
+		{`has missing`, false},
+		{`region in ["us-east", "eu-north"]`, true},
+		{`region in ["us-east", "us-west"]`, false},
+		{`samples in [100, 500]`, true},
+		{`device.model == "tk-300"`, true},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, c.src, m); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBooleanStructure(t *testing.T) {
+	m := meta()
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`samples > 100 and calibrated == true`, true},
+		{`samples > 1000 and calibrated == true`, false},
+		{`samples > 1000 or calibrated == true`, true},
+		{`not (samples > 1000)`, true},
+		{`not calibrated == true`, false},
+		{`samples > 100 and (region == "us-east" or region == "eu-north")`, true},
+		// Precedence: and binds tighter than or.
+		{`samples > 1000 or samples > 100 and calibrated == true`, true},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, c.src, m); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestMissingFieldsFailClosed(t *testing.T) {
+	m := Metadata{}
+	for _, src := range []string{
+		`samples > 0`, `region == "x"`, `region contains "x"`,
+		`category isa "a"`, `region in ["x"]`,
+	} {
+		if evalOK(t, src, m) {
+			t.Errorf("%q matched empty metadata", src)
+		}
+	}
+}
+
+func TestTypeMismatchFailsClosed(t *testing.T) {
+	m := Metadata{"samples": String("not-a-number")}
+	if evalOK(t, `samples > 5`, m) {
+		t.Fatal("range comparison on string matched")
+	}
+	m2 := Metadata{"category": Number(5)}
+	if evalOK(t, `category isa "sensor"`, m2) {
+		t.Fatal("isa on number matched")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`samples >`,
+		`samples > > 5`,
+		`(samples > 5`,
+		`samples > 5)`,
+		`region == "unterminated`,
+		`region in []`,
+		`region in ["a"`,
+		`and and`,
+		`has`,
+		`"string" == region`,
+		`samples isa 5`,
+		`not`,
+		`samples @ 5`,
+		`in in ["x"]`, // reserved word as field
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse(`samples >`)
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`samples > 100 and (region == "eu" or not has restricted)`,
+		`category isa "sensor" and samples in [1, 2, 3]`,
+	}
+	m := meta()
+	for _, src := range srcs {
+		e := MustParse(src)
+		again, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", e.String(), err)
+		}
+		if e.Eval(m) != again.Eval(m) {
+			t.Fatalf("round trip changed semantics for %q", src)
+		}
+	}
+}
+
+func TestLeakageScoring(t *testing.T) {
+	// Exact matches leak more than ranges, ranges more than presence.
+	exact := Analyze(MustParse(`region == "eu-north"`))
+	rng := Analyze(MustParse(`samples > 100`))
+	pres := Analyze(MustParse(`has samples`))
+	if !(exact.Score() > rng.Score() && rng.Score() > pres.Score()) {
+		t.Fatalf("leakage ordering violated: %v %v %v", exact.Score(), rng.Score(), pres.Score())
+	}
+}
+
+func TestLeakagePerFieldMax(t *testing.T) {
+	// The same field probed twice counts once, at its max granularity.
+	st := Analyze(MustParse(`samples > 100 and samples == 500`))
+	if len(st.Fields) != 1 {
+		t.Fatalf("fields = %v", st.Fields)
+	}
+	if st.Fields["samples"] != leakExact {
+		t.Fatalf("weight = %v", st.Fields["samples"])
+	}
+	// Distinct fields accumulate.
+	st2 := Analyze(MustParse(`samples > 100 and region == "eu"`))
+	if st2.Score() <= st.Score() {
+		t.Fatal("two-field predicate should leak more")
+	}
+}
+
+func TestComplexityCountsNodes(t *testing.T) {
+	small := Analyze(MustParse(`samples > 1`))
+	big := Analyze(MustParse(`samples > 1 and (a == 1 or not b == 2)`))
+	if big.Nodes <= small.Nodes {
+		t.Fatalf("node counts: %d vs %d", big.Nodes, small.Nodes)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	for _, c := range []struct {
+		v    Value
+		want string
+	}{
+		{String("a b"), `"a b"`},
+		{Number(1.5), "1.5"},
+		{Bool(true), "true"},
+	} {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEscapedStrings(t *testing.T) {
+	e := MustParse(`name == "say \"hi\""`)
+	m := Metadata{"name": String(`say "hi"`)}
+	if !e.Eval(m) {
+		t.Fatal("escaped string mismatch")
+	}
+}
+
+func TestNegativeNumbers(t *testing.T) {
+	e := MustParse(`delta > -5.5`)
+	if !e.Eval(Metadata{"delta": Number(-2)}) {
+		t.Fatal("negative comparison failed")
+	}
+	if e.Eval(Metadata{"delta": Number(-7)}) {
+		t.Fatal("negative comparison matched wrongly")
+	}
+}
+
+func TestDeeplyNestedParse(t *testing.T) {
+	src := `a == 1`
+	for i := 0; i < 50; i++ {
+		src = "(" + src + " or b == 2)"
+	}
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("deep nesting failed: %v", err)
+	}
+}

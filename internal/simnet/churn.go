@@ -1,0 +1,90 @@
+package simnet
+
+import "pds2/internal/crypto"
+
+// ChurnTrace describes node availability over time as a sequence of
+// up/down transitions. The gossip-learning literature ([25], [26])
+// evaluates protocols under heavy churn — at any moment a large fraction
+// of smartphones is offline — and PDS² reproduces those conditions with
+// synthetic traces generated here.
+type ChurnTrace struct {
+	Events []ChurnEvent
+}
+
+// ChurnEvent is one availability transition of one node.
+type ChurnEvent struct {
+	At   Time
+	Node NodeID
+	Up   bool
+}
+
+// GenerateChurn builds a trace for n nodes over the given horizon in
+// which each node alternates exponentially-distributed online and offline
+// periods with the given means. With meanOffline = 0 the trace is empty
+// (all nodes permanently online).
+func GenerateChurn(n int, horizon, meanOnline, meanOffline Time, rng *crypto.DRBG) ChurnTrace {
+	var trace ChurnTrace
+	if meanOffline <= 0 || meanOnline <= 0 {
+		return trace
+	}
+	for node := 0; node < n; node++ {
+		// Random initial phase: start online with probability equal to the
+		// online duty cycle.
+		duty := float64(meanOnline) / float64(meanOnline+meanOffline)
+		up := rng.Float64() < duty
+		t := Time(0)
+		if !up {
+			trace.Events = append(trace.Events, ChurnEvent{At: 0, Node: NodeID(node), Up: false})
+		}
+		for t < horizon {
+			var period Time
+			if up {
+				period = Time(rng.ExpFloat64() * float64(meanOnline))
+			} else {
+				period = Time(rng.ExpFloat64() * float64(meanOffline))
+			}
+			if period < Millisecond {
+				period = Millisecond
+			}
+			t += period
+			if t >= horizon {
+				break
+			}
+			up = !up
+			trace.Events = append(trace.Events, ChurnEvent{At: t, Node: NodeID(node), Up: up})
+		}
+	}
+	return trace
+}
+
+// Apply schedules every transition of the trace on the network.
+func (c ChurnTrace) Apply(n *Network) {
+	for _, ev := range c.Events {
+		ev := ev
+		n.At(ev.At, func(Time) { n.SetOnline(ev.Node, ev.Up) })
+	}
+}
+
+// OnlineFraction computes the fraction of nodes online at time t
+// according to the trace, assuming all n nodes start online.
+func (c ChurnTrace) OnlineFraction(n int, t Time) float64 {
+	up := make([]bool, n)
+	for i := range up {
+		up[i] = true
+	}
+	// Events are ordered per node but interleaved across nodes, so scan
+	// them all rather than stopping at the first future event.
+	for _, ev := range c.Events {
+		if ev.At > t {
+			continue
+		}
+		up[ev.Node] = ev.Up
+	}
+	count := 0
+	for _, u := range up {
+		if u {
+			count++
+		}
+	}
+	return float64(count) / float64(n)
+}

@@ -1,0 +1,71 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"pds2/internal/crypto"
+)
+
+func TestGenerateChurnEmptyWhenDisabled(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(1, "churn")
+	tr := GenerateChurn(10, 10*Second, Second, 0, rng)
+	if len(tr.Events) != 0 {
+		t.Fatalf("expected empty trace, got %d events", len(tr.Events))
+	}
+}
+
+func TestGenerateChurnDutyCycle(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(2, "churn")
+	const n = 200
+	// Equal mean online/offline: expect ~50% availability.
+	tr := GenerateChurn(n, 100*Second, 5*Second, 5*Second, rng)
+	frac := tr.OnlineFraction(n, 50*Second)
+	if math.Abs(frac-0.5) > 0.15 {
+		t.Fatalf("online fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestGenerateChurnEventsOrderedPerNode(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(3, "churn")
+	tr := GenerateChurn(5, 60*Second, 2*Second, 2*Second, rng)
+	last := make(map[NodeID]Time)
+	for _, ev := range tr.Events {
+		if prev, ok := last[ev.Node]; ok && ev.At < prev {
+			t.Fatalf("events for node %d out of order", ev.Node)
+		}
+		last[ev.Node] = ev.At
+	}
+}
+
+func TestChurnApply(t *testing.T) {
+	n := New(Config{Seed: 1})
+	id := n.AddNode(HandlerFunc(func(Time, Message) {}))
+	tr := ChurnTrace{Events: []ChurnEvent{
+		{At: Second, Node: id, Up: false},
+		{At: 2 * Second, Node: id, Up: true},
+	}}
+	tr.Apply(n)
+
+	n.Run(Second + Millisecond)
+	if n.Online(id) {
+		t.Fatal("node still online after down event")
+	}
+	n.Run(3 * Second)
+	if !n.Online(id) {
+		t.Fatal("node offline after up event")
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	a := GenerateChurn(20, 30*Second, Second, Second, crypto.NewDRBGFromUint64(9, "churn"))
+	b := GenerateChurn(20, 30*Second, Second, Second, crypto.NewDRBGFromUint64(9, "churn"))
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("same-seed traces differ in length")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("same-seed traces diverge at %d", i)
+		}
+	}
+}

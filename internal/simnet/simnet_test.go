@@ -1,0 +1,322 @@
+package simnet
+
+import (
+	"testing"
+
+	"pds2/internal/crypto"
+)
+
+// collector records delivered messages with their arrival times.
+type collector struct {
+	got []Message
+	at  []Time
+}
+
+func (c *collector) HandleMessage(now Time, msg Message) {
+	c.got = append(c.got, msg)
+	c.at = append(c.at, now)
+}
+
+func TestSendDeliversWithLatency(t *testing.T) {
+	n := New(Config{Seed: 1, Latency: FixedLatency(5 * Millisecond)})
+	var c collector
+	a := n.AddNode(HandlerFunc(func(Time, Message) {}))
+	b := n.AddNode(&c)
+
+	n.Send(a, b, "hello", 100)
+	n.Run(Second)
+
+	if len(c.got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(c.got))
+	}
+	if c.got[0].Payload != "hello" || c.got[0].From != a || c.got[0].Size != 100 {
+		t.Fatalf("bad message: %+v", c.got[0])
+	}
+	if c.at[0] != 5*Millisecond {
+		t.Fatalf("delivered at %v, want 5ms", c.at[0])
+	}
+}
+
+func TestBandwidthAddsSerializationDelay(t *testing.T) {
+	n := New(Config{
+		Seed:                 1,
+		Latency:              FixedLatency(0),
+		BandwidthBytesPerSec: 1000, // 1 KB/s
+	})
+	var c collector
+	a := n.AddNode(HandlerFunc(func(Time, Message) {}))
+	b := n.AddNode(&c)
+
+	n.Send(a, b, nil, 500) // 0.5 s at 1 KB/s
+	n.Run(Second)
+	if len(c.at) != 1 || c.at[0] != Second/2 {
+		t.Fatalf("delivery times %v, want [500ms]", c.at)
+	}
+}
+
+func TestDropRateOneDropsEverything(t *testing.T) {
+	n := New(Config{Seed: 1, DropRate: 1})
+	var c collector
+	a := n.AddNode(HandlerFunc(func(Time, Message) {}))
+	b := n.AddNode(&c)
+	for i := 0; i < 20; i++ {
+		n.Send(a, b, i, 10)
+	}
+	n.Run(Second)
+	if len(c.got) != 0 {
+		t.Fatalf("%d messages delivered despite DropRate=1", len(c.got))
+	}
+	st := n.Stats()
+	if st.MessagesDropped != 20 || st.MessagesSent != 20 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestOfflineNodesDropTraffic(t *testing.T) {
+	n := New(Config{Seed: 1, Latency: FixedLatency(Millisecond)})
+	var c collector
+	a := n.AddNode(HandlerFunc(func(Time, Message) {}))
+	b := n.AddNode(&c)
+
+	n.SetOnline(b, false)
+	n.Send(a, b, "to-offline", 1)
+	n.Run(Second)
+	if len(c.got) != 0 {
+		t.Fatal("message delivered to offline node")
+	}
+
+	n.SetOnline(b, true)
+	n.SetOnline(a, false)
+	n.Send(a, b, "from-offline", 1)
+	n.Run(2 * Second)
+	if len(c.got) != 0 {
+		t.Fatal("message sent from offline node")
+	}
+}
+
+func TestOfflineAtDeliveryTimeDrops(t *testing.T) {
+	n := New(Config{Seed: 1, Latency: FixedLatency(10 * Millisecond)})
+	var c collector
+	a := n.AddNode(HandlerFunc(func(Time, Message) {}))
+	b := n.AddNode(&c)
+
+	n.Send(a, b, "x", 1)
+	n.At(5*Millisecond, func(Time) { n.SetOnline(b, false) })
+	n.Run(Second)
+	if len(c.got) != 0 {
+		t.Fatal("message delivered to node that went offline in transit")
+	}
+}
+
+func TestEventOrderingDeterministic(t *testing.T) {
+	run := func() []int {
+		n := New(Config{Seed: 7, Latency: UniformLatency{Min: Millisecond, Max: 20 * Millisecond}})
+		var order []int
+		recv := n.AddNode(HandlerFunc(func(_ Time, m Message) {
+			order = append(order, m.Payload.(int))
+		}))
+		send := n.AddNode(HandlerFunc(func(Time, Message) {}))
+		for i := 0; i < 50; i++ {
+			n.Send(send, recv, i, 10)
+		}
+		n.Run(Second)
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lost messages: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSameTimeEventsPreserveScheduleOrder(t *testing.T) {
+	n := New(Config{Seed: 1})
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		n.At(Millisecond, func(Time) { order = append(order, i) })
+	}
+	n.Run(Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	n := New(Config{Seed: 1})
+	fired := false
+	n.At(2*Second, func(Time) { fired = true })
+	end := n.Run(Second)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if end != Second {
+		t.Fatalf("Run returned %v, want 1s", end)
+	}
+	if n.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", n.Pending())
+	}
+	// Continuing the run fires it.
+	n.Run(3 * Second)
+	if !fired {
+		t.Fatal("event not fired after extending horizon")
+	}
+}
+
+func TestEveryTicksUntilFalse(t *testing.T) {
+	n := New(Config{Seed: 1})
+	count := 0
+	n.Every(0, 100*Millisecond, func(now Time) bool {
+		count++
+		return count < 5
+	})
+	n.Run(10 * Second)
+	if count != 5 {
+		t.Fatalf("tick count = %d, want 5", count)
+	}
+}
+
+func TestAfterRelativeScheduling(t *testing.T) {
+	n := New(Config{Seed: 1})
+	var at Time
+	n.At(Second, func(Time) {
+		n.After(Millisecond, func(now Time) { at = now })
+	})
+	n.Run(2 * Second)
+	if at != Second+Millisecond {
+		t.Fatalf("After fired at %v", at)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	n := New(Config{Seed: 1, Latency: FixedLatency(Millisecond)})
+	var c collector
+	a := n.AddNode(HandlerFunc(func(Time, Message) {}))
+	b := n.AddNode(&c)
+	n.Send(a, b, nil, 100)
+	n.Send(a, b, nil, 200)
+	n.Run(Second)
+
+	st := n.Stats()
+	if st.BytesSent != 300 || st.BytesDelivered != 300 || st.MessagesDelivered != 2 {
+		t.Fatalf("global stats: %+v", st)
+	}
+	sa, sb := n.NodeStats(a), n.NodeStats(b)
+	if sa.BytesSent != 300 || sa.MessagesSent != 2 {
+		t.Fatalf("sender stats: %+v", sa)
+	}
+	if sb.BytesDelivered != 300 || sb.MessagesDelivered != 2 {
+		t.Fatalf("receiver stats: %+v", sb)
+	}
+}
+
+func TestLogNormalLatencyPositiveAndSpread(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(3, "lat")
+	m := LogNormalLatency{Median: 50 * Millisecond, Sigma: 0.5}
+	var min, max Time = 1 << 62, 0
+	for i := 0; i < 1000; i++ {
+		l := m.Latency(0, 1, rng)
+		if l <= 0 {
+			t.Fatalf("non-positive latency %v", l)
+		}
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if min == max {
+		t.Fatal("log-normal latency has no spread")
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(4, "lat")
+	m := UniformLatency{Min: 10 * Millisecond, Max: 20 * Millisecond}
+	for i := 0; i < 500; i++ {
+		l := m.Latency(0, 1, rng)
+		if l < 10*Millisecond || l > 20*Millisecond {
+			t.Fatalf("latency %v out of bounds", l)
+		}
+	}
+	degenerate := UniformLatency{Min: 5 * Millisecond, Max: 5 * Millisecond}
+	if degenerate.Latency(0, 1, rng) != 5*Millisecond {
+		t.Fatal("degenerate uniform latency wrong")
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	n := New(Config{Seed: 1})
+	a := n.AddNode(HandlerFunc(func(Time, Message) {}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	n.Send(a, a, nil, -1)
+}
+
+func TestPartitionDropsCrossGroupTraffic(t *testing.T) {
+	n := New(Config{Seed: 1, Latency: FixedLatency(Millisecond)})
+	var ca, cb collector
+	a := n.AddNode(&ca)
+	b := n.AddNode(&cb)
+	n.SetPartition([]NodeID{a}, []NodeID{b})
+
+	n.Send(a, b, "cross", 1)
+	n.Send(a, a, "same", 1)
+	n.Run(Second)
+	if len(cb.got) != 0 {
+		t.Fatal("cross-partition message delivered")
+	}
+	if len(ca.got) != 1 {
+		t.Fatal("intra-partition message lost")
+	}
+
+	n.ClearPartition()
+	n.Send(a, b, "healed", 1)
+	n.Run(2 * Second)
+	if len(cb.got) != 1 {
+		t.Fatal("message lost after healing")
+	}
+}
+
+func TestPartitionImplicitGroup(t *testing.T) {
+	n := New(Config{Seed: 1, Latency: FixedLatency(Millisecond)})
+	var c0, c1, c2 collector
+	a := n.AddNode(&c0)
+	b := n.AddNode(&c1)
+	c := n.AddNode(&c2)
+	// Only a is isolated; b and c share the implicit group.
+	n.SetPartition([]NodeID{a})
+	n.Send(b, c, "peer", 1)
+	n.Send(a, b, "isolated", 1)
+	n.Run(Second)
+	if len(c2.got) != 1 {
+		t.Fatal("implicit-group traffic dropped")
+	}
+	if len(c1.got) != 0 {
+		t.Fatal("isolated node reached the implicit group")
+	}
+}
+
+func TestPartitionAppliesInFlight(t *testing.T) {
+	// A message sent before the partition but delivered after it is cut.
+	n := New(Config{Seed: 1, Latency: FixedLatency(10 * Millisecond)})
+	var c collector
+	a := n.AddNode(HandlerFunc(func(Time, Message) {}))
+	b := n.AddNode(&c)
+	n.Send(a, b, "in-flight", 1)
+	n.At(Millisecond, func(Time) { n.SetPartition([]NodeID{a}, []NodeID{b}) })
+	n.Run(Second)
+	if len(c.got) != 0 {
+		t.Fatal("in-flight message crossed a fresh partition")
+	}
+}

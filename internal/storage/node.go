@@ -1,0 +1,115 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+	"pds2/internal/semantic"
+)
+
+// Node is a storage-subsystem operator: it hosts the (encrypted) blobs
+// of many vaults, keeps a metadata index, and matches registered data
+// against workload predicates on behalf of providers. A Node never holds
+// decryption keys — it serves ciphertext to executors who present grants.
+//
+// The leakage budget realizes the §IV-C trade-off: predicates whose
+// metadata leakage exceeds the budget are refused, bounding what a
+// workload (or a curious consumer flooding the platform with probe
+// workloads) can learn about the data population from matching alone.
+type Node struct {
+	store         BlobStore
+	refs          map[crypto.Digest]DataRef
+	LeakageBudget float64 // 0 = unlimited
+}
+
+// NewNode creates a storage node over the given blob store.
+func NewNode(store BlobStore) *Node {
+	return &Node{store: store, refs: make(map[crypto.Digest]DataRef)}
+}
+
+// Host ingests one encrypted item from a provider's vault: the provider
+// pushes the ciphertext and the public reference. This is the Fig. 3
+// "third-party storage" configuration; providers using their own
+// hardware simply run their own Node.
+func (n *Node) Host(ref DataRef, ciphertext []byte) error {
+	if ref.ID.IsZero() {
+		return fmt.Errorf("storage: zero data ID")
+	}
+	if err := n.store.Put(ref.ID, ciphertext); err != nil {
+		return err
+	}
+	n.refs[ref.ID] = ref
+	return nil
+}
+
+// HostFromVault copies one item's ciphertext from a vault's backing
+// store into this node.
+func (n *Node) HostFromVault(v *Vault, id crypto.Digest) error {
+	ref, ok := v.index[id]
+	if !ok {
+		return fmt.Errorf("storage: vault has no item %s", id.Short())
+	}
+	ct, err := v.store.Get(id)
+	if err != nil {
+		return err
+	}
+	return n.Host(ref, ct)
+}
+
+// Refs returns all hosted references sorted by ID.
+func (n *Node) Refs() []DataRef {
+	out := make([]DataRef, 0, len(n.refs))
+	for _, ref := range n.refs {
+		out = append(out, ref)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Hex() < out[j].ID.Hex() })
+	return out
+}
+
+// ErrLeakageBudget is returned when a predicate reveals more metadata
+// than the node permits.
+type ErrLeakageBudget struct {
+	Score  float64
+	Budget float64
+}
+
+func (e *ErrLeakageBudget) Error() string {
+	return fmt.Sprintf("storage: predicate leakage %.1f exceeds budget %.1f", e.Score, e.Budget)
+}
+
+// Match evaluates a workload predicate over the hosted metadata and
+// returns matching references, enforcing the leakage budget.
+func (n *Node) Match(pred semantic.Expr) ([]DataRef, error) {
+	if n.LeakageBudget > 0 {
+		if score := semantic.Analyze(pred).Score(); score > n.LeakageBudget {
+			return nil, &ErrLeakageBudget{Score: score, Budget: n.LeakageBudget}
+		}
+	}
+	var out []DataRef
+	for _, ref := range n.Refs() {
+		if pred.Eval(ref.Meta) {
+			out = append(out, ref)
+		}
+	}
+	return out, nil
+}
+
+// Release serves the ciphertext of one item to an executor presenting a
+// valid grant. The node checks the grant's binding (grantee, workload,
+// expiry, owner signature) and that the grant owner matches the
+// registered data owner; it cannot and does not decrypt.
+func (n *Node) Release(g *Grant, requester identity.Address, workloadID crypto.Digest, height uint64) ([]byte, error) {
+	ref, ok := n.refs[g.DataID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, g.DataID.Short())
+	}
+	if err := g.Verify(workloadID, requester, height); err != nil {
+		return nil, err
+	}
+	if ref.Owner != g.Owner {
+		return nil, fmt.Errorf("storage: grant owner %s does not own data %s", g.Owner.Short(), g.DataID.Short())
+	}
+	return n.store.Get(g.DataID)
+}

@@ -1,0 +1,158 @@
+// Package storage implements the storage subsystem of PDS² (§II-C): it
+// "is responsible for permanently storing the providers' data. It then
+// matches data against available workloads and gives the executors
+// access to them, when authorized by the providers."
+//
+// Data is encrypted at rest under per-item keys derived from the owner's
+// vault key, addressed by the plaintext content digest (which is also the
+// identifier registered on the governance ledger and deeded as an NFT),
+// and released to executors only against a signed, workload-bound access
+// grant — the §II-E requirement that even storage operators cannot read
+// the data they hold.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pds2/internal/crypto"
+)
+
+// BlobStore is the raw ciphertext store under a vault. Implementations
+// must be safe for concurrent use.
+type BlobStore interface {
+	// Put stores a blob under the given key, overwriting any previous
+	// content.
+	Put(key crypto.Digest, blob []byte) error
+
+	// Get returns the blob stored under key.
+	Get(key crypto.Digest) ([]byte, error)
+
+	// Has reports whether a blob exists under key.
+	Has(key crypto.Digest) bool
+
+	// Delete removes the blob under key; deleting a missing key is a
+	// no-op, making deletes idempotent.
+	Delete(key crypto.Digest) error
+}
+
+// ErrNotFound is returned by Get for missing blobs.
+var ErrNotFound = errors.New("storage: blob not found")
+
+// MemStore is an in-memory BlobStore, the default for simulations.
+type MemStore struct {
+	mu    sync.RWMutex
+	blobs map[crypto.Digest][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{blobs: make(map[crypto.Digest][]byte)}
+}
+
+// Put implements BlobStore.
+func (s *MemStore) Put(key crypto.Digest, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs[key] = append([]byte(nil), blob...)
+	return nil
+}
+
+// Get implements BlobStore.
+func (s *MemStore) Get(key crypto.Digest) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.blobs[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key.Short())
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Has implements BlobStore.
+func (s *MemStore) Has(key crypto.Digest) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.blobs[key]
+	return ok
+}
+
+// Delete implements BlobStore.
+func (s *MemStore) Delete(key crypto.Digest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, key)
+	return nil
+}
+
+// Len returns the number of stored blobs.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blobs)
+}
+
+// DirStore is a filesystem-backed BlobStore, one file per blob, sharded
+// by digest prefix — the "own hardware" storage option of Fig. 3.
+type DirStore struct {
+	root string
+	mu   sync.Mutex
+}
+
+// NewDirStore creates (if needed) and opens a store rooted at dir.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create root: %w", err)
+	}
+	return &DirStore{root: dir}, nil
+}
+
+func (s *DirStore) path(key crypto.Digest) string {
+	hex := key.Hex()
+	return filepath.Join(s.root, hex[:2], hex)
+}
+
+// Put implements BlobStore.
+func (s *DirStore) Put(key crypto.Digest, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("storage: shard dir: %w", err)
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("storage: write: %w", err)
+	}
+	return os.Rename(tmp, p)
+}
+
+// Get implements BlobStore.
+func (s *DirStore) Get(key crypto.Digest) ([]byte, error) {
+	b, err := os.ReadFile(s.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key.Short())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: read: %w", err)
+	}
+	return b, nil
+}
+
+// Has implements BlobStore.
+func (s *DirStore) Has(key crypto.Digest) bool {
+	_, err := os.Stat(s.path(key))
+	return err == nil
+}
+
+// Delete implements BlobStore.
+func (s *DirStore) Delete(key crypto.Digest) error {
+	err := os.Remove(s.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,101 @@
+package tee
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+// QuotingAuthority stands in for the attestation service (Intel IAS /
+// DCAP in SGX deployments): a root of trust that certifies platform
+// attestation keys. Verifiers only need the authority's public key.
+type QuotingAuthority struct {
+	root *identity.Identity
+}
+
+// NewQuotingAuthority creates an authority with a fresh root key.
+func NewQuotingAuthority(rng *crypto.DRBG) *QuotingAuthority {
+	return &QuotingAuthority{root: identity.New("quoting-authority", rng)}
+}
+
+// PublicKey returns the authority's root verification key.
+func (qa *QuotingAuthority) PublicKey() ed25519.PublicKey { return qa.root.PublicKey() }
+
+// PlatformCert is the authority's endorsement of a platform key.
+type PlatformCert struct {
+	PlatformPub []byte `json:"platform_pub"`
+	Sig         []byte `json:"sig"`
+}
+
+func platformCertBytes(pub []byte) []byte {
+	return append([]byte("pds2/tee/platform-cert/v1"), pub...)
+}
+
+// CertifyPlatform signs a platform attestation key, the provisioning
+// step that happens once per device.
+func (qa *QuotingAuthority) CertifyPlatform(platformPub ed25519.PublicKey) PlatformCert {
+	return PlatformCert{
+		PlatformPub: append([]byte(nil), platformPub...),
+		Sig:         qa.root.Sign(platformCertBytes(platformPub)),
+	}
+}
+
+// Quote is a remote-attestation statement: this measurement runs on a
+// certified platform and binds ReportData (a hash chosen by the enclave,
+// e.g. of its public key, input commitment or result commitment).
+type Quote struct {
+	Measurement Measurement   `json:"measurement"`
+	ReportData  crypto.Digest `json:"report_data"`
+	Counter     uint64        `json:"counter"` // monotonic per enclave, anti-replay
+	Cert        PlatformCert  `json:"cert"`
+	Sig         []byte        `json:"sig"`
+}
+
+func quoteBytes(m Measurement, rd crypto.Digest, counter uint64) []byte {
+	buf := make([]byte, 0, 2*crypto.HashSize+8+32)
+	buf = append(buf, "pds2/tee/quote/v1"...)
+	buf = append(buf, m[:]...)
+	buf = append(buf, rd[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, counter)
+	return buf
+}
+
+// Quote produces an attestation quote for the enclave binding reportData.
+func (e *Enclave) Quote(reportData crypto.Digest) Quote {
+	e.calls++ // quoting is an enclave transition too
+	q := Quote{
+		Measurement: e.measurement,
+		ReportData:  reportData,
+		Counter:     uint64(e.calls),
+		Cert:        e.platform.cert,
+	}
+	q.Sig = e.platform.key.Sign(quoteBytes(q.Measurement, q.ReportData, q.Counter))
+	return q
+}
+
+// Attestation verification errors.
+var (
+	ErrQuoteCert        = errors.New("tee: platform certificate not signed by authority")
+	ErrQuoteSig         = errors.New("tee: quote signature invalid")
+	ErrQuoteMeasurement = errors.New("tee: measurement does not match expected code")
+)
+
+// VerifyQuote checks the full chain — authority → platform cert → quote
+// signature — and that the quoted measurement equals the expected one.
+// This is the check the governance layer (and any provider) runs before
+// trusting an executor with data.
+func VerifyQuote(authorityPub ed25519.PublicKey, q Quote, expected Measurement) error {
+	if !identity.Verify(authorityPub, platformCertBytes(q.Cert.PlatformPub), q.Cert.Sig) {
+		return ErrQuoteCert
+	}
+	if !identity.Verify(q.Cert.PlatformPub, quoteBytes(q.Measurement, q.ReportData, q.Counter), q.Sig) {
+		return ErrQuoteSig
+	}
+	if q.Measurement != expected {
+		return ErrQuoteMeasurement
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package tee
+
+// Oblivious primitives: data-independent control flow and memory access
+// patterns, the mitigation the paper cites for SGX side channels
+// ("side-channel leaks are possible but can be avoided using oblivious
+// primitives" [12], §III-B). Enclave workloads that branch on secrets
+// should go through these helpers instead.
+
+import (
+	"math"
+	"math/bits"
+)
+
+// OSelect returns a when sel is 1 and b when sel is 0, without branching
+// on sel. sel must be 0 or 1.
+func OSelect(sel uint64, a, b uint64) uint64 {
+	mask := -sel // 0 -> 0x000…0, 1 -> 0xfff…f
+	return (a & mask) | (b &^ mask)
+}
+
+// OSelectFloat is OSelect over float64 bit patterns.
+func OSelectFloat(sel uint64, a, b float64) float64 {
+	return math.Float64frombits(OSelect(sel, math.Float64bits(a), math.Float64bits(b)))
+}
+
+// OLess returns 1 when a < b and 0 otherwise, branch-free, for the full
+// signed range: the values are mapped to an order-preserving unsigned
+// encoding (flip the sign bit) and compared via the subtraction borrow.
+func OLess(a, b int64) uint64 {
+	ua := uint64(a) ^ (1 << 63)
+	ub := uint64(b) ^ (1 << 63)
+	_, borrow := bits.Sub64(ua, ub, 0)
+	return borrow
+}
+
+// OSwap conditionally swaps *a and *b when sel is 1, branch-free.
+func OSwap(sel uint64, a, b *uint64) {
+	mask := -sel
+	diff := (*a ^ *b) & mask
+	*a ^= diff
+	*b ^= diff
+}
+
+// OSortInt64 sorts the slice in place with a bitonic sorting network:
+// the sequence of compare-exchange operations depends only on the length,
+// never on the data, so an observer of the memory access pattern learns
+// nothing about the values. O(n log² n) compare-exchanges.
+func OSortInt64(v []int64) {
+	n := len(v)
+	if n < 2 {
+		return
+	}
+	// The classic bitonic network requires a power-of-two size; pad with
+	// +inf sentinels that sort to the end. The padding size depends only
+	// on n, so obliviousness is preserved.
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	buf := make([]int64, size)
+	copy(buf, v)
+	for i := n; i < size; i++ {
+		buf[i] = int64(^uint64(0) >> 1) // MaxInt64
+	}
+	for k := 2; k <= size; k *= 2 {
+		for j := k / 2; j > 0; j /= 2 {
+			for i := 0; i < size; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				up := i&k == 0
+				swap := OLess(buf[l], buf[i])
+				if !up {
+					swap = 1 - swap
+				}
+				au, bu := uint64(buf[i]), uint64(buf[l])
+				OSwap(swap, &au, &bu)
+				buf[i], buf[l] = int64(au), int64(bu)
+			}
+		}
+	}
+	copy(v, buf[:n])
+}

@@ -1,0 +1,65 @@
+package tee
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+	"fmt"
+
+	"pds2/internal/crypto"
+)
+
+// Sealed storage: AES-256-GCM under a key derived from the platform's
+// device secret and the enclave measurement, reproducing SGX's
+// MRENCLAVE-policy sealing — only the same code on the same machine can
+// unseal, which is how executors persist intermediate state without the
+// host being able to read it.
+
+// sealKey derives the measurement-bound sealing key.
+func (p *Platform) sealKey(m Measurement) []byte {
+	return crypto.DeriveKey(p.sealRoot, "seal/"+m.Hex())
+}
+
+// Seal encrypts data so that only an enclave with this measurement on
+// this platform can recover it. The nonce is drawn from rng.
+func (e *Enclave) Seal(data []byte, rng *crypto.DRBG) ([]byte, error) {
+	return sealWithKey(e.platform.sealKey(e.measurement), data, rng)
+}
+
+// Unseal decrypts a blob sealed by the same (platform, measurement).
+func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
+	return unsealWithKey(e.platform.sealKey(e.measurement), blob)
+}
+
+func sealWithKey(key, data []byte, rng *crypto.DRBG) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("tee: seal: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("tee: seal: %w", err)
+	}
+	nonce := rng.Bytes(gcm.NonceSize())
+	return gcm.Seal(nonce, nonce, data, nil), nil
+}
+
+func unsealWithKey(key, blob []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("tee: unseal: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("tee: unseal: %w", err)
+	}
+	if len(blob) < gcm.NonceSize() {
+		return nil, errors.New("tee: sealed blob too short")
+	}
+	nonce, ct := blob[:gcm.NonceSize()], blob[gcm.NonceSize():]
+	out, err := gcm.Open(nil, nonce, ct, nil)
+	if err != nil {
+		return nil, errors.New("tee: unseal failed (wrong platform, measurement, or tampered blob)")
+	}
+	return out, nil
+}

@@ -1,0 +1,310 @@
+package tee
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pds2/internal/crypto"
+	"pds2/internal/simnet"
+)
+
+func testProgram(name string) Program {
+	return Program{
+		Code: []byte("program " + name),
+		Fn: func(input []byte) ([]byte, error) {
+			out := append([]byte("echo:"), input...)
+			return out, nil
+		},
+	}
+}
+
+func testPlatform(t *testing.T, seed uint64) (*QuotingAuthority, *Platform) {
+	t.Helper()
+	rng := crypto.NewDRBGFromUint64(seed, "tee-test")
+	qa := NewQuotingAuthority(rng)
+	p := NewPlatform(qa, DefaultCostModel(), rng)
+	return qa, p
+}
+
+func TestLaunchAndCall(t *testing.T) {
+	_, p := testPlatform(t, 1)
+	e, err := p.Launch(testProgram("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Call([]byte("hi"), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Output, []byte("echo:hi")) {
+		t.Fatalf("output = %q", res.Output)
+	}
+	if res.Virtual < p.Cost().EcallCost {
+		t.Fatalf("virtual time %v below ecall cost", res.Virtual)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	_, p := testPlatform(t, 2)
+	if _, err := p.Launch(Program{Fn: func([]byte) ([]byte, error) { return nil, nil }}); err == nil {
+		t.Fatal("empty code accepted")
+	}
+	if _, err := p.Launch(Program{Code: []byte("x")}); err == nil {
+		t.Fatal("nil entry point accepted")
+	}
+}
+
+func TestMeasurementBindsCode(t *testing.T) {
+	_, p := testPlatform(t, 3)
+	e1, _ := p.Launch(testProgram("a"))
+	e2, _ := p.Launch(testProgram("b"))
+	if e1.Measurement() == e2.Measurement() {
+		t.Fatal("different code, same measurement")
+	}
+	e3, _ := p.Launch(testProgram("a"))
+	if e1.Measurement() != e3.Measurement() {
+		t.Fatal("same code, different measurement")
+	}
+}
+
+func TestQuoteVerifyChain(t *testing.T) {
+	qa, p := testPlatform(t, 4)
+	e, _ := p.Launch(testProgram("a"))
+	report := crypto.HashString("result commitment")
+	q := e.Quote(report)
+
+	if err := VerifyQuote(qa.PublicKey(), q, e.Measurement()); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+	if q.ReportData != report {
+		t.Fatal("report data not bound")
+	}
+}
+
+func TestQuoteWrongMeasurementRejected(t *testing.T) {
+	qa, p := testPlatform(t, 5)
+	e, _ := p.Launch(testProgram("a"))
+	q := e.Quote(crypto.HashString("r"))
+	other, _ := p.Launch(testProgram("b"))
+	if err := VerifyQuote(qa.PublicKey(), q, other.Measurement()); !errors.Is(err, ErrQuoteMeasurement) {
+		t.Fatalf("want ErrQuoteMeasurement, got %v", err)
+	}
+}
+
+func TestQuoteTamperedReportRejected(t *testing.T) {
+	qa, p := testPlatform(t, 6)
+	e, _ := p.Launch(testProgram("a"))
+	q := e.Quote(crypto.HashString("honest"))
+	q.ReportData = crypto.HashString("forged")
+	if err := VerifyQuote(qa.PublicKey(), q, e.Measurement()); !errors.Is(err, ErrQuoteSig) {
+		t.Fatalf("want ErrQuoteSig, got %v", err)
+	}
+}
+
+func TestQuoteUncertifiedPlatformRejected(t *testing.T) {
+	qa, _ := testPlatform(t, 7)
+	// A rogue platform provisioned by a different authority.
+	rng := crypto.NewDRBGFromUint64(99, "rogue")
+	rogueQA := NewQuotingAuthority(rng)
+	rogue := NewPlatform(rogueQA, DefaultCostModel(), rng)
+	e, _ := rogue.Launch(testProgram("a"))
+	q := e.Quote(crypto.HashString("r"))
+	if err := VerifyQuote(qa.PublicKey(), q, e.Measurement()); !errors.Is(err, ErrQuoteCert) {
+		t.Fatalf("want ErrQuoteCert, got %v", err)
+	}
+}
+
+func TestQuoteCounterMonotonic(t *testing.T) {
+	_, p := testPlatform(t, 8)
+	e, _ := p.Launch(testProgram("a"))
+	q1 := e.Quote(crypto.HashString("r"))
+	q2 := e.Quote(crypto.HashString("r"))
+	if q2.Counter <= q1.Counter {
+		t.Fatalf("counters %d, %d not monotonic", q1.Counter, q2.Counter)
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	_, p := testPlatform(t, 9)
+	rng := crypto.NewDRBGFromUint64(9, "seal")
+	e, _ := p.Launch(testProgram("a"))
+	secret := []byte("model checkpoint")
+	blob, err := e.Seal(secret, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, secret) {
+		t.Fatal("sealed blob contains plaintext")
+	}
+	got, err := e.Unseal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("unsealed %q", got)
+	}
+}
+
+func TestSealBoundToMeasurement(t *testing.T) {
+	_, p := testPlatform(t, 10)
+	rng := crypto.NewDRBGFromUint64(10, "seal")
+	e1, _ := p.Launch(testProgram("a"))
+	e2, _ := p.Launch(testProgram("b")) // different code, same platform
+	blob, _ := e1.Seal([]byte("secret"), rng)
+	if _, err := e2.Unseal(blob); err == nil {
+		t.Fatal("different measurement unsealed the blob")
+	}
+}
+
+func TestSealBoundToPlatform(t *testing.T) {
+	qa, p1 := testPlatform(t, 11)
+	rng := crypto.NewDRBGFromUint64(11, "seal")
+	p2 := NewPlatform(qa, DefaultCostModel(), rng)
+	e1, _ := p1.Launch(testProgram("a"))
+	e2, _ := p2.Launch(testProgram("a")) // same code, different platform
+	blob, _ := e1.Seal([]byte("secret"), rng)
+	if _, err := e2.Unseal(blob); err == nil {
+		t.Fatal("different platform unsealed the blob")
+	}
+}
+
+func TestSealTamperDetected(t *testing.T) {
+	_, p := testPlatform(t, 12)
+	rng := crypto.NewDRBGFromUint64(12, "seal")
+	e, _ := p.Launch(testProgram("a"))
+	blob, _ := e.Seal([]byte("secret"), rng)
+	blob[len(blob)-1] ^= 0xff
+	if _, err := e.Unseal(blob); err == nil {
+		t.Fatal("tampered blob unsealed")
+	}
+}
+
+func TestOverheadFactorShape(t *testing.T) {
+	m := DefaultCostModel()
+	inEPC := m.OverheadFactor(1 << 20)
+	atEPC := m.OverheadFactor(m.EPCBytes)
+	beyond := m.OverheadFactor(m.EPCBytes * 4)
+	far := m.OverheadFactor(m.EPCBytes * 100)
+	if inEPC != m.BaseOverhead || atEPC != m.BaseOverhead {
+		t.Fatalf("EPC-resident overhead %v, %v", inEPC, atEPC)
+	}
+	if !(beyond > atEPC) || !(far > beyond) {
+		t.Fatalf("paging overhead not increasing: %v, %v, %v", beyond, far, atEPC)
+	}
+	max := m.BaseOverhead * (1 + m.PagingOverhead)
+	if far > max {
+		t.Fatalf("overhead %v exceeds asymptote %v", far, max)
+	}
+}
+
+func TestOverheadVirtualTimeReflectsPaging(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(13, "tee")
+	qa := NewQuotingAuthority(rng)
+	cost := DefaultCostModel()
+	cost.EPCBytes = 1 << 20
+	p := NewPlatform(qa, cost, rng)
+	work := Program{
+		Code: []byte("spin"),
+		Fn: func(input []byte) ([]byte, error) {
+			s := 0.0
+			for i := 0; i < 200_000; i++ {
+				s += float64(i)
+			}
+			_ = s
+			return nil, nil
+		},
+	}
+	e, _ := p.Launch(work)
+	small, err := e.Call(nil, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := e.Call(nil, 1<<26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same real work, but the modelled time must be larger with paging.
+	// Compare per-elapsed ratios to be robust to scheduler noise.
+	rSmall := float64(small.Virtual) / float64(small.Elapsed.Microseconds()+1)
+	rLarge := float64(large.Virtual) / float64(large.Elapsed.Microseconds()+1)
+	if rLarge <= rSmall {
+		t.Fatalf("paging did not increase modelled overhead: %v vs %v", rLarge, rSmall)
+	}
+}
+
+func TestEnclaveCallError(t *testing.T) {
+	_, p := testPlatform(t, 14)
+	boom := Program{
+		Code: []byte("boom"),
+		Fn:   func([]byte) ([]byte, error) { return nil, errors.New("kaboom") },
+	}
+	e, _ := p.Launch(boom)
+	if _, err := e.Call(nil, 0); err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+func TestOSelect(t *testing.T) {
+	if OSelect(1, 7, 9) != 7 || OSelect(0, 7, 9) != 9 {
+		t.Fatal("OSelect wrong")
+	}
+	if OSelectFloat(1, 1.5, 2.5) != 1.5 || OSelectFloat(0, 1.5, 2.5) != 2.5 {
+		t.Fatal("OSelectFloat wrong")
+	}
+}
+
+func TestOLess(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		want uint64
+	}{{1, 2, 1}, {2, 1, 0}, {0, 0, 0}, {-5, 3, 1}, {3, -5, 0}, {-2, -1, 1}}
+	for _, c := range cases {
+		if got := OLess(c.a, c.b); got != c.want {
+			t.Fatalf("OLess(%d,%d) = %d", c.a, c.b, got)
+		}
+	}
+}
+
+func TestOSwap(t *testing.T) {
+	a, b := uint64(3), uint64(9)
+	OSwap(0, &a, &b)
+	if a != 3 || b != 9 {
+		t.Fatal("OSwap(0) swapped")
+	}
+	OSwap(1, &a, &b)
+	if a != 9 || b != 3 {
+		t.Fatal("OSwap(1) did not swap")
+	}
+}
+
+func TestOSortInt64(t *testing.T) {
+	f := func(raw []int16) bool {
+		v := make([]int64, len(raw))
+		for i, x := range raw {
+			v[i] = int64(x)
+		}
+		want := append([]int64(nil), v...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		OSortInt64(v)
+		for i := range v {
+			if v[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchCost(t *testing.T) {
+	_, p := testPlatform(t, 15)
+	e, _ := p.Launch(testProgram("a"))
+	if e.LaunchCost() != 10*simnet.Millisecond {
+		t.Fatalf("launch cost = %v", e.LaunchCost())
+	}
+}

@@ -1,0 +1,304 @@
+// Package token implements the two Ethereum token standards the paper
+// assigns to PDS² asset management (§III-A): ERC-20 fungible tokens for
+// rewards ("divisible, non-unique assets, such as currency") and ERC-721
+// non-fungible deeds for datasets and workload code ("indivisible, unique
+// assets").
+//
+// Both are contracts for the internal/contract runtime; the package also
+// provides client-side helpers that build the call data for every method.
+package token
+
+import (
+	"fmt"
+
+	"pds2/internal/contract"
+	"pds2/internal/identity"
+)
+
+// ERC20CodeName is the registry name under which the fungible token
+// contract is deployed.
+const ERC20CodeName = "pds2/erc20"
+
+// ERC20 is the fungible reward-token contract. Storage layout:
+//
+//	name, symbol      — immutable metadata
+//	minter            — address allowed to mint (the deployer)
+//	supply            — total supply
+//	bal/<addr>        — balances
+//	allow/<o>/<s>     — allowances
+type ERC20 struct{}
+
+// Init expects (name string, symbol string, initialSupply uint64); the
+// initial supply is credited to the deployer, who also becomes minter.
+func (ERC20) Init(ctx *contract.Context, args []byte) error {
+	dec := contract.NewDecoder(args)
+	name, err := dec.String()
+	if err != nil {
+		return contract.Revertf("erc20 init: %v", err)
+	}
+	symbol, err := dec.String()
+	if err != nil {
+		return contract.Revertf("erc20 init: %v", err)
+	}
+	supply, err := dec.Uint64()
+	if err != nil {
+		return contract.Revertf("erc20 init: %v", err)
+	}
+	if err := dec.Done(); err != nil {
+		return contract.Revertf("erc20 init: %v", err)
+	}
+	if err := ctx.Set("name", []byte(name)); err != nil {
+		return err
+	}
+	if err := ctx.Set("symbol", []byte(symbol)); err != nil {
+		return err
+	}
+	if err := ctx.Set("minter", ctx.Caller[:]); err != nil {
+		return err
+	}
+	if err := ctx.SetUint64("supply", supply); err != nil {
+		return err
+	}
+	if supply > 0 {
+		if err := ctx.SetUint64(balKey(ctx.Caller), supply); err != nil {
+			return err
+		}
+		if err := emitTransfer(ctx, identity.ZeroAddress, ctx.Caller, supply); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func balKey(a identity.Address) string { return "bal/" + a.Hex() }
+
+func allowKey(owner, spender identity.Address) string {
+	return "allow/" + owner.Hex() + "/" + spender.Hex()
+}
+
+func emitTransfer(ctx *contract.Context, from, to identity.Address, amount uint64) error {
+	return ctx.Emit("Transfer", contract.NewEncoder().
+		Address(from).Address(to).Uint64(amount).Bytes())
+}
+
+// Call dispatches the ERC-20 method set.
+func (e ERC20) Call(ctx *contract.Context, method string, args []byte) ([]byte, error) {
+	dec := contract.NewDecoder(args)
+	switch method {
+	case "balanceOf":
+		addr, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("balanceOf: %v", err)
+		}
+		bal, err := ctx.GetUint64(balKey(addr))
+		if err != nil {
+			return nil, err
+		}
+		return contract.NewEncoder().Uint64(bal).Bytes(), nil
+
+	case "totalSupply":
+		s, err := ctx.GetUint64("supply")
+		if err != nil {
+			return nil, err
+		}
+		return contract.NewEncoder().Uint64(s).Bytes(), nil
+
+	case "name", "symbol":
+		v, err := ctx.Get(method)
+		if err != nil {
+			return nil, err
+		}
+		return contract.NewEncoder().String(string(v)).Bytes(), nil
+
+	case "transfer":
+		to, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("transfer: %v", err)
+		}
+		amount, err := dec.Uint64()
+		if err != nil {
+			return nil, contract.Revertf("transfer: %v", err)
+		}
+		return nil, e.move(ctx, ctx.Caller, to, amount)
+
+	case "approve":
+		spender, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("approve: %v", err)
+		}
+		amount, err := dec.Uint64()
+		if err != nil {
+			return nil, contract.Revertf("approve: %v", err)
+		}
+		if err := ctx.SetUint64(allowKey(ctx.Caller, spender), amount); err != nil {
+			return nil, err
+		}
+		return nil, ctx.Emit("Approval", contract.NewEncoder().
+			Address(ctx.Caller).Address(spender).Uint64(amount).Bytes())
+
+	case "allowance":
+		owner, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("allowance: %v", err)
+		}
+		spender, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("allowance: %v", err)
+		}
+		a, err := ctx.GetUint64(allowKey(owner, spender))
+		if err != nil {
+			return nil, err
+		}
+		return contract.NewEncoder().Uint64(a).Bytes(), nil
+
+	case "transferFrom":
+		from, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("transferFrom: %v", err)
+		}
+		to, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("transferFrom: %v", err)
+		}
+		amount, err := dec.Uint64()
+		if err != nil {
+			return nil, contract.Revertf("transferFrom: %v", err)
+		}
+		allowance, err := ctx.GetUint64(allowKey(from, ctx.Caller))
+		if err != nil {
+			return nil, err
+		}
+		if allowance < amount {
+			return nil, contract.Revertf("allowance %d < amount %d", allowance, amount)
+		}
+		if err := ctx.SetUint64(allowKey(from, ctx.Caller), allowance-amount); err != nil {
+			return nil, err
+		}
+		return nil, e.move(ctx, from, to, amount)
+
+	case "mint":
+		to, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("mint: %v", err)
+		}
+		amount, err := dec.Uint64()
+		if err != nil {
+			return nil, contract.Revertf("mint: %v", err)
+		}
+		minter, err := ctx.Get("minter")
+		if err != nil {
+			return nil, err
+		}
+		if string(minter) != string(ctx.Caller[:]) {
+			return nil, contract.Revertf("mint: caller is not the minter")
+		}
+		supply, err := ctx.GetUint64("supply")
+		if err != nil {
+			return nil, err
+		}
+		if supply+amount < supply {
+			return nil, contract.Revertf("mint: supply overflow")
+		}
+		if err := ctx.SetUint64("supply", supply+amount); err != nil {
+			return nil, err
+		}
+		bal, err := ctx.GetUint64(balKey(to))
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.SetUint64(balKey(to), bal+amount); err != nil {
+			return nil, err
+		}
+		return nil, emitTransfer(ctx, identity.ZeroAddress, to, amount)
+
+	case "burn":
+		amount, err := dec.Uint64()
+		if err != nil {
+			return nil, contract.Revertf("burn: %v", err)
+		}
+		bal, err := ctx.GetUint64(balKey(ctx.Caller))
+		if err != nil {
+			return nil, err
+		}
+		if bal < amount {
+			return nil, contract.Revertf("burn: balance %d < amount %d", bal, amount)
+		}
+		if err := ctx.SetUint64(balKey(ctx.Caller), bal-amount); err != nil {
+			return nil, err
+		}
+		supply, err := ctx.GetUint64("supply")
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.SetUint64("supply", supply-amount); err != nil {
+			return nil, err
+		}
+		return nil, emitTransfer(ctx, ctx.Caller, identity.ZeroAddress, amount)
+
+	default:
+		return nil, fmt.Errorf("%w: erc20.%s", contract.ErrUnknownMethod, method)
+	}
+}
+
+// move transfers tokens between balances with overdraft and overflow
+// checks, emitting the Transfer event.
+func (ERC20) move(ctx *contract.Context, from, to identity.Address, amount uint64) error {
+	fromBal, err := ctx.GetUint64(balKey(from))
+	if err != nil {
+		return err
+	}
+	if fromBal < amount {
+		return contract.Revertf("erc20: balance %d < amount %d", fromBal, amount)
+	}
+	toBal, err := ctx.GetUint64(balKey(to))
+	if err != nil {
+		return err
+	}
+	if toBal+amount < toBal {
+		return contract.Revertf("erc20: balance overflow")
+	}
+	if err := ctx.SetUint64(balKey(from), fromBal-amount); err != nil {
+		return err
+	}
+	if err := ctx.SetUint64(balKey(to), toBal+amount); err != nil {
+		return err
+	}
+	return emitTransfer(ctx, from, to, amount)
+}
+
+// Client-side call-data builders.
+
+// ERC20InitArgs encodes constructor arguments.
+func ERC20InitArgs(name, symbol string, supply uint64) []byte {
+	return contract.NewEncoder().String(name).String(symbol).Uint64(supply).Bytes()
+}
+
+// ERC20TransferData builds call data for transfer.
+func ERC20TransferData(to identity.Address, amount uint64) []byte {
+	return contract.CallData("transfer", contract.NewEncoder().Address(to).Uint64(amount).Bytes())
+}
+
+// ERC20ApproveData builds call data for approve.
+func ERC20ApproveData(spender identity.Address, amount uint64) []byte {
+	return contract.CallData("approve", contract.NewEncoder().Address(spender).Uint64(amount).Bytes())
+}
+
+// ERC20TransferFromData builds call data for transferFrom.
+func ERC20TransferFromData(from, to identity.Address, amount uint64) []byte {
+	return contract.CallData("transferFrom", contract.NewEncoder().Address(from).Address(to).Uint64(amount).Bytes())
+}
+
+// ERC20MintData builds call data for mint.
+func ERC20MintData(to identity.Address, amount uint64) []byte {
+	return contract.CallData("mint", contract.NewEncoder().Address(to).Uint64(amount).Bytes())
+}
+
+// ERC20BurnData builds call data for burn.
+func ERC20BurnData(amount uint64) []byte {
+	return contract.CallData("burn", contract.NewEncoder().Uint64(amount).Bytes())
+}
+
+// ERC20BalanceArgs encodes view arguments for balanceOf.
+func ERC20BalanceArgs(addr identity.Address) []byte {
+	return contract.NewEncoder().Address(addr).Bytes()
+}

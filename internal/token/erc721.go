@@ -1,0 +1,308 @@
+package token
+
+import (
+	"fmt"
+
+	"pds2/internal/contract"
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+// ERC721CodeName is the registry name of the non-fungible deed contract.
+const ERC721CodeName = "pds2/erc721"
+
+// ERC721 is the non-fungible deed contract. In PDS² an NFT models an
+// "indivisible, unique asset" (§III-A): token IDs are content digests, so
+// the deed for a dataset or a workload's code is its hash, which makes
+// ownership claims verifiable against the content itself. Storage layout:
+//
+//	name                — collection name
+//	minter              — address allowed to mint (the deployer)
+//	owner/<id>          — token owner
+//	cnt/<addr>          — per-owner token count
+//	approved/<id>       — single-token approval
+//	operator/<o>/<op>   — blanket operator approval
+//	uri/<id>            — token metadata (free-form bytes)
+type ERC721 struct{}
+
+// Init expects (name string).
+func (ERC721) Init(ctx *contract.Context, args []byte) error {
+	dec := contract.NewDecoder(args)
+	name, err := dec.String()
+	if err != nil {
+		return contract.Revertf("erc721 init: %v", err)
+	}
+	if err := dec.Done(); err != nil {
+		return contract.Revertf("erc721 init: %v", err)
+	}
+	if err := ctx.Set("name", []byte(name)); err != nil {
+		return err
+	}
+	return ctx.Set("minter", ctx.Caller[:])
+}
+
+func ownerKey(id crypto.Digest) string    { return "owner/" + id.Hex() }
+func countKey(a identity.Address) string  { return "cnt/" + a.Hex() }
+func approvedKey(id crypto.Digest) string { return "approved/" + id.Hex() }
+func operatorKey(owner, op identity.Address) string {
+	return "operator/" + owner.Hex() + "/" + op.Hex()
+}
+func uriKey(id crypto.Digest) string { return "uri/" + id.Hex() }
+
+// Call dispatches the ERC-721 method set.
+func (e ERC721) Call(ctx *contract.Context, method string, args []byte) ([]byte, error) {
+	dec := contract.NewDecoder(args)
+	switch method {
+	case "name":
+		v, err := ctx.Get("name")
+		if err != nil {
+			return nil, err
+		}
+		return contract.NewEncoder().String(string(v)).Bytes(), nil
+
+	case "mint":
+		to, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("mint: %v", err)
+		}
+		id, err := dec.Digest()
+		if err != nil {
+			return nil, contract.Revertf("mint: %v", err)
+		}
+		uri, err := dec.Blob()
+		if err != nil {
+			return nil, contract.Revertf("mint: %v", err)
+		}
+		minter, err := ctx.Get("minter")
+		if err != nil {
+			return nil, err
+		}
+		if string(minter) != string(ctx.Caller[:]) {
+			return nil, contract.Revertf("mint: caller is not the minter")
+		}
+		if existing, err := ctx.Get(ownerKey(id)); err != nil {
+			return nil, err
+		} else if len(existing) > 0 {
+			return nil, contract.Revertf("mint: token %s already exists", id.Short())
+		}
+		if err := ctx.Set(ownerKey(id), to[:]); err != nil {
+			return nil, err
+		}
+		if len(uri) > 0 {
+			if err := ctx.Set(uriKey(id), uri); err != nil {
+				return nil, err
+			}
+		}
+		cnt, err := ctx.GetUint64(countKey(to))
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.SetUint64(countKey(to), cnt+1); err != nil {
+			return nil, err
+		}
+		return nil, ctx.Emit("TransferNFT", contract.NewEncoder().
+			Address(identity.ZeroAddress).Address(to).Digest(id).Bytes())
+
+	case "transferMinter":
+		// (newMinter) — hand the mint capability to another account or
+		// contract; used to let the platform registry mint data deeds.
+		newMinter, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("transferMinter: %v", err)
+		}
+		minter, err := ctx.Get("minter")
+		if err != nil {
+			return nil, err
+		}
+		if string(minter) != string(ctx.Caller[:]) {
+			return nil, contract.Revertf("transferMinter: caller is not the minter")
+		}
+		return nil, ctx.Set("minter", newMinter[:])
+
+	case "ownerOf":
+		id, err := dec.Digest()
+		if err != nil {
+			return nil, contract.Revertf("ownerOf: %v", err)
+		}
+		owner, err := e.ownerOf(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		return contract.NewEncoder().Address(owner).Bytes(), nil
+
+	case "balanceOf":
+		addr, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("balanceOf: %v", err)
+		}
+		cnt, err := ctx.GetUint64(countKey(addr))
+		if err != nil {
+			return nil, err
+		}
+		return contract.NewEncoder().Uint64(cnt).Bytes(), nil
+
+	case "tokenURI":
+		id, err := dec.Digest()
+		if err != nil {
+			return nil, contract.Revertf("tokenURI: %v", err)
+		}
+		if _, err := e.ownerOf(ctx, id); err != nil {
+			return nil, err
+		}
+		uri, err := ctx.Get(uriKey(id))
+		if err != nil {
+			return nil, err
+		}
+		return contract.NewEncoder().Blob(uri).Bytes(), nil
+
+	case "approve":
+		spender, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("approve: %v", err)
+		}
+		id, err := dec.Digest()
+		if err != nil {
+			return nil, contract.Revertf("approve: %v", err)
+		}
+		owner, err := e.ownerOf(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if owner != ctx.Caller {
+			return nil, contract.Revertf("approve: caller does not own token")
+		}
+		return nil, ctx.Set(approvedKey(id), spender[:])
+
+	case "setApprovalForAll":
+		op, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("setApprovalForAll: %v", err)
+		}
+		approved, err := dec.Bool()
+		if err != nil {
+			return nil, contract.Revertf("setApprovalForAll: %v", err)
+		}
+		if approved {
+			return nil, ctx.Set(operatorKey(ctx.Caller, op), []byte{1})
+		}
+		return nil, ctx.Set(operatorKey(ctx.Caller, op), nil)
+
+	case "transferFrom":
+		from, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("transferFrom: %v", err)
+		}
+		to, err := dec.Address()
+		if err != nil {
+			return nil, contract.Revertf("transferFrom: %v", err)
+		}
+		id, err := dec.Digest()
+		if err != nil {
+			return nil, contract.Revertf("transferFrom: %v", err)
+		}
+		owner, err := e.ownerOf(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if owner != from {
+			return nil, contract.Revertf("transferFrom: %s does not own token", from.Short())
+		}
+		ok, err := e.authorized(ctx, owner, id)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, contract.Revertf("transferFrom: caller not authorized")
+		}
+		if err := ctx.Set(ownerKey(id), to[:]); err != nil {
+			return nil, err
+		}
+		if err := ctx.Set(approvedKey(id), nil); err != nil {
+			return nil, err
+		}
+		fromCnt, err := ctx.GetUint64(countKey(from))
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.SetUint64(countKey(from), fromCnt-1); err != nil {
+			return nil, err
+		}
+		toCnt, err := ctx.GetUint64(countKey(to))
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.SetUint64(countKey(to), toCnt+1); err != nil {
+			return nil, err
+		}
+		return nil, ctx.Emit("TransferNFT", contract.NewEncoder().
+			Address(from).Address(to).Digest(id).Bytes())
+
+	default:
+		return nil, fmt.Errorf("%w: erc721.%s", contract.ErrUnknownMethod, method)
+	}
+}
+
+func (ERC721) ownerOf(ctx *contract.Context, id crypto.Digest) (identity.Address, error) {
+	raw, err := ctx.Get(ownerKey(id))
+	if err != nil {
+		return identity.ZeroAddress, err
+	}
+	if len(raw) != identity.AddressSize {
+		return identity.ZeroAddress, contract.Revertf("erc721: token %s does not exist", id.Short())
+	}
+	var a identity.Address
+	copy(a[:], raw)
+	return a, nil
+}
+
+// authorized reports whether the caller may move the token: owner,
+// per-token approvee or blanket operator.
+func (ERC721) authorized(ctx *contract.Context, owner identity.Address, id crypto.Digest) (bool, error) {
+	if ctx.Caller == owner {
+		return true, nil
+	}
+	approved, err := ctx.Get(approvedKey(id))
+	if err != nil {
+		return false, err
+	}
+	if len(approved) == identity.AddressSize && string(approved) == string(ctx.Caller[:]) {
+		return true, nil
+	}
+	op, err := ctx.Get(operatorKey(owner, ctx.Caller))
+	if err != nil {
+		return false, err
+	}
+	return len(op) > 0, nil
+}
+
+// Client-side call-data builders.
+
+// ERC721InitArgs encodes constructor arguments.
+func ERC721InitArgs(name string) []byte {
+	return contract.NewEncoder().String(name).Bytes()
+}
+
+// ERC721MintData builds call data for mint.
+func ERC721MintData(to identity.Address, id crypto.Digest, uri []byte) []byte {
+	return contract.CallData("mint", contract.NewEncoder().Address(to).Digest(id).Blob(uri).Bytes())
+}
+
+// ERC721TransferFromData builds call data for transferFrom.
+func ERC721TransferFromData(from, to identity.Address, id crypto.Digest) []byte {
+	return contract.CallData("transferFrom", contract.NewEncoder().Address(from).Address(to).Digest(id).Bytes())
+}
+
+// ERC721TransferMinterData builds call data for transferMinter.
+func ERC721TransferMinterData(newMinter identity.Address) []byte {
+	return contract.CallData("transferMinter", contract.NewEncoder().Address(newMinter).Bytes())
+}
+
+// ERC721ApproveData builds call data for approve.
+func ERC721ApproveData(spender identity.Address, id crypto.Digest) []byte {
+	return contract.CallData("approve", contract.NewEncoder().Address(spender).Digest(id).Bytes())
+}
+
+// ERC721OwnerArgs encodes view arguments for ownerOf.
+func ERC721OwnerArgs(id crypto.Digest) []byte {
+	return contract.NewEncoder().Digest(id).Bytes()
+}
