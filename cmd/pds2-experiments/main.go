@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pds2/internal/experiments"
+	"pds2/internal/telemetry"
 )
 
 func main() {
@@ -24,6 +25,7 @@ func main() {
 		quick = flag.Bool("quick", false, "use reduced problem sizes")
 		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		list  = flag.Bool("list", false, "list experiments and exit")
+		tel   = flag.Bool("telemetry", true, "print per-experiment telemetry summaries")
 	)
 	flag.Parse()
 
@@ -47,10 +49,20 @@ func main() {
 		}
 	}
 
+	if *tel {
+		telemetry.Enable()
+	}
 	for _, e := range selected {
 		start := time.Now()
 		table := e.Run(*quick)
 		fmt.Println(table)
 		fmt.Printf("(%s generated in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *tel {
+			if summary := telemetry.Default().Snapshot().Summary(); summary != "" {
+				fmt.Printf("telemetry (%s):\n%s\n", e.ID, summary)
+			}
+			// Reset between experiments so each summary is attributable.
+			telemetry.Default().Reset()
+		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"pds2/internal/api"
 	"pds2/internal/identity"
 	"pds2/internal/market"
+	"pds2/internal/telemetry"
 )
 
 func main() {
@@ -34,8 +35,12 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "deterministic seed")
 		blockMS = flag.Int("block-ms", 500, "auto-seal interval in milliseconds (0 disables)")
 		fund    = flag.String("fund", "", "comma-separated genesis allocations addr:amount")
+		tel     = flag.Bool("telemetry", true, "collect metrics and traces (served at /metrics and /trace)")
 	)
 	flag.Parse()
+	if *tel {
+		telemetry.Enable()
+	}
 
 	alloc := map[identity.Address]uint64{}
 	if *fund != "" {

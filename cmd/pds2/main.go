@@ -7,6 +7,11 @@
 //
 //	pds2 [-providers N] [-executors M] [-samples K] [-budget B] [-seed S]
 //	pds2 -scenario scenario.json
+//	pds2 metrics [-json] [-trace] [scenario flags]
+//
+// The metrics subcommand runs the same scenario with telemetry enabled
+// and reports the collected metrics (and, with -trace, the span tree)
+// instead of the marketplace result.
 package main
 
 import (
@@ -17,9 +22,14 @@ import (
 	"sort"
 
 	"pds2/internal/core"
+	"pds2/internal/telemetry"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "metrics" {
+		runMetrics(os.Args[2:])
+		return
+	}
 	var (
 		scenarioPath = flag.String("scenario", "", "JSON scenario file (overrides the flags below)")
 		providers    = flag.Int("providers", 4, "number of data providers")
@@ -111,6 +121,51 @@ func main() {
 		total += p.amount
 	}
 	fmt.Printf("  %-8s  %8d\n", "total", total)
+}
+
+// runMetrics implements `pds2 metrics`: a scenario run with telemetry
+// enabled, reporting what the process measured rather than what the
+// marketplace computed.
+func runMetrics(args []string) {
+	fs := flag.NewFlagSet("pds2 metrics", flag.ExitOnError)
+	var (
+		providers = fs.Int("providers", 4, "number of data providers")
+		executors = fs.Int("executors", 2, "number of executors")
+		samples   = fs.Int("samples", 200, "training examples per provider")
+		budget    = fs.Uint64("budget", 100_000, "escrowed reward budget")
+		seed      = fs.Uint64("seed", 1, "deterministic seed")
+		jsonOut   = fs.Bool("json", false, "emit the snapshot as JSON (the /metrics wire format)")
+		showTrace = fs.Bool("trace", false, "also print the span tree")
+	)
+	if err := fs.Parse(args); err != nil {
+		fatalf("%v", err)
+	}
+
+	telemetry.Enable()
+	if _, err := core.Run(core.Scenario{
+		Seed:        *seed,
+		Providers:   *providers,
+		Executors:   *executors,
+		SamplesEach: *samples,
+		Budget:      *budget,
+	}); err != nil {
+		fatalf("scenario failed: %v", err)
+	}
+
+	snap := telemetry.Default().Snapshot()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fatalf("encode snapshot: %v", err)
+		}
+	} else {
+		fmt.Print(snap.Summary())
+	}
+	if *showTrace {
+		fmt.Println("\nspans:")
+		fmt.Print(telemetry.Default().Tracer().Export().TreeString())
+	}
 }
 
 func fatalf(format string, args ...any) {

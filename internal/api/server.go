@@ -22,6 +22,15 @@ import (
 	"pds2/internal/identity"
 	"pds2/internal/ledger"
 	"pds2/internal/market"
+	"pds2/internal/telemetry"
+)
+
+// API instrumentation: request volume and handler latency, including the
+// market-mutex wait, which is what a client actually experiences.
+var (
+	mAPIRequests = telemetry.C("api.requests_total")
+	mAPIErrors   = telemetry.C("api.errors_total")
+	mAPISeconds  = telemetry.H("api.request_seconds", telemetry.TimeBuckets)
 )
 
 // Server is the HTTP front end of one governance node.
@@ -49,12 +58,53 @@ func NewServer(m *market.Market, allowSeal bool) *Server {
 	s.mux.HandleFunc("POST /v1/transactions", s.handleSubmitTx)
 	s.mux.HandleFunc("POST /v1/views", s.handleView)
 	s.mux.HandleFunc("POST /v1/blocks/seal", s.handleSeal)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /trace", s.handleTrace)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. ServeMux answers unmatched routes
+// and wrong methods with plain-text errors; to keep the JSON error
+// contract uniform, those verdicts are captured on a probe writer and
+// re-emitted through writeErr.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	mAPIRequests.Inc()
+	timer := mAPISeconds.Time()
+	defer timer.Stop()
+	if _, pattern := s.mux.Handler(r); pattern == "" {
+		probe := &probeWriter{header: make(http.Header)}
+		s.mux.ServeHTTP(probe, r)
+		if allow := probe.header.Get("Allow"); allow != "" {
+			w.Header().Set("Allow", allow)
+		}
+		status := probe.status
+		if status == 0 {
+			status = http.StatusNotFound
+		}
+		if status == http.StatusMethodNotAllowed {
+			writeErr(w, status, "method %s not allowed for %s", r.Method, r.URL.Path)
+		} else {
+			writeErr(w, status, "no route for %s %s", r.Method, r.URL.Path)
+		}
+		return
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// probeWriter records ServeMux's status and headers, discarding the body.
+type probeWriter struct {
+	header http.Header
+	status int
+}
+
+func (p *probeWriter) Header() http.Header { return p.header }
+
+func (p *probeWriter) Write(b []byte) (int, error) { return len(b), nil }
+
+func (p *probeWriter) WriteHeader(status int) {
+	if p.status == 0 {
+		p.status = status
+	}
 }
 
 // apiError is the uniform error body.
@@ -69,6 +119,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	mAPIErrors.Inc()
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
@@ -337,4 +388,17 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SealResponse{Height: block.Header.Height, Txs: len(block.Txs)})
+}
+
+// handleMetrics serves GET /metrics: a JSON snapshot of the process-wide
+// telemetry registry. Counters and gauges report their current value;
+// histograms add count/sum/min/max and p50/p95/p99.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, telemetry.Default().Snapshot())
+}
+
+// handleTrace serves GET /trace: the finished spans currently held in the
+// tracer's ring buffer, oldest first, with parent linkage intact.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, telemetry.Default().Tracer().Export())
 }

@@ -7,6 +7,18 @@ import (
 	"pds2/internal/crypto"
 	"pds2/internal/identity"
 	"pds2/internal/ledger"
+	"pds2/internal/telemetry"
+)
+
+// Runtime instrumentation: call/deploy volume, the revert rate, per-call
+// gas and the state-journal depth left by each applied transaction.
+var (
+	mCalls        = telemetry.C("contract.calls_total")
+	mDeploys      = telemetry.C("contract.deploys_total")
+	mReverts      = telemetry.C("contract.reverts_total")
+	mCallGas      = telemetry.H("contract.call.gas", telemetry.GasBuckets)
+	mCallSeconds  = telemetry.H("contract.call.seconds", telemetry.TimeBuckets)
+	mJournalDepth = telemetry.H("contract.journal.depth", telemetry.CountBuckets)
 )
 
 // codeKey is the reserved storage slot holding a contract's code name.
@@ -79,6 +91,12 @@ func (r *Runtime) Apply(st *ledger.State, tx *ledger.Transaction, height uint64)
 		return ledger.TransferApplier{}.Apply(st, tx, height)
 	}
 
+	if tx.IsContractCreation() {
+		mDeploys.Inc()
+	} else {
+		mCalls.Inc()
+	}
+	timer := mCallSeconds.Time()
 	rcpt := &ledger.Receipt{TxHash: tx.Hash(), Height: height}
 	gasLeft := tx.GasLimit - tx.IntrinsicGas()
 	var events []ledger.Event
@@ -93,6 +111,10 @@ func (r *Runtime) Apply(st *ledger.State, tx *ledger.Transaction, height uint64)
 		rcpt.Status = ledger.StatusFailed
 		rcpt.Err = err.Error()
 		rcpt.GasUsed = tx.GasLimit - gasLeft
+		mReverts.Inc()
+		mCallGas.Observe(float64(rcpt.GasUsed))
+		mJournalDepth.Observe(float64(st.Snapshot()))
+		timer.Stop()
 		return rcpt, nil
 	}
 
@@ -163,6 +185,9 @@ func (r *Runtime) Apply(st *ledger.State, tx *ledger.Transaction, height uint64)
 	rcpt.Status = ledger.StatusOK
 	rcpt.GasUsed = tx.GasLimit - gasLeft
 	rcpt.Events = events
+	mCallGas.Observe(float64(rcpt.GasUsed))
+	mJournalDepth.Observe(float64(st.Snapshot()))
+	timer.Stop()
 	return rcpt, nil
 }
 

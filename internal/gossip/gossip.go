@@ -5,6 +5,18 @@ import (
 
 	"pds2/internal/ml"
 	"pds2/internal/simnet"
+	"pds2/internal/telemetry"
+)
+
+// Gossip instrumentation. Cycle/merge timings are wall-clock CPU cost of
+// the handlers (the simulated network latency is accounted separately by
+// simnet); message and byte counters mirror what the wire would carry.
+var (
+	mGossipMsgs    = telemetry.C("gossip.messages_total")
+	mGossipBytes   = telemetry.C("gossip.bytes_total")
+	mGossipMerges  = telemetry.C("gossip.merges_total")
+	mGossipSkipped = telemetry.C("gossip.sends_skipped_total")
+	mGossipCycle   = telemetry.H("gossip.cycle_seconds", telemetry.TimeBuckets)
 )
 
 // MergeRule selects how a node folds a received model into its own.
@@ -193,10 +205,13 @@ func (r *Runner) onCycle(n *node) {
 	}
 	if r.cfg.TokenBudget > 0 {
 		if n.tokens <= 0 {
+			mGossipSkipped.Inc()
 			return
 		}
 		n.tokens--
 	}
+	timer := mGossipCycle.Time()
+	defer timer.Stop()
 	r.sampler.Shuffle(n.id)
 	peer, ok := r.sampler.Sample(n.id)
 	if !ok {
@@ -219,14 +234,19 @@ func (r *Runner) onCycle(n *node) {
 			msg.vals[i] = w[j]
 		}
 		r.net.Send(n.id, peer, msg, msg.wireSize())
+		mGossipMsgs.Inc()
+		mGossipBytes.Add(uint64(msg.wireSize()))
 		return
 	}
 	snapshot := n.model.Clone()
 	r.net.Send(n.id, peer, modelMsg{model: snapshot}, snapshot.WireSize())
+	mGossipMsgs.Inc()
+	mGossipBytes.Add(uint64(snapshot.WireSize()))
 }
 
 // onReceive merges the incoming model and retrains on local data.
 func (r *Runner) onReceive(n *node, msg simnet.Message) {
+	mGossipMerges.Inc()
 	if sp, ok := msg.Payload.(sparseMsg); ok {
 		r.mergeSparse(n, sp)
 		n.localUpdate(r.cfg.LocalSteps)

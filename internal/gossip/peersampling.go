@@ -11,7 +11,13 @@ package gossip
 import (
 	"pds2/internal/crypto"
 	"pds2/internal/simnet"
+	"pds2/internal/telemetry"
 )
+
+// mSamplerChurn observes, per view exchange, how many of the node's view
+// entries were replaced — the overlay-rotation rate that keeps the
+// gossip graph connected under churn.
+var mSamplerChurn = telemetry.H("gossip.sampler.churn", telemetry.CountBuckets)
 
 // peerDescriptor is one entry of a partial view: a peer and the age of
 // the information about it, in gossip cycles.
@@ -89,6 +95,11 @@ func (ps *PeerSampler) Shuffle(node simnet.NodeID) {
 	if !ok {
 		return
 	}
+	before := ps.views[node]
+	wasInView := make(map[simnet.NodeID]bool, len(before))
+	for _, d := range before {
+		wasInView[d.id] = true
+	}
 	for i := range ps.views[node] {
 		ps.views[node][i].age++
 	}
@@ -96,6 +107,13 @@ func (ps *PeerSampler) Shuffle(node simnet.NodeID) {
 	merged = append(merged, peerDescriptor{id: partner}, peerDescriptor{id: node})
 	ps.views[node] = ps.selectView(merged, node)
 	ps.views[partner] = ps.selectView(merged, partner)
+	var churned int
+	for _, d := range ps.views[node] {
+		if !wasInView[d.id] {
+			churned++
+		}
+	}
+	mSamplerChurn.Observe(float64(churned))
 }
 
 // selectView draws up to viewSize distinct random descriptors (freshest

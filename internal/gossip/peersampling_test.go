@@ -1,0 +1,134 @@
+package gossip
+
+import (
+	"testing"
+
+	"pds2/internal/crypto"
+	"pds2/internal/simnet"
+	"pds2/internal/telemetry"
+)
+
+func testSampler(t *testing.T, nodes, viewSize int, seed uint64) (*PeerSampler, []simnet.NodeID) {
+	t.Helper()
+	ids := make([]simnet.NodeID, nodes)
+	for i := range ids {
+		ids[i] = simnet.NodeID(i + 1)
+	}
+	return NewPeerSampler(ids, viewSize, crypto.NewDRBGFromUint64(seed, "sampler-test")), ids
+}
+
+// TestPeerSamplerViewStaysBounded pins the eviction side of the
+// protocol: no amount of shuffling may grow a view past viewSize or let
+// duplicates or self-references in.
+func TestPeerSamplerViewStaysBounded(t *testing.T) {
+	const viewSize = 4
+	ps, ids := testSampler(t, 12, viewSize, 1)
+	for round := 0; round < 500; round++ {
+		ps.Shuffle(ids[round%len(ids)])
+	}
+	for _, n := range ids {
+		view := ps.View(n)
+		if len(view) > viewSize {
+			t.Fatalf("node %d view has %d entries, cap %d", n, len(view), viewSize)
+		}
+		seen := map[simnet.NodeID]bool{}
+		for _, p := range view {
+			if p == n {
+				t.Fatalf("node %d has itself in view", n)
+			}
+			if seen[p] {
+				t.Fatalf("node %d has duplicate peer %d", n, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestPeerSamplerRotates pins the rotation side: with more nodes than
+// view slots, repeated exchanges must cycle fresh peers through a node's
+// view instead of freezing its bootstrap neighbours.
+func TestPeerSamplerRotates(t *testing.T) {
+	const viewSize = 4
+	ps, ids := testSampler(t, 30, viewSize, 2)
+	target := ids[0]
+	everSeen := map[simnet.NodeID]bool{}
+	for _, p := range ps.View(target) {
+		everSeen[p] = true
+	}
+	for round := 0; round < 300; round++ {
+		ps.Shuffle(ids[round%len(ids)])
+		for _, p := range ps.View(target) {
+			everSeen[p] = true
+		}
+	}
+	if len(everSeen) <= viewSize {
+		t.Fatalf("view never rotated: only %d distinct peers seen, view size %d", len(everSeen), viewSize)
+	}
+}
+
+// TestSelectViewEvictsStalestDuplicate pins the dedup rule: when the
+// merged pool holds several descriptors for one peer, the freshest copy
+// (lowest age) must win.
+func TestSelectViewEvictsStalestDuplicate(t *testing.T) {
+	ps, _ := testSampler(t, 3, 8, 3)
+	self := simnet.NodeID(99)
+	pool := []peerDescriptor{
+		{id: 1, age: 7},
+		{id: 1, age: 2},
+		{id: 1, age: 5},
+		{id: 2, age: 0},
+		{id: self, age: 0}, // must be dropped
+	}
+	view := ps.selectView(pool, self)
+	if len(view) != 2 {
+		t.Fatalf("view = %v, want exactly peers 1 and 2", view)
+	}
+	for _, d := range view {
+		if d.id == self {
+			t.Fatal("self survived selection")
+		}
+		if d.id == 1 && d.age != 2 {
+			t.Fatalf("peer 1 kept age %d, want freshest copy (2)", d.age)
+		}
+	}
+}
+
+// TestShuffleAgesSurvivors pins aging: descriptors that survive a
+// shuffle carry an incremented age, the signal later evictions use.
+func TestShuffleAgesSurvivors(t *testing.T) {
+	ps, ids := testSampler(t, 6, 5, 4)
+	node := ids[0]
+	before := map[simnet.NodeID]int{}
+	for _, d := range ps.views[node] {
+		before[d.id] = d.age
+	}
+	ps.Shuffle(node)
+	for _, d := range ps.views[node] {
+		if prev, ok := before[d.id]; ok && d.age != 0 && d.age < prev {
+			t.Fatalf("peer %d age went backwards: %d -> %d", d.id, prev, d.age)
+		}
+	}
+}
+
+// TestShuffleObservesChurn checks the instrumentation: with telemetry
+// on, every shuffle records one churn observation.
+func TestShuffleObservesChurn(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	var start uint64
+	if m, ok := telemetry.Default().Snapshot().Get("gossip.sampler.churn"); ok {
+		start = m.Count
+	}
+	ps, ids := testSampler(t, 10, 4, 5)
+	const rounds = 50
+	for round := 0; round < rounds; round++ {
+		ps.Shuffle(ids[round%len(ids)])
+	}
+	m, ok := telemetry.Default().Snapshot().Get("gossip.sampler.churn")
+	if !ok {
+		t.Fatal("gossip.sampler.churn not registered")
+	}
+	if m.Count < start+rounds {
+		t.Fatalf("churn observations = %d, want >= %d", m.Count, start+rounds)
+	}
+}

@@ -6,6 +6,20 @@ import (
 
 	"pds2/internal/crypto"
 	"pds2/internal/identity"
+	"pds2/internal/telemetry"
+)
+
+// Chain instrumentation: block production latency, per-block batch
+// sizes, applied/failed transaction totals and the chain height. All
+// are no-ops until telemetry is enabled.
+var (
+	mSealSeconds   = telemetry.H("ledger.block.seal_seconds", telemetry.TimeBuckets)
+	mImportSeconds = telemetry.H("ledger.block.import_seconds", telemetry.TimeBuckets)
+	mBlockTxs      = telemetry.H("ledger.block.txs", telemetry.CountBuckets)
+	mBlockGas      = telemetry.H("ledger.block.gas", telemetry.GasBuckets)
+	mTxApplied     = telemetry.C("ledger.tx.applied_total")
+	mTxFailed      = telemetry.C("ledger.tx.failed_total")
+	mHeight        = telemetry.G("ledger.block.height")
 )
 
 // TxApplier executes a transaction against the state and produces its
@@ -170,6 +184,7 @@ func (c *Chain) expectedProposer(h uint64) identity.Address {
 // the whole proposal to be rejected — a correct proposer never includes
 // them.
 func (c *Chain) ProposeBlock(proposer *identity.Identity, timestamp uint64, txs []*Transaction) (*Block, error) {
+	timer := mSealSeconds.Time()
 	height := c.Height() + 1
 	if c.expectedProposer(height) != proposer.Address() {
 		return nil, fmt.Errorf("%w: %s at height %d", ErrBadProposer, proposer.Address().Short(), height)
@@ -199,6 +214,7 @@ func (c *Chain) ProposeBlock(proposer *identity.Identity, timestamp uint64, txs 
 	}
 	block.seal(proposer)
 	c.commitBlock(block, receipts)
+	timer.Stop()
 	return block, nil
 }
 
@@ -234,7 +250,15 @@ func (c *Chain) commitBlock(block *Block, receipts []*Receipt) {
 	for _, r := range receipts {
 		c.receipts[r.TxHash] = r
 		c.events = append(c.events, r.Events...)
+		if r.Status == StatusOK {
+			mTxApplied.Inc()
+		} else {
+			mTxFailed.Inc()
+		}
 	}
+	mBlockTxs.Observe(float64(len(block.Txs)))
+	mBlockGas.Observe(float64(block.Header.GasUsed))
+	mHeight.Set(float64(block.Header.Height))
 }
 
 // VerifyBlock re-validates a sealed block against this chain's tip
@@ -279,6 +303,8 @@ func (c *Chain) VerifyBlock(block *Block) error {
 
 // ImportBlock validates and appends a block produced by another node.
 func (c *Chain) ImportBlock(block *Block) error {
+	timer := mImportSeconds.Time()
+	defer timer.Stop()
 	if err := c.VerifyBlock(block); err != nil {
 		return err
 	}

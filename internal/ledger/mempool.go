@@ -7,6 +7,14 @@ import (
 
 	"pds2/internal/crypto"
 	"pds2/internal/identity"
+	"pds2/internal/telemetry"
+)
+
+// Mempool instrumentation: live depth plus admission outcomes.
+var (
+	mPoolDepth    = telemetry.G("ledger.mempool.depth")
+	mPoolAdmitted = telemetry.C("ledger.mempool.admitted_total")
+	mPoolRejected = telemetry.C("ledger.mempool.rejected_total")
 )
 
 // Mempool holds verified pending transactions, ordered per sender by
@@ -43,6 +51,16 @@ var (
 
 // Add admits a transaction after stateless verification.
 func (m *Mempool) Add(tx *Transaction) error {
+	if err := m.add(tx); err != nil {
+		mPoolRejected.Inc()
+		return err
+	}
+	mPoolAdmitted.Inc()
+	mPoolDepth.Set(float64(len(m.byHash)))
+	return nil
+}
+
+func (m *Mempool) add(tx *Transaction) error {
 	if err := tx.VerifyBasic(); err != nil {
 		return err
 	}
@@ -129,4 +147,5 @@ func (m *Mempool) Remove(txs []*Transaction) {
 			m.bySender[tx.From] = list
 		}
 	}
+	mPoolDepth.Set(float64(len(m.byHash)))
 }

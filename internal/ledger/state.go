@@ -7,7 +7,12 @@ import (
 
 	"pds2/internal/crypto"
 	"pds2/internal/identity"
+	"pds2/internal/telemetry"
 )
+
+// mStateWrites counts journaled primitive mutations (balance, nonce and
+// storage writes) — the state-pressure signal behind every gas number.
+var mStateWrites = telemetry.C("ledger.state.writes_total")
 
 // State is the replicated world state of the governance ledger: native
 // token balances, account nonces and per-contract key/value storage.
@@ -57,6 +62,7 @@ func (s *State) Balance(addr identity.Address) uint64 { return s.balances[addr] 
 func (s *State) SetBalance(addr identity.Address, v uint64) {
 	s.journal = append(s.journal, journalEntry{kind: jBalance, addr: addr, prevU64: s.balances[addr]})
 	s.balances[addr] = v
+	mStateWrites.Inc()
 }
 
 // AddBalance credits addr. It returns an error on overflow.
@@ -86,6 +92,7 @@ func (s *State) Nonce(addr identity.Address) uint64 { return s.nonces[addr] }
 func (s *State) BumpNonce(addr identity.Address) {
 	s.journal = append(s.journal, journalEntry{kind: jNonce, addr: addr, prevU64: s.nonces[addr]})
 	s.nonces[addr]++
+	mStateWrites.Inc()
 }
 
 // GetStorage returns the stored value for (contract, key), or nil.
@@ -106,6 +113,7 @@ func (s *State) SetStorage(contract identity.Address, key string, value []byte) 
 		kind: jStorage, addr: contract, key: key,
 		prevBlob: append([]byte(nil), prev...), existed: existed,
 	})
+	mStateWrites.Inc()
 	if len(value) == 0 {
 		delete(slot, key)
 		return

@@ -12,6 +12,7 @@ import (
 	"pds2/internal/semantic"
 	"pds2/internal/storage"
 	"pds2/internal/tee"
+	"pds2/internal/telemetry"
 	"pds2/internal/token"
 )
 
@@ -32,20 +33,35 @@ func NewConsumer(m *Market, id *identity.Identity) (*Consumer, error) {
 
 // SubmitWorkload deploys a workload contract with the escrowed budget
 // and lists it in the registry directory — the first step of Fig. 2.
+// It opens the workload's root telemetry span ("workload.lifecycle"),
+// which Finalize or Cancel later closes.
 func (c *Consumer) SubmitWorkload(spec *Spec, budget uint64) (identity.Address, error) {
 	if err := spec.Validate(); err != nil {
+		return identity.ZeroAddress, err
+	}
+	root := telemetry.StartSpan("workload.lifecycle", 0)
+	span := telemetry.StartSpan("workload.submit", root.ID())
+	timer := mStageSubmit.Time()
+	abort := func(err error) (identity.Address, error) {
+		span.End()
+		root.End()
 		return identity.ZeroAddress, err
 	}
 	rcpt, err := MustSucceed(c.Market.SendAndSeal(c.ID, identity.ZeroAddress, budget,
 		contract.DeployData(WorkloadCodeName, spec.Encode())))
 	if err != nil {
-		return identity.ZeroAddress, fmt.Errorf("market: submit workload: %w", err)
+		return abort(fmt.Errorf("market: submit workload: %w", err))
 	}
 	var addr identity.Address
 	copy(addr[:], rcpt.Return)
 	if _, err := MustSucceed(c.Market.SendAndSeal(c.ID, c.Market.Registry, 0, RegisterWorkloadData(addr))); err != nil {
-		return identity.ZeroAddress, fmt.Errorf("market: list workload: %w", err)
+		return abort(fmt.Errorf("market: list workload: %w", err))
 	}
+	timer.Stop()
+	span.End()
+	root.SetAttr("workload", addr.Hex())
+	c.Market.trackLifecycle(addr, root)
+	mSubmitted.Inc()
 	return addr, nil
 }
 
@@ -78,15 +94,28 @@ func (c *Consumer) Start(workload identity.Address) error {
 	return err
 }
 
-// Finalize triggers reward distribution.
+// Finalize triggers reward distribution — the settle stage of Fig. 2.
+// It closes the workload's lifecycle span.
 func (c *Consumer) Finalize(workload identity.Address) error {
+	span := telemetry.StartSpan("workload.settle", c.Market.lifecycleID(workload))
+	timer := mStageSettle.Time()
 	_, err := MustSucceed(c.Market.SendAndSeal(c.ID, workload, 0, contract.CallData("finalize", nil)))
+	timer.Stop()
+	span.End()
+	if err == nil {
+		mFinalized.Inc()
+	}
+	c.Market.endLifecycle(workload)
 	return err
 }
 
-// Cancel reclaims the escrow after expiry.
+// Cancel reclaims the escrow after expiry. It closes the workload's
+// lifecycle span.
 func (c *Consumer) Cancel(workload identity.Address) error {
+	span := telemetry.StartSpan("workload.cancel", c.Market.lifecycleID(workload))
 	_, err := MustSucceed(c.Market.SendAndSeal(c.ID, workload, 0, contract.CallData("cancel", nil)))
+	span.End()
+	c.Market.endLifecycle(workload)
 	return err
 }
 
@@ -312,6 +341,11 @@ func (e *Executor) Register(workload identity.Address) error {
 	if len(auths) == 0 {
 		return errors.New("market: no authorizations collected for this workload")
 	}
+	span := telemetry.StartSpan("workload.match", e.Market.lifecycleID(workload))
+	span.SetAttr("executor", e.ID.Address().Hex())
+	defer span.End()
+	timer := mStageMatch.Time()
+	defer timer.Stop()
 	spec, err := e.Market.WorkloadSpecOf(workload)
 	if err != nil {
 		return err
@@ -518,8 +552,16 @@ func RunWorkloadExecution(workload identity.Address, executors []*Executor) ([]b
 	if len(executors) == 0 {
 		return nil, errors.New("market: no executors")
 	}
+	span := telemetry.StartSpan("workload.execute", executors[0].Market.lifecycleID(workload))
+	defer span.End()
+	timer := mStageExecute.Time()
+	defer timer.Stop()
 	for _, e := range executors {
-		if err := e.TrainLocal(workload); err != nil {
+		train := telemetry.StartSpan("executor.train", span.ID())
+		train.SetAttr("executor", e.ID.Address().Hex())
+		err := e.TrainLocal(workload)
+		train.End()
+		if err != nil {
 			return nil, fmt.Errorf("market: executor %s train: %w", e.ID.Address().Short(), err)
 		}
 	}
@@ -532,7 +574,11 @@ func RunWorkloadExecution(workload identity.Address, executors []*Executor) ([]b
 		shares = append(shares, s)
 	}
 	for _, e := range executors {
-		if err := e.Aggregate(workload, shares); err != nil {
+		agg := telemetry.StartSpan("executor.aggregate", span.ID())
+		agg.SetAttr("executor", e.ID.Address().Hex())
+		err := e.Aggregate(workload, shares)
+		agg.End()
+		if err != nil {
 			return nil, fmt.Errorf("market: executor %s aggregate: %w", e.ID.Address().Short(), err)
 		}
 	}

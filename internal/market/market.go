@@ -9,7 +9,22 @@ import (
 	"pds2/internal/identity"
 	"pds2/internal/ledger"
 	"pds2/internal/tee"
+	"pds2/internal/telemetry"
 	"pds2/internal/token"
+)
+
+// Market instrumentation: the Fig. 2 lifecycle stage durations
+// (submit → match → execute → settle) plus transaction round-trip time
+// through the convenience path. The matching spans live on the tracer;
+// see Market.trackLifecycle.
+var (
+	mStageSubmit  = telemetry.H("market.stage.submit_seconds", telemetry.TimeBuckets)
+	mStageMatch   = telemetry.H("market.stage.match_seconds", telemetry.TimeBuckets)
+	mStageExecute = telemetry.H("market.stage.execute_seconds", telemetry.TimeBuckets)
+	mStageSettle  = telemetry.H("market.stage.settle_seconds", telemetry.TimeBuckets)
+	mSendSeal     = telemetry.H("market.tx.sendseal_seconds", telemetry.TimeBuckets)
+	mSubmitted    = telemetry.C("market.workloads.submitted_total")
+	mFinalized    = telemetry.C("market.workloads.finalized_total")
 )
 
 // Config parameterizes a Market instance.
@@ -46,6 +61,12 @@ type Market struct {
 	authorities []*identity.Identity
 	rng         *crypto.DRBG
 	timestamp   uint64
+
+	// lifecycles holds the open root telemetry span per workload, so
+	// every stage (submit, match, execute, settle) parents under one
+	// "workload.lifecycle" span. Entries are nil while telemetry is
+	// disabled and are removed when the lifecycle settles.
+	lifecycles map[identity.Address]*telemetry.ActiveSpan
 
 	// DefaultGasLimit is attached to transactions sent through helpers.
 	DefaultGasLimit uint64
@@ -97,6 +118,7 @@ func New(cfg Config) (*Market, error) {
 		authorities:     authorities,
 		rng:             rng,
 		DefaultGasLimit: 40_000_000,
+		lifecycles:      make(map[identity.Address]*telemetry.ActiveSpan),
 	}
 	// Deploy the registry.
 	rcpt, err := m.SendAndSeal(authorities[0], identity.ZeroAddress, 0, contract.DeployData(RegistryCodeName, nil))
@@ -181,9 +203,34 @@ func (m *Market) poolHasNonce(addr identity.Address, nonce uint64) bool {
 	return false
 }
 
+// trackLifecycle registers the open root span for a workload. A nil
+// span (telemetry disabled) is ignored.
+func (m *Market) trackLifecycle(w identity.Address, sp *telemetry.ActiveSpan) {
+	if sp == nil {
+		return
+	}
+	m.lifecycles[w] = sp
+}
+
+// lifecycleID returns the root-span ID for a workload, or 0 when no
+// lifecycle span is open — stage spans then become roots themselves.
+func (m *Market) lifecycleID(w identity.Address) telemetry.SpanID {
+	return m.lifecycles[w].ID()
+}
+
+// endLifecycle closes and forgets a workload's root span.
+func (m *Market) endLifecycle(w identity.Address) {
+	if sp, ok := m.lifecycles[w]; ok {
+		sp.End()
+		delete(m.lifecycles, w)
+	}
+}
+
 // SendAndSeal signs, submits and seals a transaction in its own block,
 // returning the receipt — the convenience path used by actors and tests.
 func (m *Market) SendAndSeal(from *identity.Identity, to identity.Address, value uint64, data []byte) (*ledger.Receipt, error) {
+	timer := mSendSeal.Time()
+	defer timer.Stop()
 	tx := m.SignedTx(from, to, value, data)
 	if err := m.Submit(tx); err != nil {
 		return nil, err

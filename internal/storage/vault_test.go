@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+// TestVaultRoundTripSizes exercises seal/unseal across payload sizes,
+// including one smaller than a GCM nonce and one spanning many blocks.
+func TestVaultRoundTripSizes(t *testing.T) {
+	v, _ := testVault(t, 1)
+	rng := crypto.NewDRBGFromUint64(99, "vault-roundtrip")
+	for _, size := range []int{1, 15, 16, 17, 1024, 64 * 1024} {
+		t.Run(fmt.Sprintf("size-%d", size), func(t *testing.T) {
+			data := rng.Bytes(size)
+			ref, err := v.Store(data, sensorMeta(float64(size)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Size != int64(size) {
+				t.Fatalf("ref size %d, want %d", ref.Size, size)
+			}
+			got, err := v.Retrieve(ref.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("round-trip mismatch")
+			}
+		})
+	}
+}
+
+// TestVaultTamperDetected flips one ciphertext bit and expects both the
+// owner path and the grant path to reject the blob.
+func TestVaultTamperDetected(t *testing.T) {
+	v, _ := testVault(t, 2)
+	data := []byte("confidential readings")
+	ref, err := v.Store(data, sensorMeta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := v.store.Get(ref.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct[len(ct)/2] ^= 0x01
+	if err := v.store.Put(ref.ID, ct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Retrieve(ref.ID); err == nil {
+		t.Fatal("retrieve accepted a tampered ciphertext")
+	}
+	exec := identity.New("exec", crypto.NewDRBGFromUint64(3, "vault-test"))
+	g, err := v.Grant(ref.ID, crypto.HashString("wl"), exec.Address(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Open(ct); err == nil {
+		t.Fatal("grant opened a tampered ciphertext")
+	}
+}
+
+// TestGrantExpiryBoundary pins the expiry comparison: a grant is valid
+// at exactly its expiry height and invalid one block later.
+func TestGrantExpiryBoundary(t *testing.T) {
+	v, _ := testVault(t, 4)
+	ref, err := v.Store([]byte("data"), sensorMeta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := crypto.HashString("wl")
+	exec := identity.New("exec", crypto.NewDRBGFromUint64(5, "vault-test"))
+	g, err := v.Grant(ref.ID, wl, exec.Address(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Verify(wl, exec.Address(), 50); err != nil {
+		t.Fatalf("grant invalid at its own expiry height: %v", err)
+	}
+	if err := g.Verify(wl, exec.Address(), 51); !errors.Is(err, ErrGrantExpired) {
+		t.Fatalf("err = %v, want ErrGrantExpired", err)
+	}
+}
+
+// TestVaultPerItemKeys pins the per-item key separation: items get
+// distinct keys, and a grant for one item cannot open another.
+func TestVaultPerItemKeys(t *testing.T) {
+	v, _ := testVault(t, 6)
+	refA, err := v.Store([]byte("item A plaintext"), sensorMeta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB, err := v.Store([]byte("item B plaintext"), sensorMeta(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(v.itemKey(refA.ID), v.itemKey(refB.ID)) {
+		t.Fatal("two items share an encryption key")
+	}
+	wl := crypto.HashString("wl")
+	exec := identity.New("exec", crypto.NewDRBGFromUint64(7, "vault-test"))
+	gA, err := v.Grant(refA.ID, wl, exec.Address(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctB, err := v.store.Get(refB.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gA.Open(ctB); err == nil {
+		t.Fatal("grant for item A opened item B")
+	}
+}
+
+// TestGrantTamperedFieldsFailVerify mutates each signed grant field and
+// expects signature verification to fail.
+func TestGrantTamperedFieldsFailVerify(t *testing.T) {
+	v, _ := testVault(t, 8)
+	ref, err := v.Store([]byte("data"), sensorMeta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := crypto.HashString("wl")
+	exec := identity.New("exec", crypto.NewDRBGFromUint64(9, "vault-test"))
+	mallory := identity.New("mallory", crypto.NewDRBGFromUint64(10, "vault-test"))
+	base, err := v.Grant(ref.ID, wl, exec.Address(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Grant){
+		"expiry": func(g *Grant) { g.Expiry = 1 << 40 },
+		"key":    func(g *Grant) { g.Key = append([]byte(nil), g.Key...); g.Key[0] ^= 1 },
+		"owner":  func(g *Grant) { g.Owner = mallory.Address(); g.Pub = mallory.PublicKey() },
+		"data":   func(g *Grant) { g.DataID = crypto.HashString("other") },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			g := base
+			mutate(&g)
+			if err := g.Verify(g.WorkloadID, g.Grantee, 10); err == nil {
+				t.Fatal("verify accepted a tampered grant")
+			}
+		})
+	}
+}

@@ -24,6 +24,16 @@ import (
 	"pds2/internal/crypto"
 	"pds2/internal/identity"
 	"pds2/internal/simnet"
+	"pds2/internal/telemetry"
+)
+
+// TEE instrumentation: enclave launches, ecall volume and real (host-CPU)
+// ecall latency. The modelled "virtual" SGX time is reported by the
+// experiments; telemetry tracks what this process actually spends.
+var (
+	mEnclaveLaunches = telemetry.C("tee.enclave.launches_total")
+	mEcalls          = telemetry.C("tee.ecalls_total")
+	mEcallSeconds    = telemetry.H("tee.ecall_seconds", telemetry.TimeBuckets)
 )
 
 // Measurement identifies enclave code, the SGX MRENCLAVE analogue: the
@@ -124,6 +134,7 @@ func (p *Platform) Launch(program Program) (*Enclave, error) {
 		return nil, errors.New("tee: program has no entry point")
 	}
 	p.enclaves++
+	mEnclaveLaunches.Inc()
 	return &Enclave{
 		platform:    p,
 		program:     program,
@@ -157,6 +168,8 @@ func (e *Enclave) Call(input []byte, workingSetBytes int64) (CallResult, error) 
 		return CallResult{}, fmt.Errorf("tee: enclave call: %w", err)
 	}
 	e.calls++
+	mEcalls.Inc()
+	mEcallSeconds.Observe(elapsed.Seconds())
 	factor := e.platform.cost.OverheadFactor(workingSetBytes)
 	virtual := e.platform.cost.EcallCost +
 		simnet.Time(float64(elapsed.Microseconds())*factor)

@@ -7,7 +7,12 @@ import (
 	"fmt"
 
 	"pds2/internal/crypto"
+	"pds2/internal/telemetry"
 )
+
+// Sealing instrumentation: seal/unseal latency covers key derivation and
+// the AES-GCM pass, the dominant cost of persisting enclave state.
+var mSealSeconds = telemetry.H("tee.seal_seconds", telemetry.TimeBuckets)
 
 // Sealed storage: AES-256-GCM under a key derived from the platform's
 // device secret and the enclave measurement, reproducing SGX's
@@ -23,11 +28,15 @@ func (p *Platform) sealKey(m Measurement) []byte {
 // Seal encrypts data so that only an enclave with this measurement on
 // this platform can recover it. The nonce is drawn from rng.
 func (e *Enclave) Seal(data []byte, rng *crypto.DRBG) ([]byte, error) {
+	timer := mSealSeconds.Time()
+	defer timer.Stop()
 	return sealWithKey(e.platform.sealKey(e.measurement), data, rng)
 }
 
 // Unseal decrypts a blob sealed by the same (platform, measurement).
 func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
+	timer := mSealSeconds.Time()
+	defer timer.Stop()
 	return unsealWithKey(e.platform.sealKey(e.measurement), blob)
 }
 

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies a recorded span. 0 is "no span" and is the parent of
+// root spans.
+type SpanID uint64
+
+// Span is one finished timed operation. Spans link to their parent by
+// ID, forming per-workload trees (workload.lifecycle → submit → match →
+// execute → settle).
+type Span struct {
+	ID      SpanID            `json:"id"`
+	Parent  SpanID            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartNS int64             `json:"start_ns"` // unix nanoseconds
+	DurNS   int64             `json:"dur_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// DefaultSpanCapacity bounds the tracer ring buffer: old spans are
+// overwritten once the buffer is full, so tracing is always safe to
+// leave on.
+const DefaultSpanCapacity = 4096
+
+// Tracer records finished spans into a fixed-capacity ring buffer.
+// Starting a span is one atomic increment; recording takes the tracer
+// lock once, at End.
+type Tracer struct {
+	r    *Registry
+	next atomic.Uint64
+
+	mu   sync.Mutex
+	buf  []Span
+	pos  int
+	full bool
+}
+
+func newTracer(r *Registry, capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Tracer{r: r, buf: make([]Span, capacity)}
+}
+
+// Start opens a span. It returns nil when the registry is disabled; all
+// ActiveSpan methods are nil-safe, so callers never branch.
+func (t *Tracer) Start(name string, parent SpanID) *ActiveSpan {
+	if t == nil || !t.r.enabled.Load() {
+		return nil
+	}
+	return &ActiveSpan{
+		t:      t,
+		id:     SpanID(t.next.Add(1)),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// record appends a finished span, overwriting the oldest when full.
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	t.buf[t.pos] = s
+	t.pos++
+	if t.pos == len(t.buf) {
+		t.pos = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the recorded spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Span(nil), t.buf[:t.pos]...)
+	}
+	out := make([]Span, 0, len(t.buf))
+	out = append(out, t.buf[t.pos:]...)
+	return append(out, t.buf[:t.pos]...)
+}
+
+// Reset drops all recorded spans. Span IDs keep increasing, so parent
+// links from before a reset never collide with spans after it.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.pos, t.full = 0, false
+	t.mu.Unlock()
+}
+
+// Trace is the exportable form of the span buffer (the /trace body).
+type Trace struct {
+	Spans []Span `json:"spans"`
+}
+
+// Export snapshots the recorded spans. The slice is never nil, so an
+// empty tracer serializes as {"spans": []} rather than null.
+func (t *Tracer) Export() Trace {
+	spans := t.Spans()
+	if spans == nil {
+		spans = []Span{}
+	}
+	return Trace{Spans: spans}
+}
+
+// TreeString renders the spans as an indented forest, children under
+// parents in start order — the human-readable form for the CLI.
+func (tr Trace) TreeString() string {
+	children := make(map[SpanID][]Span)
+	byID := make(map[SpanID]bool, len(tr.Spans))
+	for _, s := range tr.Spans {
+		byID[s.ID] = true
+	}
+	var roots []Span
+	for _, s := range tr.Spans {
+		// A span whose parent fell off the ring renders as a root.
+		if s.Parent == 0 || !byID[s.Parent] {
+			roots = append(roots, s)
+		} else {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	byStart := func(spans []Span) {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].StartNS < spans[j].StartNS })
+	}
+	byStart(roots)
+	var sb strings.Builder
+	var render func(s Span, depth int)
+	render = func(s Span, depth int) {
+		fmt.Fprintf(&sb, "%s%s  %s", strings.Repeat("  ", depth), s.Name,
+			time.Duration(s.DurNS).Round(time.Microsecond))
+		if len(s.Attrs) > 0 {
+			keys := make([]string, 0, len(s.Attrs))
+			for k := range s.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&sb, " %s=%s", k, s.Attrs[k])
+			}
+		}
+		sb.WriteByte('\n')
+		kids := children[s.ID]
+		byStart(kids)
+		for _, c := range kids {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
+	}
+	return sb.String()
+}
+
+// ActiveSpan is an open span held by the code path being traced. The
+// nil ActiveSpan (telemetry disabled) accepts every call and does
+// nothing.
+type ActiveSpan struct {
+	t      *Tracer
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+	attrs  map[string]string
+}
+
+// ID returns the span's ID, for parenting children. Nil spans return 0,
+// so children of a disabled span become roots — harmless, since they
+// are only created when telemetry is re-enabled mid-flight.
+func (s *ActiveSpan) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr attaches a key/value label to the span.
+func (s *ActiveSpan) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[k] = v
+}
+
+// End closes the span and records it. Calling End twice records twice;
+// don't.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.t.record(Span{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartNS: s.start.UnixNano(),
+		DurNS:   int64(time.Since(s.start)),
+		Attrs:   s.attrs,
+	})
+}

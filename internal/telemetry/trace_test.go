@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerDisabledReturnsNil(t *testing.T) {
+	r := New()
+	if sp := r.Tracer().Start("x", 0); sp != nil {
+		t.Fatal("disabled tracer returned a span")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	r := enabled(t)
+	root := r.Tracer().Start("workload.lifecycle", 0)
+	sub := r.Tracer().Start("workload.submit", root.ID())
+	sub.SetAttr("workload", "abcd")
+	sub.End()
+	exec := r.Tracer().Start("workload.execute", root.ID())
+	train := r.Tracer().Start("executor.train", exec.ID())
+	train.End()
+	exec.End()
+	root.End()
+
+	spans := r.Tracer().Spans()
+	if len(spans) != 4 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["workload.submit"].Parent != byName["workload.lifecycle"].ID {
+		t.Fatal("submit not parented to lifecycle")
+	}
+	if byName["executor.train"].Parent != byName["workload.execute"].ID {
+		t.Fatal("train not parented to execute")
+	}
+	if byName["workload.submit"].Attrs["workload"] != "abcd" {
+		t.Fatal("attr lost")
+	}
+	if byName["workload.lifecycle"].DurNS < byName["workload.execute"].DurNS {
+		t.Fatal("root shorter than child")
+	}
+
+	tree := r.Tracer().Export().TreeString()
+	lifecycleAt := strings.Index(tree, "workload.lifecycle")
+	trainAt := strings.Index(tree, "  executor.train")
+	if lifecycleAt < 0 || trainAt < 0 || trainAt < lifecycleAt {
+		t.Fatalf("tree rendering:\n%s", tree)
+	}
+}
+
+func TestTracerRingOverwritesOldest(t *testing.T) {
+	r := New()
+	r.tracer = newTracer(r, 4)
+	r.SetEnabled(true)
+	for i := 0; i < 6; i++ {
+		sp := r.Tracer().Start("s", 0)
+		sp.SetAttr("i", string(rune('0'+i)))
+		sp.End()
+	}
+	spans := r.Tracer().Spans()
+	if len(spans) != 4 {
+		t.Fatalf("%d spans in ring of 4", len(spans))
+	}
+	if spans[0].Attrs["i"] != "2" || spans[3].Attrs["i"] != "5" {
+		t.Fatalf("ring order: %v ... %v", spans[0].Attrs, spans[3].Attrs)
+	}
+}
+
+func TestTreeStringOrphanedChildBecomesRoot(t *testing.T) {
+	r := enabled(t)
+	// Parent ID 999 was never recorded (simulates a parent that fell off
+	// the ring buffer).
+	sp := r.Tracer().Start("orphan", SpanID(999))
+	sp.End()
+	tree := r.Tracer().Export().TreeString()
+	if !strings.HasPrefix(tree, "orphan") {
+		t.Fatalf("orphan not rendered as root:\n%s", tree)
+	}
+}
