@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet bench ci
 
 build:
 	$(GO) build ./...
@@ -16,3 +16,11 @@ vet:
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./...
+
+# ci is the documented pre-PR gate: static checks, the full build, the
+# race-enabled test suite, and a single-iteration smoke run of the
+# ledger block-pipeline benchmarks so the import/mempool hot paths are
+# exercised end to end.
+ci: vet build
+	$(GO) test -race ./...
+	$(GO) test -run NONE -bench 'BenchmarkImportBlock|BenchmarkMempool|BenchmarkLedger' -benchtime=1x .

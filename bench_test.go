@@ -12,6 +12,7 @@ package pds2
 
 import (
 	"math/big"
+	"sync/atomic"
 	"testing"
 
 	"pds2/internal/contract"
@@ -107,6 +108,93 @@ func BenchmarkLedgerTransfersPerBlock(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(txPerBlock), "tx/block")
+}
+
+// benchImportBlock measures replica block-import throughput for one
+// 500-transfer block. audit=true prepends a standalone VerifyBlock,
+// reproducing the pre-optimization double-execution path; workers
+// selects the stateless-verification pool (1 = serial, 0 = GOMAXPROCS).
+func benchImportBlock(b *testing.B, workers int, audit bool) {
+	b.Helper()
+	authority := identity.New("auth", crypto.NewDRBGFromUint64(1, "bench"))
+	users := make([]*identity.Identity, 100)
+	alloc := map[identity.Address]uint64{}
+	for i := range users {
+		users[i] = identity.New("u", crypto.NewDRBGFromUint64(uint64(10+i), "bench"))
+		alloc[users[i].Address()] = 1 << 40
+	}
+	cfg := ledger.ChainConfig{
+		Authorities:      []identity.Address{authority.Address()},
+		GenesisAlloc:     alloc,
+		StatelessWorkers: workers,
+	}
+	producer, err := ledger.NewChain(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const txPerBlock = 500
+	txs := make([]*ledger.Transaction, txPerBlock)
+	for j := range txs {
+		u := j % len(users)
+		txs[j] = ledger.SignTx(users[u], users[(u+1)%len(users)].Address(), 1, uint64(j/len(users)), 50_000, nil)
+	}
+	block, err := producer.ProposeBlock(authority, 1, txs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		replica, err := ledger.NewChain(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if audit {
+			if err := replica.VerifyBlock(block); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := replica.ImportBlock(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(txPerBlock)*float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+}
+
+// BenchmarkImportBlock compares the block-import pipelines: the
+// double-execution baseline (standalone verify, then import — what
+// ImportBlock did before it executed blocks exactly once), the
+// single-execution path with serial signature verification, and the
+// full pipeline with the parallel stateless phase.
+func BenchmarkImportBlock(b *testing.B) {
+	b.Run("double-exec-baseline", func(b *testing.B) { benchImportBlock(b, 1, true) })
+	b.Run("single-exec-serial", func(b *testing.B) { benchImportBlock(b, 1, false) })
+	b.Run("single-exec-parallel", func(b *testing.B) { benchImportBlock(b, 0, false) })
+}
+
+// BenchmarkMempoolConcurrentAdmission measures admission throughput
+// with many submitter goroutines hitting the pool at once — the API
+// fast path, where ed25519 verification runs outside the pool mutex.
+// Signing happens inline, so the figure is a full admission round trip.
+func BenchmarkMempoolConcurrentAdmission(b *testing.B) {
+	pool := ledger.NewMempool(1 << 30)
+	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		sender := identity.New("s", crypto.NewDRBGFromUint64(seq.Add(1), "bench-pool"))
+		to := identity.New("r", crypto.NewDRBGFromUint64(seq.Add(1), "bench-pool")).Address()
+		var nonce uint64
+		for pb.Next() {
+			tx := ledger.SignTx(sender, to, 1, nonce, 50_000, nil)
+			nonce++
+			if err := pool.Add(tx); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkTelemetryOverhead pins the cost of the instrumentation

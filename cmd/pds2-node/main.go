@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	pds2-node [-listen :8547] [-seed 1] [-block-ms 500] [-fund addr:amount,...]
+//	pds2-node [-listen :8547] [-seed 1] [-block-ms 500] [-fund addr:amount,...] [-mempool 100000]
 //
 // Try it:
 //
@@ -35,6 +35,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "deterministic seed")
 		blockMS = flag.Int("block-ms", 500, "auto-seal interval in milliseconds (0 disables)")
 		fund    = flag.String("fund", "", "comma-separated genesis allocations addr:amount")
+		pool    = flag.Int("mempool", 0, "mempool capacity in transactions (0 selects the default)")
 		tel     = flag.Bool("telemetry", true, "collect metrics and traces (served at /metrics and /trace)")
 	)
 	flag.Parse()
@@ -61,7 +62,7 @@ func main() {
 		}
 	}
 
-	m, err := market.New(market.Config{Seed: *seed, GenesisAlloc: alloc})
+	m, err := market.New(market.Config{Seed: *seed, GenesisAlloc: alloc, MempoolSize: *pool})
 	if err != nil {
 		fatalf("start market: %v", err)
 	}

@@ -6,7 +6,9 @@
 // agents and executor daemons all speak this API.
 //
 // All responses are JSON. The server serializes access to the
-// underlying market, which is not safe for concurrent use.
+// underlying market, which is not safe for concurrent use — except
+// transaction admission, which goes straight to the self-synchronized
+// mempool so submissions from many clients verify in parallel.
 package api
 
 import (
@@ -322,9 +324,19 @@ func (s *Server) handleSubmitTx(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad transaction: %v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.m.Submit(&tx); err != nil {
+	// Fast path: admission touches only the mempool, which is safe for
+	// concurrent use, so handler goroutines admit without the market
+	// mutex — signature verification of concurrent submissions runs in
+	// parallel instead of queuing behind block sealing.
+	err := s.m.Pool.Add(&tx)
+	if errors.Is(err, ledger.ErrMempoolFull) {
+		// Full pool: Market.Submit prunes stale entries against chain
+		// state and retries, which needs the market lock.
+		s.mu.Lock()
+		err = s.m.Submit(&tx)
+		s.mu.Unlock()
+	}
+	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, ledger.ErrMempoolFull) {
 			status = http.StatusServiceUnavailable

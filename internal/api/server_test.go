@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"pds2/internal/contract"
@@ -156,6 +157,70 @@ func TestSubmitRejectsInvalidTx(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("code %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentSubmissions drives the lock-free admission fast path:
+// many goroutines POST distinct transactions while another hammers the
+// mutex-guarded read endpoints. Meaningful under -race (make ci runs
+// it): admission bypasses the server's market mutex by design.
+func TestConcurrentSubmissions(t *testing.T) {
+	srv, m, _ := testServer(t, false)
+	const (
+		senders     = 4
+		txPerSender = 8
+	)
+	// Senders are unfunded: admission is stateless, so the pool accepts
+	// their transactions regardless of balances.
+	ids := make([]*identity.Identity, senders)
+	for i := range ids {
+		ids[i] = identity.New("c", crypto.NewDRBGFromUint64(uint64(50+i), "api-test"))
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, senders*txPerSender+1)
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id *identity.Identity) {
+			defer wg.Done()
+			for n := uint64(0); n < txPerSender; n++ {
+				tx := ledger.SignTx(id, identity.ZeroAddress, 0, n, 50_000, nil)
+				body, _ := json.Marshal(tx)
+				resp, err := http.Post(srv.URL+"/v1/transactions", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					errc <- fmt.Errorf("submit code %d", resp.StatusCode)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			resp, err := http.Get(srv.URL + "/v1/status")
+			if err != nil {
+				errc <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("status code %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if got := m.Pool.Len(); got != senders*txPerSender {
+		t.Fatalf("pool depth %d, want %d", got, senders*txPerSender)
 	}
 }
 

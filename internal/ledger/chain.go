@@ -74,6 +74,12 @@ type ChainConfig struct {
 
 	// Genesis allocations: balances credited at height 0.
 	GenesisAlloc map[identity.Address]uint64
+
+	// StatelessWorkers bounds the worker pool used for the stateless
+	// transaction-verification phase (signature, sender binding and
+	// intrinsic-gas checks). Zero selects GOMAXPROCS; one forces the
+	// sequential path. Small batches always verify sequentially.
+	StatelessWorkers int
 }
 
 // DefaultBlockGasLimit matches the order of magnitude of Ethereum blocks.
@@ -194,8 +200,11 @@ func (c *Chain) ProposeBlock(proposer *identity.Identity, timestamp uint64, txs 
 		return nil, ErrNonMonotonicTS
 	}
 
+	if err := c.verifyStateless(txs); err != nil {
+		return nil, err
+	}
 	snap := c.state.Snapshot()
-	receipts, gasUsed, err := c.executeTxs(txs, height)
+	receipts, gasUsed, err := c.applyTxs(txs, height)
 	if err != nil {
 		c.state.RevertTo(snap)
 		return nil, err
@@ -218,16 +227,15 @@ func (c *Chain) ProposeBlock(proposer *identity.Identity, timestamp uint64, txs 
 	return block, nil
 }
 
-// executeTxs runs the transactions in order, enforcing nonces and the
-// block gas limit. It returns the receipts and total gas used, leaving
-// the state mutated; the caller owns snapshot/revert.
-func (c *Chain) executeTxs(txs []*Transaction, height uint64) ([]*Receipt, uint64, error) {
+// applyTxs runs the already-stateless-verified transactions in order,
+// enforcing nonces and the block gas limit. It returns the receipts and
+// total gas used, leaving the state mutated; the caller owns
+// snapshot/revert. Callers must run verifyStateless first — signature
+// and intrinsic checks are not repeated here.
+func (c *Chain) applyTxs(txs []*Transaction, height uint64) ([]*Receipt, uint64, error) {
 	var gasUsed uint64
 	receipts := make([]*Receipt, 0, len(txs))
 	for i, tx := range txs {
-		if err := tx.VerifyBasic(); err != nil {
-			return nil, 0, fmt.Errorf("ledger: tx %d invalid: %w", i, err)
-		}
 		if want := c.state.Nonce(tx.From); tx.Nonce != want {
 			return nil, 0, fmt.Errorf("ledger: tx %d nonce %d, want %d for %s", i, tx.Nonce, want, tx.From.Short())
 		}
@@ -261,11 +269,10 @@ func (c *Chain) commitBlock(block *Block, receipts []*Receipt) {
 	mHeight.Set(float64(block.Header.Height))
 }
 
-// VerifyBlock re-validates a sealed block against this chain's tip
-// without applying it. Replicas use it (via ImportBlock) to check blocks
-// produced elsewhere; the full check replays the transactions on a
-// snapshot and compares the resulting state root.
-func (c *Chain) VerifyBlock(block *Block) error {
+// verifyHeader checks everything about a block that does not require
+// executing its transactions: parent linkage, height, timestamp
+// monotonicity, proposer rotation, the proposer seal and the tx root.
+func (c *Chain) verifyHeader(block *Block) error {
 	parent := c.Head()
 	if block.Header.Parent != parent.Hash() {
 		return ErrBadParent
@@ -285,32 +292,73 @@ func (c *Chain) VerifyBlock(block *Block) error {
 	if txRoot(block.Txs) != block.Header.TxRoot {
 		return ErrBadTxRoot
 	}
-	snap := c.state.Snapshot()
-	defer c.state.RevertTo(snap)
-	receipts, gasUsed, err := c.executeTxs(block.Txs, block.Header.Height)
+	return nil
+}
+
+// executeAndCheck runs the block's transactions against the live state
+// and checks the header's gas and state-root commitments. On any error
+// the state is rolled back to where it was; on success the journal is
+// left open at snap so the caller chooses between commit (import) and
+// revert (audit-only verification).
+func (c *Chain) executeAndCheck(block *Block) (receipts []*Receipt, snap int, err error) {
+	snap = c.state.Snapshot()
+	receipts, gasUsed, err := c.applyTxs(block.Txs, block.Header.Height)
+	if err != nil {
+		c.state.RevertTo(snap)
+		return nil, snap, err
+	}
+	if gasUsed != block.Header.GasUsed {
+		c.state.RevertTo(snap)
+		return nil, snap, fmt.Errorf("ledger: gas used %d, header claims %d", gasUsed, block.Header.GasUsed)
+	}
+	if root := c.state.Root(); root != block.Header.StateRoot {
+		c.state.RevertTo(snap)
+		return nil, snap, fmt.Errorf("%w: computed %s, header %s", ErrBadStateRoot, root.Short(), block.Header.StateRoot.Short())
+	}
+	return receipts, snap, nil
+}
+
+// VerifyBlock re-validates a sealed block against this chain's tip
+// without applying it: header and seal checks, stateless transaction
+// verification, then a replay on a snapshot that is reverted before
+// returning. Replicas that only audit use this; replicas that follow the
+// chain use ImportBlock, which executes the transactions once and keeps
+// the result instead of throwing it away.
+func (c *Chain) VerifyBlock(block *Block) error {
+	if err := c.verifyHeader(block); err != nil {
+		return err
+	}
+	if err := c.verifyStateless(block.Txs); err != nil {
+		return err
+	}
+	receipts, snap, err := c.executeAndCheck(block)
 	if err != nil {
 		return err
 	}
 	_ = receipts
-	if gasUsed != block.Header.GasUsed {
-		return fmt.Errorf("ledger: gas used %d, header claims %d", gasUsed, block.Header.GasUsed)
-	}
-	if root := c.state.Root(); root != block.Header.StateRoot {
-		return fmt.Errorf("%w: computed %s, header %s", ErrBadStateRoot, root.Short(), block.Header.StateRoot.Short())
-	}
+	c.state.RevertTo(snap)
 	return nil
 }
 
 // ImportBlock validates and appends a block produced by another node.
+// Transactions execute exactly once: the header, seal and tx root are
+// checked first, the stateless phase (signatures, sender binding,
+// intrinsic gas) runs across a worker pool, and the block is then
+// executed once against a snapshot whose gas total and state root are
+// compared with the header before that same snapshot is committed. Any
+// mismatch reverts the state and leaves the chain untouched.
 func (c *Chain) ImportBlock(block *Block) error {
 	timer := mImportSeconds.Time()
 	defer timer.Stop()
-	if err := c.VerifyBlock(block); err != nil {
+	if err := c.verifyHeader(block); err != nil {
 		return err
 	}
-	receipts, _, err := c.executeTxs(block.Txs, block.Header.Height)
+	if err := c.verifyStateless(block.Txs); err != nil {
+		return err
+	}
+	receipts, _, err := c.executeAndCheck(block)
 	if err != nil {
-		return err // unreachable after VerifyBlock, kept for safety
+		return err
 	}
 	c.commitBlock(block, receipts)
 	return nil

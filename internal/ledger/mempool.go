@@ -2,26 +2,39 @@ package ledger
 
 import (
 	"errors"
-	"fmt"
 	"sort"
+	"sync"
 
 	"pds2/internal/crypto"
 	"pds2/internal/identity"
 	"pds2/internal/telemetry"
 )
 
-// Mempool instrumentation: live depth plus admission outcomes.
+// Mempool instrumentation: live depth, admission outcomes and the
+// lifecycle events that keep the pool healthy under sustained load.
 var (
 	mPoolDepth    = telemetry.G("ledger.mempool.depth")
 	mPoolAdmitted = telemetry.C("ledger.mempool.admitted_total")
 	mPoolRejected = telemetry.C("ledger.mempool.rejected_total")
+	mPoolEvicted  = telemetry.C("ledger.mempool.evicted_total")
+	mPoolReplaced = telemetry.C("ledger.mempool.replaced_total")
 )
 
 // Mempool holds verified pending transactions, ordered per sender by
-// nonce. It enforces stateless validity on admission and hands the block
-// proposer batches of executable transactions (those whose nonces chain
-// directly from the sender's current account nonce).
+// nonce. It enforces stateless validity on admission, supports
+// same-nonce replacement, evicts transactions made stale by chain
+// progress, and hands the block proposer batches of executable
+// transactions (those whose nonces chain directly from the sender's
+// current account nonce).
+//
+// All methods are safe for concurrent use: admission (Add), queries and
+// removal only touch the pool's own state under its mutex, so API
+// handler goroutines can admit transactions without holding whatever
+// lock serializes block production. The two methods that read chain
+// state — NextBatch and Prune — take a *State; synchronizing that state
+// against concurrent block execution remains the caller's job.
 type Mempool struct {
+	mu       sync.Mutex
 	bySender map[identity.Address][]*Transaction // sorted by nonce
 	byHash   map[crypto.Digest]*Transaction
 	maxSize  int
@@ -46,74 +59,173 @@ func NewMempool(maxSize int) *Mempool {
 var (
 	ErrMempoolFull      = errors.New("ledger: mempool full")
 	ErrMempoolDuplicate = errors.New("ledger: transaction already pending")
-	ErrMempoolNonceGap  = errors.New("ledger: duplicate nonce for sender")
+
+	// ErrMempoolNonceDup reports a second, distinct transaction for a
+	// (sender, nonce) slot. Add no longer returns it — the newer
+	// transaction replaces the pending one — but the sentinel remains
+	// for callers that classified the old rejection.
+	ErrMempoolNonceDup = errors.New("ledger: duplicate nonce for sender")
+
+	// Deprecated: ErrMempoolNonceGap is the old, misleading name for
+	// ErrMempoolNonceDup (the condition is a duplicate nonce, not a
+	// gap). Use ErrMempoolNonceDup.
+	ErrMempoolNonceGap = ErrMempoolNonceDup
 )
 
-// Add admits a transaction after stateless verification.
+// Add admits a transaction after stateless verification. A transaction
+// with the same sender and nonce as a pending one replaces it (the
+// newer submission wins — the fee-bump path of public chains, without
+// fees); a byte-identical resubmission is rejected with
+// ErrMempoolDuplicate.
 func (m *Mempool) Add(tx *Transaction) error {
 	if err := m.add(tx); err != nil {
 		mPoolRejected.Inc()
 		return err
 	}
 	mPoolAdmitted.Inc()
-	mPoolDepth.Set(float64(len(m.byHash)))
 	return nil
 }
 
 func (m *Mempool) add(tx *Transaction) error {
+	// Verify outside the lock: ed25519 checks dominate admission cost
+	// and need nothing from the pool, so concurrent submitters verify
+	// in parallel and only serialize for the map updates.
 	if err := tx.VerifyBasic(); err != nil {
 		return err
 	}
 	h := tx.Hash()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, ok := m.byHash[h]; ok {
 		return ErrMempoolDuplicate
 	}
+	list := m.bySender[tx.From]
+	for i, pending := range list {
+		if pending.Nonce == tx.Nonce {
+			// Same-nonce replacement: swap in place, no capacity check —
+			// the pool does not grow.
+			delete(m.byHash, pending.Hash())
+			list[i] = tx
+			m.byHash[h] = tx
+			mPoolReplaced.Inc()
+			return nil
+		}
+	}
 	if len(m.byHash) >= m.maxSize {
 		return ErrMempoolFull
-	}
-	list := m.bySender[tx.From]
-	for _, pending := range list {
-		if pending.Nonce == tx.Nonce {
-			return fmt.Errorf("%w: nonce %d", ErrMempoolNonceGap, tx.Nonce)
-		}
 	}
 	list = append(list, tx)
 	sort.Slice(list, func(i, j int) bool { return list[i].Nonce < list[j].Nonce })
 	m.bySender[tx.From] = list
 	m.byHash[h] = tx
+	mPoolDepth.Set(float64(len(m.byHash)))
 	return nil
 }
 
 // Len returns the number of pending transactions.
-func (m *Mempool) Len() int { return len(m.byHash) }
+func (m *Mempool) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byHash)
+}
 
 // Contains reports whether a transaction with the given hash is pending.
 func (m *Mempool) Contains(h crypto.Digest) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	_, ok := m.byHash[h]
 	return ok
 }
 
-// NextBatch returns up to max transactions executable against the given
-// state: for each sender, the longest prefix of its pending list whose
-// nonces chain from the account nonce. Senders are visited in
-// deterministic (address) order. The returned transactions remain in the
-// pool until Remove is called — typically after block inclusion.
-func (m *Mempool) NextBatch(st *State, max int) []*Transaction {
+// NextNonce returns the lowest nonce >= chainNonce not occupied by a
+// pending transaction from addr — the nonce a wallet should sign with
+// next.
+func (m *Mempool) NextNonce(addr identity.Address, chainNonce uint64) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := chainNonce
+	for _, tx := range m.bySender[addr] {
+		if tx.Nonce < n {
+			continue
+		}
+		if tx.Nonce != n {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// evictStaleLocked drops addr's pending transactions whose nonce is
+// below next (already executed on chain — they can never become
+// executable again). The per-sender list is nonce-sorted, so stale
+// entries form a prefix. Callers hold m.mu.
+func (m *Mempool) evictStaleLocked(addr identity.Address, next uint64) int {
+	list := m.bySender[addr]
+	i := 0
+	for i < len(list) && list[i].Nonce < next {
+		delete(m.byHash, list[i].Hash())
+		i++
+	}
+	if i == 0 {
+		return 0
+	}
+	mPoolEvicted.Add(uint64(i))
+	if i == len(list) {
+		delete(m.bySender, addr)
+	} else {
+		m.bySender[addr] = list[i:]
+	}
+	return i
+}
+
+// Prune evicts every transaction whose nonce is below its sender's
+// account nonce in st and returns the number evicted. Before this
+// existed, such entries occupied capacity forever and a long-running
+// node eventually rejected all new traffic with ErrMempoolFull.
+func (m *Mempool) Prune(st *State) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	evicted := 0
+	for _, addr := range m.sendersLocked() {
+		evicted += m.evictStaleLocked(addr, st.Nonce(addr))
+	}
+	if evicted > 0 {
+		mPoolDepth.Set(float64(len(m.byHash)))
+	}
+	return evicted
+}
+
+// sendersLocked returns the sender set in deterministic (address)
+// order. Callers hold m.mu.
+func (m *Mempool) sendersLocked() []identity.Address {
 	senders := make([]identity.Address, 0, len(m.bySender))
 	for a := range m.bySender {
 		senders = append(senders, a)
 	}
 	sortAddresses(senders)
+	return senders
+}
 
+// NextBatch returns up to max transactions executable against the given
+// state: for each sender, the longest prefix of its pending list whose
+// nonces chain from the account nonce. Senders are visited in
+// deterministic (address) order. Stale transactions encountered along
+// the way are evicted, so the routine seal cadence keeps the pool
+// self-pruning. The returned transactions remain in the pool until
+// Remove is called — typically after block inclusion.
+func (m *Mempool) NextBatch(st *State, max int) []*Transaction {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var batch []*Transaction
-	for _, sender := range senders {
+	evicted := 0
+	for _, sender := range m.sendersLocked() {
 		next := st.Nonce(sender)
+		evicted += m.evictStaleLocked(sender, next)
 		for _, tx := range m.bySender[sender] {
 			if len(batch) >= max {
-				return batch
-			}
-			if tx.Nonce < next {
-				continue // stale: already executed on chain
+				break
 			}
 			if tx.Nonce != next {
 				break // gap: later nonces are not yet executable
@@ -121,6 +233,12 @@ func (m *Mempool) NextBatch(st *State, max int) []*Transaction {
 			batch = append(batch, tx)
 			next++
 		}
+		if len(batch) >= max {
+			break
+		}
+	}
+	if evicted > 0 {
+		mPoolDepth.Set(float64(len(m.byHash)))
 	}
 	return batch
 }
@@ -128,6 +246,8 @@ func (m *Mempool) NextBatch(st *State, max int) []*Transaction {
 // Remove deletes the given transactions from the pool, typically after
 // they have been included in a block.
 func (m *Mempool) Remove(txs []*Transaction) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for _, tx := range txs {
 		h := tx.Hash()
 		if _, ok := m.byHash[h]; !ok {

@@ -2,7 +2,10 @@ package ledger
 
 import (
 	"errors"
+	"sync"
 	"testing"
+
+	"pds2/internal/identity"
 )
 
 func TestMempoolAddAndBatch(t *testing.T) {
@@ -62,10 +65,178 @@ func TestMempoolDuplicateRejected(t *testing.T) {
 	if err := pool.Add(tx); !errors.Is(err, ErrMempoolDuplicate) {
 		t.Fatalf("want ErrMempoolDuplicate, got %v", err)
 	}
-	// Same sender+nonce, different payload: still rejected (nonce clash).
-	other := SignTx(alice, testIdentity(3).Address(), 2, 0, 50_000, nil)
-	if err := pool.Add(other); !errors.Is(err, ErrMempoolNonceGap) {
-		t.Fatalf("want ErrMempoolNonceGap, got %v", err)
+}
+
+func TestMempoolSameNonceReplaces(t *testing.T) {
+	alice := testIdentity(1)
+	pool := NewMempool(0)
+	st := NewState()
+	old := SignTx(alice, testIdentity(2).Address(), 1, 0, 50_000, nil)
+	if err := pool.Add(old); err != nil {
+		t.Fatal(err)
+	}
+	// Same sender+nonce, different payload: the newer tx wins.
+	repl := SignTx(alice, testIdentity(3).Address(), 2, 0, 50_000, nil)
+	if err := pool.Add(repl); err != nil {
+		t.Fatalf("replacement rejected: %v", err)
+	}
+	if pool.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", pool.Len())
+	}
+	if pool.Contains(old.Hash()) || !pool.Contains(repl.Hash()) {
+		t.Fatal("replacement did not swap the pending tx")
+	}
+	batch := pool.NextBatch(st, 10)
+	if len(batch) != 1 || batch[0].Hash() != repl.Hash() {
+		t.Fatalf("batch = %+v", batch)
+	}
+	// The deprecated alias still points at the new sentinel.
+	if !errors.Is(ErrMempoolNonceGap, ErrMempoolNonceDup) {
+		t.Fatal("ErrMempoolNonceGap is not an alias of ErrMempoolNonceDup")
+	}
+}
+
+// TestMempoolReplacementAtCapacity checks that replacement is exempt
+// from the capacity check: it never grows the pool.
+func TestMempoolReplacementAtCapacity(t *testing.T) {
+	alice := testIdentity(1)
+	pool := NewMempool(1)
+	if err := pool.Add(SignTx(alice, testIdentity(2).Address(), 1, 0, 50_000, nil)); err != nil {
+		t.Fatal(err)
+	}
+	repl := SignTx(alice, testIdentity(3).Address(), 2, 0, 50_000, nil)
+	if err := pool.Add(repl); err != nil {
+		t.Fatalf("replacement at capacity rejected: %v", err)
+	}
+	if pool.Len() != 1 || !pool.Contains(repl.Hash()) {
+		t.Fatal("replacement at capacity did not swap")
+	}
+}
+
+// TestMempoolStaleEvictionUnclogsPool is the regression test for the
+// stale-transaction leak: a pool filled to capacity with transactions
+// whose nonces are already consumed on chain must accept new traffic
+// again once eviction runs.
+func TestMempoolStaleEvictionUnclogsPool(t *testing.T) {
+	const cap = 8
+	pool := NewMempool(cap)
+	st := NewState()
+	stale := make([]*identity.Identity, cap)
+	for i := range stale {
+		stale[i] = testIdentity(uint64(10 + i))
+		if err := pool.Add(SignTx(stale[i], testIdentity(2).Address(), 1, 0, 50_000, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The chain has moved past every pending nonce.
+	for _, id := range stale {
+		st.BumpNonce(id.Address())
+	}
+	fresh := SignTx(testIdentity(1), testIdentity(2).Address(), 1, 0, 50_000, nil)
+	if err := pool.Add(fresh); !errors.Is(err, ErrMempoolFull) {
+		t.Fatalf("want ErrMempoolFull before eviction, got %v", err)
+	}
+	if n := pool.Prune(st); n != cap {
+		t.Fatalf("Prune evicted %d, want %d", n, cap)
+	}
+	if pool.Len() != 0 {
+		t.Fatalf("Len = %d after prune", pool.Len())
+	}
+	if err := pool.Add(fresh); err != nil {
+		t.Fatalf("admission still failing after prune: %v", err)
+	}
+}
+
+// TestMempoolNextBatchEvictsStale checks the self-pruning path: the
+// seal-cadence NextBatch call itself drops already-executed entries.
+func TestMempoolNextBatchEvictsStale(t *testing.T) {
+	alice := testIdentity(1)
+	pool := NewMempool(0)
+	st := NewState()
+	tx0 := SignTx(alice, testIdentity(2).Address(), 1, 0, 50_000, nil)
+	tx1 := SignTx(alice, testIdentity(2).Address(), 1, 1, 50_000, nil)
+	pool.Add(tx0)
+	pool.Add(tx1)
+	st.BumpNonce(alice.Address()) // nonce 0 executed elsewhere
+	batch := pool.NextBatch(st, 10)
+	if len(batch) != 1 || batch[0].Nonce != 1 {
+		t.Fatalf("batch = %+v", batch)
+	}
+	if pool.Contains(tx0.Hash()) {
+		t.Fatal("stale tx survived NextBatch")
+	}
+	if pool.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", pool.Len())
+	}
+}
+
+func TestMempoolNextNonce(t *testing.T) {
+	alice := testIdentity(1)
+	pool := NewMempool(0)
+	if got := pool.NextNonce(alice.Address(), 3); got != 3 {
+		t.Fatalf("empty pool NextNonce = %d, want 3", got)
+	}
+	pool.Add(SignTx(alice, testIdentity(2).Address(), 1, 3, 50_000, nil))
+	pool.Add(SignTx(alice, testIdentity(2).Address(), 1, 4, 50_000, nil))
+	pool.Add(SignTx(alice, testIdentity(2).Address(), 1, 7, 50_000, nil)) // gap at 5
+	if got := pool.NextNonce(alice.Address(), 3); got != 5 {
+		t.Fatalf("NextNonce = %d, want 5", got)
+	}
+}
+
+// TestMempoolConcurrentStress hammers the pool from many goroutines.
+// Run with -race (make ci does): the pool is reachable from the API
+// server's handler goroutines, so every method must be safe for
+// concurrent use.
+func TestMempoolConcurrentStress(t *testing.T) {
+	const (
+		workers = 8
+		perSeed = 40
+	)
+	pool := NewMempool(workers * perSeed)
+	st := NewState()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sender := testIdentity(uint64(100 + w))
+			var mine []*Transaction
+			for n := 0; n < perSeed; n++ {
+				tx := SignTx(sender, testIdentity(2).Address(), 1, uint64(n), 50_000, nil)
+				if err := pool.Add(tx); err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+				mine = append(mine, tx)
+				pool.Contains(tx.Hash())
+				pool.Len()
+				pool.NextNonce(sender.Address(), 0)
+				if n%8 == 7 { // drop the newest: the executable prefix survives
+					pool.Remove(mine[len(mine)-1:])
+					mine = mine[:len(mine)-1]
+				}
+			}
+		}(w)
+	}
+	// Concurrent batch/prune reader. State is owned by this goroutine
+	// only — the pool is the shared structure under test.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		local := NewState()
+		for i := 0; i < 200; i++ {
+			pool.NextBatch(local, 64)
+			pool.Prune(local)
+		}
+	}()
+	wg.Wait()
+	if pool.Len() == 0 {
+		t.Fatal("stress left an empty pool; expected pending txs")
+	}
+	batch := pool.NextBatch(st, 1<<20)
+	if len(batch) == 0 {
+		t.Fatal("no executable txs after stress")
 	}
 }
 

@@ -38,6 +38,10 @@ type Config struct {
 	// Authorities optionally overrides the PoA validator set; by default
 	// the market creates a single governor authority.
 	Authorities []*identity.Identity
+
+	// MempoolSize bounds the pending-transaction pool; <= 0 selects
+	// ledger.DefaultMempoolSize.
+	MempoolSize int
 }
 
 // Market is one deployment of the PDS² governance layer: a
@@ -113,7 +117,7 @@ func New(cfg Config) (*Market, error) {
 	m := &Market{
 		Chain:           chain,
 		Runtime:         rt,
-		Pool:            ledger.NewMempool(0),
+		Pool:            ledger.NewMempool(cfg.MempoolSize),
 		QA:              tee.NewQuotingAuthority(rng.Fork("qa")),
 		authorities:     authorities,
 		rng:             rng,
@@ -164,8 +168,21 @@ func (m *Market) Rng() *crypto.DRBG { return m.rng }
 // Height returns the current chain height.
 func (m *Market) Height() uint64 { return m.Chain.Height() }
 
-// Submit adds a signed transaction to the mempool.
-func (m *Market) Submit(tx *ledger.Transaction) error { return m.Pool.Add(tx) }
+// Submit adds a signed transaction to the mempool. When the pool is
+// full it prunes transactions made stale by chain progress and retries
+// once, so a pool clogged with already-executed entries never locks out
+// live traffic. Because Prune reads chain state, Submit must be
+// serialized against sealing like every other Market method; admission
+// paths that cannot take that lock can call Pool.Add directly (the
+// mempool itself is safe for concurrent use) and fall back to Submit
+// only on ErrMempoolFull.
+func (m *Market) Submit(tx *ledger.Transaction) error {
+	err := m.Pool.Add(tx)
+	if errors.Is(err, ledger.ErrMempoolFull) && m.Pool.Prune(m.Chain.State()) > 0 {
+		err = m.Pool.Add(tx)
+	}
+	return err
+}
 
 // SealBlock packages the executable mempool transactions into the next
 // block, signed by the rotating authority.
@@ -185,22 +202,8 @@ func (m *Market) SealBlock() (*ledger.Block, error) {
 // SignedTx builds a signed transaction from the identity using its
 // current on-chain nonce plus its pending mempool transactions.
 func (m *Market) SignedTx(from *identity.Identity, to identity.Address, value uint64, data []byte) *ledger.Transaction {
-	nonce := m.Chain.State().Nonce(from.Address())
-	// Account for transactions already pending from this sender.
-	for m.poolHasNonce(from.Address(), nonce) {
-		nonce++
-	}
+	nonce := m.Pool.NextNonce(from.Address(), m.Chain.State().Nonce(from.Address()))
 	return ledger.SignTx(from, to, value, nonce, m.DefaultGasLimit, data)
-}
-
-func (m *Market) poolHasNonce(addr identity.Address, nonce uint64) bool {
-	probe := m.Pool.NextBatch(m.Chain.State(), 1<<30)
-	for _, tx := range probe {
-		if tx.From == addr && tx.Nonce == nonce {
-			return true
-		}
-	}
-	return false
 }
 
 // trackLifecycle registers the open root span for a workload. A nil
