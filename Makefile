@@ -18,9 +18,11 @@ bench:
 	$(GO) test -run NONE -bench . -benchmem ./...
 
 # ci is the documented pre-PR gate: static checks, the full build, the
-# race-enabled test suite, and a single-iteration smoke run of the
-# ledger block-pipeline benchmarks so the import/mempool hot paths are
-# exercised end to end.
+# race-enabled test suite (including the telemetry trace/log/health
+# tests), a single-iteration smoke run of the ledger block-pipeline and
+# structured-log benchmarks, and the distributed-tracing self-test —
+# the two-node stitching demo must verify end to end.
 ci: vet build
 	$(GO) test -race ./...
-	$(GO) test -run NONE -bench 'BenchmarkImportBlock|BenchmarkMempool|BenchmarkLedger' -benchtime=1x .
+	$(GO) test -run NONE -bench 'BenchmarkImportBlock|BenchmarkMempool|BenchmarkLedger|BenchmarkLog' -benchtime=1x .
+	$(GO) run ./cmd/pds2 trace -self-test

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	pds2-audit chain.json
+//	pds2-audit [-log-level info,ledger=debug] chain.json
 package main
 
 import (
@@ -19,11 +19,17 @@ import (
 	"pds2/internal/contract"
 	"pds2/internal/ledger"
 	"pds2/internal/market"
+	"pds2/internal/telemetry"
 	"pds2/internal/token"
 )
 
 func main() {
+	logSpec := flag.String("log-level", "off", "structured-log spec mirrored to stderr, e.g. info,ledger=debug")
 	flag.Parse()
+	if err := telemetry.SetLogSpec(*logSpec); err != nil {
+		fatalf("bad -log-level: %v", err)
+	}
+	telemetry.DefaultLog().SetOutput(os.Stderr)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pds2-audit <chain-export.json>")
 		os.Exit(2)

@@ -22,12 +22,18 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "use reduced problem sizes")
-		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		tel   = flag.Bool("telemetry", true, "print per-experiment telemetry summaries")
+		quick   = flag.Bool("quick", false, "use reduced problem sizes")
+		run     = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		tel     = flag.Bool("telemetry", true, "print per-experiment telemetry summaries")
+		logSpec = flag.String("log-level", "off", "structured-log spec mirrored to stderr, e.g. info,ledger=debug")
 	)
 	flag.Parse()
+	if err := telemetry.SetLogSpec(*logSpec); err != nil {
+		fmt.Fprintf(os.Stderr, "pds2-experiments: bad -log-level: %v\n", err)
+		os.Exit(1)
+	}
+	telemetry.DefaultLog().SetOutput(os.Stderr)
 
 	if *list {
 		for _, e := range experiments.All {

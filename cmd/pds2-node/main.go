@@ -6,6 +6,13 @@
 // Usage:
 //
 //	pds2-node [-listen :8547] [-seed 1] [-block-ms 500] [-fund addr:amount,...] [-mempool 100000]
+//	          [-log-level info,ledger=debug] [-node-id node-0]
+//
+// Structured logs are retained in a bounded ring served at GET /logs
+// and mirrored to stderr; -log-level takes a default level plus
+// per-component overrides (debug, info, warn, error, off). Component
+// health is served at GET /healthz (liveness: 503 only when unhealthy)
+// and GET /readyz (readiness: 200 only when fully healthy).
 //
 // Try it:
 //
@@ -37,11 +44,21 @@ func main() {
 		fund    = flag.String("fund", "", "comma-separated genesis allocations addr:amount")
 		pool    = flag.Int("mempool", 0, "mempool capacity in transactions (0 selects the default)")
 		tel     = flag.Bool("telemetry", true, "collect metrics and traces (served at /metrics and /trace)")
+		logSpec = flag.String("log-level", "info", "structured-log spec: default level plus component overrides, e.g. info,ledger=debug,gossip=off")
+		nodeID  = flag.String("node-id", "", "node identity stamped on spans and log records (defaults to the listen address)")
 	)
 	flag.Parse()
 	if *tel {
 		telemetry.Enable()
 	}
+	if err := telemetry.SetLogSpec(*logSpec); err != nil {
+		fatalf("bad -log-level: %v", err)
+	}
+	telemetry.DefaultLog().SetOutput(os.Stderr)
+	if *nodeID == "" {
+		*nodeID = listenHost(*listen)
+	}
+	telemetry.SetNode(*nodeID)
 
 	alloc := map[identity.Address]uint64{}
 	if *fund != "" {

@@ -8,10 +8,16 @@
 //	pds2 [-providers N] [-executors M] [-samples K] [-budget B] [-seed S]
 //	pds2 -scenario scenario.json
 //	pds2 metrics [-json] [-trace] [scenario flags]
+//	pds2 trace [-json] [-chrome file] [-self-test] [scenario flags]
 //
 // The metrics subcommand runs the same scenario with telemetry enabled
 // and reports the collected metrics (and, with -trace, the span tree)
-// instead of the marketplace result.
+// instead of the marketplace result. The trace subcommand runs the
+// scenario and renders the stitched workload trace as a span tree, raw
+// span JSON, or Chrome trace-event JSON loadable in chrome://tracing or
+// Perfetto; -self-test instead runs the two-node distributed-tracing
+// demo and verifies the stitching invariants, exiting non-zero on
+// failure.
 package main
 
 import (
@@ -28,6 +34,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "metrics" {
 		runMetrics(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
 		return
 	}
 	var (
@@ -165,6 +175,80 @@ func runMetrics(args []string) {
 	if *showTrace {
 		fmt.Println("\nspans:")
 		fmt.Print(telemetry.Default().Tracer().Export().TreeString())
+	}
+}
+
+// runTrace implements `pds2 trace`: a scenario run with telemetry
+// enabled, rendering the stitched workload trace. With -self-test it
+// runs the two-node simnet trace demo instead and verifies that the
+// distributed spans stitch into a single lifecycle tree.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("pds2 trace", flag.ExitOnError)
+	var (
+		providers  = fs.Int("providers", 4, "number of data providers")
+		executors  = fs.Int("executors", 2, "number of executors")
+		samples    = fs.Int("samples", 200, "training examples per provider")
+		seed       = fs.Uint64("seed", 1, "deterministic seed")
+		jsonOut    = fs.Bool("json", false, "emit the raw spans as JSON (the /trace wire format)")
+		chromePath = fs.String("chrome", "", "write Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
+		selfTest   = fs.Bool("self-test", false, "run the two-node stitching demo and verify its invariants")
+	)
+	if err := fs.Parse(args); err != nil {
+		fatalf("%v", err)
+	}
+
+	if *selfTest {
+		tr, err := core.TraceDemo(*seed)
+		if err != nil {
+			fatalf("trace self-test: %v", err)
+		}
+		if err := core.VerifyDemoTrace(tr); err != nil {
+			fatalf("trace self-test: %v", err)
+		}
+		if _, err := tr.ChromeTraceJSON(); err != nil {
+			fatalf("trace self-test: chrome export: %v", err)
+		}
+		fmt.Printf("trace self-test ok: %d spans across 2 nodes stitched into one trace\n", len(tr.Spans))
+		fmt.Print(tr.TreeString())
+		return
+	}
+
+	telemetry.Enable()
+	if _, err := core.Run(core.Scenario{
+		Seed:        *seed,
+		Providers:   *providers,
+		Executors:   *executors,
+		SamplesEach: *samples,
+	}); err != nil {
+		fatalf("scenario failed: %v", err)
+	}
+
+	col := telemetry.NewCollector()
+	col.AddRegistry(telemetry.Default())
+	if *chromePath != "" {
+		raw, err := col.Trace().ChromeTraceJSON()
+		if err != nil {
+			fatalf("chrome export: %v", err)
+		}
+		if err := os.WriteFile(*chromePath, raw, 0o644); err != nil {
+			fatalf("write chrome trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "chrome trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *chromePath)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(col.Trace()); err != nil {
+			fatalf("encode trace: %v", err)
+		}
+		return
+	}
+	for i, tr := range col.Traces() {
+		if len(tr.Spans) == 0 {
+			continue
+		}
+		fmt.Printf("trace %d (%d spans):\n", i, len(tr.Spans))
+		fmt.Print(tr.TreeString())
 	}
 }
 

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 
 	"pds2/internal/crypto"
 	"pds2/internal/identity"
 	"pds2/internal/ledger"
+	"pds2/internal/telemetry"
 )
 
 // Client is the Go client for a PDS² governance node's HTTP API. It is
@@ -20,11 +22,24 @@ type Client struct {
 
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+
+	// Trace, when non-zero, rides every request as the X-PDS2-Trace
+	// header, so the server's api.request spans (and everything under
+	// them) stitch into the caller's trace.
+	Trace telemetry.SpanContext
 }
 
 // NewClient creates a client for the given node URL.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
+}
+
+// WithTrace returns a shallow copy of the client that stamps requests
+// with the given span context.
+func (c *Client) WithTrace(ctx telemetry.SpanContext) *Client {
+	cp := *c
+	cp.Trace = ctx
+	return &cp
 }
 
 func (c *Client) http() *http.Client {
@@ -34,11 +49,30 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// do issues one request with the trace header attached.
+func (c *Client) do(method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return nil, fmt.Errorf("api: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if !c.Trace.IsZero() {
+		req.Header.Set(TraceHeader, c.Trace.String())
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("api: %s %s: %w", method, path, err)
+	}
+	return resp, nil
+}
+
 // get fetches a JSON endpoint into out.
 func (c *Client) get(path string, out any) error {
-	resp, err := c.http().Get(c.BaseURL + path)
+	resp, err := c.do(http.MethodGet, path, nil)
 	if err != nil {
-		return fmt.Errorf("api: GET %s: %w", path, err)
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -115,15 +149,41 @@ func (c *Client) Workload(addr identity.Address) (WorkloadDetail, error) {
 	return out, err
 }
 
+// Logs fetches the node's structured-log ring (component "" fetches
+// every component).
+func (c *Client) Logs(component string) (LogsResponse, error) {
+	path := "/logs"
+	if component != "" {
+		path += "?component=" + component
+	}
+	var out LogsResponse
+	err := c.get(path, &out)
+	return out, err
+}
+
+// Healthz fetches the node's component health report. A Degraded or
+// Unhealthy node still returns the report (alongside a non-200 status),
+// so err is non-nil only for transport or decoding failures.
+func (c *Client) Healthz() (telemetry.HealthReport, error) {
+	var out telemetry.HealthReport
+	resp, err := c.do(http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
 // SubmitTx queues a signed transaction and returns its hash.
 func (c *Client) SubmitTx(tx *ledger.Transaction) (crypto.Digest, error) {
 	body, err := json.Marshal(tx)
 	if err != nil {
 		return crypto.ZeroDigest, err
 	}
-	resp, err := c.http().Post(c.BaseURL+"/v1/transactions", "application/json", bytes.NewReader(body))
+	resp, err := c.do(http.MethodPost, "/v1/transactions", bytes.NewReader(body))
 	if err != nil {
-		return crypto.ZeroDigest, fmt.Errorf("api: submit: %w", err)
+		return crypto.ZeroDigest, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
@@ -142,9 +202,9 @@ func (c *Client) View(caller, to identity.Address, method string, args []byte) (
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http().Post(c.BaseURL+"/v1/views", "application/json", bytes.NewReader(body))
+	resp, err := c.do(http.MethodPost, "/v1/views", bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("api: view: %w", err)
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -160,9 +220,9 @@ func (c *Client) View(caller, to identity.Address, method string, args []byte) (
 // Seal asks an operator node to seal the pending transactions.
 func (c *Client) Seal() (SealResponse, error) {
 	var out SealResponse
-	resp, err := c.http().Post(c.BaseURL+"/v1/blocks/seal", "application/json", nil)
+	resp, err := c.do(http.MethodPost, "/v1/blocks/seal", nil)
 	if err != nil {
-		return out, fmt.Errorf("api: seal: %w", err)
+		return out, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

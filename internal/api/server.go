@@ -33,7 +33,14 @@ var (
 	mAPIRequests = telemetry.C("api.requests_total")
 	mAPIErrors   = telemetry.C("api.errors_total")
 	mAPISeconds  = telemetry.H("api.request_seconds", telemetry.TimeBuckets)
+	logAPI       = telemetry.L("api")
 )
+
+// TraceHeader carries the caller's span context ("%016x-%016x":
+// trace-hash, span-hash) on requests, and the server's own request-span
+// context on responses, so client and server spans stitch into one
+// distributed trace.
+const TraceHeader = "X-PDS2-Trace"
 
 // Server is the HTTP front end of one governance node.
 type Server struct {
@@ -44,12 +51,21 @@ type Server struct {
 	// would keep disabled (only the authority's own node seals).
 	AllowSeal bool
 
-	mux *http.ServeMux
+	mux    *http.ServeMux
+	health *telemetry.Health
+
+	// lastHeight tracks chain progress between health evaluations for
+	// the ledger.chain check. Guarded by s.mu.
+	lastHeight uint64
 }
 
 // NewServer wraps a market.
 func NewServer(m *market.Market, allowSeal bool) *Server {
 	s := &Server{m: m, AllowSeal: allowSeal, mux: http.NewServeMux()}
+	s.health = telemetry.NewHealth(telemetry.Default())
+	s.health.Register("ledger.chain", s.checkChain)
+	s.health.Register("ledger.mempool", s.checkMempool)
+	s.health.Register("market.executors", market.ExecutorHeartbeat.Check)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/blocks/{height}", s.handleBlock)
 	s.mux.HandleFunc("GET /v1/accounts/{addr}", s.handleAccount)
@@ -62,8 +78,15 @@ func NewServer(m *market.Market, allowSeal bool) *Server {
 	s.mux.HandleFunc("POST /v1/blocks/seal", s.handleSeal)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /trace", s.handleTrace)
+	s.mux.HandleFunc("GET /logs", s.handleLogs)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
+
+// Health exposes the server's health aggregator so deployments can
+// register additional component checks (e.g. gossip connectivity).
+func (s *Server) Health() *telemetry.Health { return s.health }
 
 // ServeHTTP implements http.Handler. ServeMux answers unmatched routes
 // and wrong methods with plain-text errors; to keep the JSON error
@@ -73,6 +96,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	mAPIRequests.Inc()
 	timer := mAPISeconds.Time()
 	defer timer.Stop()
+	// Continue the caller's trace when the request carries a context;
+	// a bad header is ignored (tracing must never fail a request).
+	parent, _ := telemetry.ParseSpanContext(r.Header.Get(TraceHeader))
+	span := telemetry.StartSpan("api.request", parent)
+	if span != nil {
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", r.URL.Path)
+		w.Header().Set(TraceHeader, span.Context().String())
+		defer span.End()
+	}
+	logAPI.Debug("request", telemetry.Str("method", r.Method), telemetry.Str("path", r.URL.Path))
 	if _, pattern := s.mux.Handler(r); pattern == "" {
 		probe := &probeWriter{header: make(http.Header)}
 		s.mux.ServeHTTP(probe, r)
@@ -404,13 +438,104 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves GET /metrics: a JSON snapshot of the process-wide
 // telemetry registry. Counters and gauges report their current value;
-// histograms add count/sum/min/max and p50/p95/p99.
+// histograms add count/sum/min/max and p50/p95/p99. When telemetry is
+// disabled the snapshot would be a misleading all-zeros, so the endpoint
+// answers 503 with a stable JSON error instead.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !telemetry.Default().Enabled() {
+		writeErr(w, http.StatusServiceUnavailable, "telemetry disabled on this node")
+		return
+	}
 	writeJSON(w, http.StatusOK, telemetry.Default().Snapshot())
 }
 
 // handleTrace serves GET /trace: the finished spans currently held in the
-// tracer's ring buffer, oldest first, with parent linkage intact.
+// tracer's ring buffer, oldest first, with parent linkage intact. Like
+// /metrics it answers 503 while telemetry is disabled.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !telemetry.Default().Enabled() {
+		writeErr(w, http.StatusServiceUnavailable, "telemetry disabled on this node")
+		return
+	}
 	writeJSON(w, http.StatusOK, telemetry.Default().Tracer().Export())
+}
+
+// LogsResponse is the GET /logs body.
+type LogsResponse struct {
+	Components []string             `json:"components"`
+	Events     []telemetry.LogEvent `json:"events"`
+}
+
+// handleLogs serves GET /logs: the structured-log ring, oldest first.
+// ?component=X filters to one component; the ring itself is always
+// served — an all-off log simply has no events.
+func (s *Server) handleLogs(w http.ResponseWriter, r *http.Request) {
+	l := telemetry.DefaultLog()
+	events := l.Events()
+	if comp := r.URL.Query().Get("component"); comp != "" {
+		filtered := events[:0]
+		for _, e := range events {
+			if e.Component == comp {
+				filtered = append(filtered, e)
+			}
+		}
+		events = filtered
+	}
+	if events == nil {
+		events = []telemetry.LogEvent{}
+	}
+	writeJSON(w, http.StatusOK, LogsResponse{Components: l.Components(), Events: events})
+}
+
+// checkChain verifies the chain exists and reports whether it advanced
+// since the previous evaluation — a sealed-but-stuck chain shows up as
+// a non-advancing height detail rather than a state change, since many
+// deployments legitimately idle between workloads.
+func (s *Server) checkChain() telemetry.CheckResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.m.Height()
+	advanced := h > s.lastHeight
+	s.lastHeight = h
+	if advanced {
+		return telemetry.OK(fmt.Sprintf("height %d, advancing", h))
+	}
+	return telemetry.OK(fmt.Sprintf("height %d", h))
+}
+
+// checkMempool flags pool saturation: Degraded at 90% of capacity,
+// Unhealthy when full (admissions are being rejected).
+func (s *Server) checkMempool() telemetry.CheckResult {
+	depth, capacity := s.m.Pool.Len(), s.m.Pool.Cap()
+	switch {
+	case depth >= capacity:
+		return telemetry.UnhealthyResult(fmt.Sprintf("mempool full: %d/%d", depth, capacity))
+	case depth*10 >= capacity*9:
+		return telemetry.DegradedResult(fmt.Sprintf("mempool at %d/%d", depth, capacity))
+	default:
+		return telemetry.OK(fmt.Sprintf("%d/%d pending", depth, capacity))
+	}
+}
+
+// handleHealthz serves GET /healthz: the full component report. The
+// status code is 200 unless the node is Unhealthy (503) — a Degraded
+// node still serves traffic, so liveness probes must not kill it.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	report := s.health.Evaluate()
+	status := http.StatusOK
+	if report.Status == telemetry.Unhealthy {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, report)
+}
+
+// handleReadyz serves GET /readyz: 200 only when fully Healthy, so load
+// balancers drain Degraded nodes while /healthz keeps them alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	report := s.health.Evaluate()
+	status := http.StatusOK
+	if report.Status != telemetry.Healthy {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, report)
 }

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"pds2/internal/simnet"
+	"pds2/internal/telemetry"
+)
+
+// TraceDemo runs a two-node simnet workload exchange — a consumer node
+// and an executor node, each with its own telemetry registry — and
+// returns the stitched distributed trace. The consumer opens the
+// workload.lifecycle root and records the submit and settle stages; the
+// trace context rides the simnet message envelopes so the executor
+// node's match and execute spans (with an executor.train child) join
+// the same trace. It is the self-test workload behind `pds2 trace
+// --self-test` and the distributed-stitching test: the exported trace
+// has exactly one root span, with each stage attributed to the node
+// that recorded it.
+func TraceDemo(seed uint64) (telemetry.Trace, error) {
+	consumerReg := telemetry.New()
+	consumerReg.SetEnabled(true)
+	consumerReg.SetNode("node-0")
+	executorReg := telemetry.New()
+	executorReg.SetEnabled(true)
+	executorReg.SetNode("node-1")
+
+	net := simnet.New(simnet.Config{Seed: seed})
+
+	var root *telemetry.ActiveSpan
+	var consumerID, executorID simnet.NodeID
+	settled := false
+
+	// Node 0 (consumer): settles when the executor's result arrives.
+	consumerID = net.AddNode(simnet.HandlerFunc(func(now simnet.Time, msg simnet.Message) {
+		settle := consumerReg.Tracer().Start("workload.settle", msg.Trace)
+		settle.SetAttr("result", fmt.Sprintf("%v", msg.Payload))
+		settle.End()
+		root.End()
+		settled = true
+	}))
+
+	// Node 1 (executor): matches and executes on receipt of the offer,
+	// continuing the consumer's trace from the message envelope.
+	executorID = net.AddNode(simnet.HandlerFunc(func(now simnet.Time, msg simnet.Message) {
+		match := executorReg.Tracer().Start("workload.match", msg.Trace)
+		match.End()
+		execute := executorReg.Tracer().Start("workload.execute", msg.Trace)
+		train := executorReg.Tracer().Start("executor.train", execute.Context())
+		train.SetAttr("epochs", "3")
+		train.End()
+		execute.End()
+		net.SendCtx(executorID, consumerID, "result", 256, msg.Trace)
+	}))
+
+	// The consumer submits at t=0: lifecycle root plus submit stage, then
+	// the workload offer travels to the executor with the root's context.
+	net.At(0, func(now simnet.Time) {
+		root = consumerReg.Tracer().Start("workload.lifecycle", telemetry.SpanContext{})
+		submit := consumerReg.Tracer().Start("workload.submit", root.Context())
+		submit.End()
+		net.SendCtx(consumerID, executorID, "workload-offer", 512, root.Context())
+	})
+
+	net.Run(10 * simnet.Second)
+	if !settled {
+		return telemetry.Trace{}, fmt.Errorf("core: trace demo did not settle (pending events: %d)", net.Pending())
+	}
+
+	col := telemetry.NewCollector()
+	col.AddRegistry(consumerReg)
+	col.AddRegistry(executorReg)
+	traces := col.Traces()
+	if len(traces) != 1 {
+		return telemetry.Trace{}, fmt.Errorf("core: trace demo produced %d traces, want 1", len(traces))
+	}
+	return traces[0], nil
+}
+
+// VerifyDemoTrace checks the invariants the trace demo promises: one
+// root workload.lifecycle span, the consumer stages on node-0, the
+// executor stages on node-1, and every span in one trace. It returns
+// nil when the trace is a valid stitching.
+func VerifyDemoTrace(tr telemetry.Trace) error {
+	roots := tr.Roots()
+	if len(roots) != 1 {
+		return fmt.Errorf("core: %d roots, want 1", len(roots))
+	}
+	if roots[0].Name != "workload.lifecycle" {
+		return fmt.Errorf("core: root span %q, want workload.lifecycle", roots[0].Name)
+	}
+	wantNode := map[string]string{
+		"workload.lifecycle": "node-0",
+		"workload.submit":    "node-0",
+		"workload.settle":    "node-0",
+		"workload.match":     "node-1",
+		"workload.execute":   "node-1",
+		"executor.train":     "node-1",
+	}
+	seen := map[string]bool{}
+	for _, s := range tr.Spans {
+		node, ok := wantNode[s.Name]
+		if !ok {
+			return fmt.Errorf("core: unexpected span %q", s.Name)
+		}
+		if s.Node != node {
+			return fmt.Errorf("core: span %q on node %q, want %q", s.Name, s.Node, node)
+		}
+		if s.Trace != roots[0].Trace {
+			return fmt.Errorf("core: span %q in trace %016x, want %016x", s.Name, uint64(s.Trace), uint64(roots[0].Trace))
+		}
+		seen[s.Name] = true
+	}
+	for name := range wantNode {
+		if !seen[name] {
+			return fmt.Errorf("core: missing span %q", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pds2/internal/telemetry"
+)
+
+// TestTraceDemoStitching is the distributed-tracing acceptance test: a
+// two-node simnet workload must export exactly one stitched trace with
+// a single workload.lifecycle root, each stage span attributed to the
+// node that recorded it.
+func TestTraceDemoStitching(t *testing.T) {
+	tr, err := TraceDemo(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDemoTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name != "workload.lifecycle" {
+		t.Fatalf("roots: %+v", roots)
+	}
+	root := roots[0]
+
+	// The consumer stages and the executor stages hang under the one
+	// root, each on its recording node.
+	children := map[string]string{} // name -> node
+	for _, s := range tr.Spans {
+		if s.Parent == root.ID {
+			children[s.Name] = s.Node
+		}
+	}
+	for name, node := range map[string]string{
+		"workload.submit":  "node-0",
+		"workload.settle":  "node-0",
+		"workload.match":   "node-1",
+		"workload.execute": "node-1",
+	} {
+		if children[name] != node {
+			t.Errorf("stage %q on node %q, want %q (children: %v)", name, children[name], node, children)
+		}
+	}
+
+	// The executor.train span nests under workload.execute, not the root.
+	var train, execute *telemetry.Span
+	for i := range tr.Spans {
+		switch tr.Spans[i].Name {
+		case "executor.train":
+			train = &tr.Spans[i]
+		case "workload.execute":
+			execute = &tr.Spans[i]
+		}
+	}
+	if train == nil || execute == nil || train.Parent != execute.ID {
+		t.Fatalf("train not nested under execute: train=%+v execute=%+v", train, execute)
+	}
+
+	// The export renders as valid Chrome trace-event JSON with both node
+	// tracks present.
+	raw, err := tr.ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	nodes := map[string]bool{}
+	complete := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			nodes[ev.Args["name"].(string)] = true
+		case "X":
+			complete++
+		}
+	}
+	if !nodes["node-0"] || !nodes["node-1"] {
+		t.Fatalf("node tracks missing from chrome export: %v", nodes)
+	}
+	if complete != len(tr.Spans) {
+		t.Fatalf("%d complete events for %d spans", complete, len(tr.Spans))
+	}
+}
+
+// TestTraceDemoDeterministic pins that equal seeds produce equal span
+// structure (names, nodes, nesting) — the property that makes the demo
+// usable as a CI self-test.
+func TestTraceDemoDeterministic(t *testing.T) {
+	shape := func(tr telemetry.Trace) []string {
+		byID := map[telemetry.SpanID]telemetry.Span{}
+		for _, s := range tr.Spans {
+			byID[s.ID] = s
+		}
+		out := make([]string, 0, len(tr.Spans))
+		for _, s := range tr.Spans {
+			parent := "-"
+			if p, ok := byID[s.Parent]; ok {
+				parent = p.Name
+			}
+			out = append(out, s.Name+"@"+s.Node+"<"+parent)
+		}
+		return out
+	}
+	a, err := TraceDemo(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TraceDemo(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := shape(a), shape(b)
+	if len(sa) != len(sb) {
+		t.Fatalf("span counts differ: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("shape differs at %d: %s vs %s", i, sa[i], sb[i])
+		}
+	}
+}

@@ -17,6 +17,7 @@ var (
 	mGossipMerges  = telemetry.C("gossip.merges_total")
 	mGossipSkipped = telemetry.C("gossip.sends_skipped_total")
 	mGossipCycle   = telemetry.H("gossip.cycle_seconds", telemetry.TimeBuckets)
+	logGossip      = telemetry.L("gossip")
 )
 
 // MergeRule selects how a node folds a received model into its own.
@@ -215,8 +216,15 @@ func (r *Runner) onCycle(n *node) {
 	r.sampler.Shuffle(n.id)
 	peer, ok := r.sampler.Sample(n.id)
 	if !ok {
+		logGossip.Warn("no peer to gossip with", telemetry.Int("node", int(n.id)))
 		return
 	}
+	// Each send roots a fresh trace; the receiver's merge span parents
+	// under it via the message's carried context.
+	span := telemetry.StartSpan("gossip.send", telemetry.SpanContext{})
+	span.SetAttr("from", fmt.Sprintf("%d", n.id))
+	span.SetAttr("to", fmt.Sprintf("%d", peer))
+	defer span.End()
 	if f := r.cfg.SendFraction; f > 0 && f < 1 {
 		w := n.model.Weights()
 		k := int(f * float64(len(w)))
@@ -233,20 +241,34 @@ func (r *Runner) onCycle(n *node) {
 		for i, j := range perm {
 			msg.vals[i] = w[j]
 		}
-		r.net.Send(n.id, peer, msg, msg.wireSize())
+		r.net.SendCtx(n.id, peer, msg, msg.wireSize(), span.Context())
 		mGossipMsgs.Inc()
 		mGossipBytes.Add(uint64(msg.wireSize()))
+		logGossip.Debug("sent sparse model",
+			telemetry.Int("from", int(n.id)), telemetry.Int("to", int(peer)),
+			telemetry.Int("coords", len(msg.idx)), telemetry.Int("bytes", msg.wireSize()))
 		return
 	}
 	snapshot := n.model.Clone()
-	r.net.Send(n.id, peer, modelMsg{model: snapshot}, snapshot.WireSize())
+	r.net.SendCtx(n.id, peer, modelMsg{model: snapshot}, snapshot.WireSize(), span.Context())
 	mGossipMsgs.Inc()
 	mGossipBytes.Add(uint64(snapshot.WireSize()))
+	logGossip.Debug("sent model",
+		telemetry.Int("from", int(n.id)), telemetry.Int("to", int(peer)),
+		telemetry.U64("age", snapshot.Age()), telemetry.Int("bytes", snapshot.WireSize()))
 }
 
 // onReceive merges the incoming model and retrains on local data.
 func (r *Runner) onReceive(n *node, msg simnet.Message) {
 	mGossipMerges.Inc()
+	// Continue the sender's trace: the merge span parents under the
+	// gossip.send span whose context rode the message envelope.
+	span := telemetry.StartSpan("gossip.merge", msg.Trace)
+	span.SetAttr("node", fmt.Sprintf("%d", n.id))
+	defer span.End()
+	logGossip.Debug("merging model",
+		telemetry.Int("node", int(n.id)), telemetry.Int("from", int(msg.From)),
+		telemetry.Str("rule", r.cfg.Merge.String()))
 	if sp, ok := msg.Payload.(sparseMsg); ok {
 		r.mergeSparse(n, sp)
 		n.localUpdate(r.cfg.LocalSteps)
@@ -254,6 +276,7 @@ func (r *Runner) onReceive(n *node, msg simnet.Message) {
 	}
 	in, ok := msg.Payload.(modelMsg)
 	if !ok {
+		logGossip.Warn("unexpected payload type", telemetry.Int("node", int(n.id)))
 		return
 	}
 	switch r.cfg.Merge {
@@ -304,6 +327,25 @@ func (r *Runner) mergeSparse(n *node, in sparseMsg) {
 	if lm, ok := n.model.(*ml.LogisticModel); ok {
 		lm.SetAge(uint64(newAge))
 	}
+}
+
+// HealthCheck reports gossip connectivity: the number of online peers
+// reachable from any node's partial view. Zero online peers means the
+// overlay is partitioned from this runner's perspective — Degraded, not
+// Unhealthy, because churned peers may come back.
+func (r *Runner) HealthCheck() telemetry.CheckResult {
+	online := 0
+	for _, n := range r.nodes {
+		if r.net.Online(n.id) {
+			online++
+		}
+	}
+	// A node gossips with peers other than itself; connectivity needs at
+	// least two live nodes.
+	if online <= 1 {
+		return telemetry.DegradedResult(fmt.Sprintf("%d online gossip peers", online))
+	}
+	return telemetry.OK(fmt.Sprintf("%d/%d peers online", online, len(r.nodes)))
 }
 
 // Models returns the current model of every node (live references).

@@ -224,6 +224,9 @@ func (c *Chain) ProposeBlock(proposer *identity.Identity, timestamp uint64, txs 
 	block.seal(proposer)
 	c.commitBlock(block, receipts)
 	timer.Stop()
+	logPool.Info("sealed block",
+		telemetry.U64("height", height), telemetry.Int("txs", len(txs)),
+		telemetry.U64("gas", gasUsed))
 	return block, nil
 }
 
@@ -351,15 +354,23 @@ func (c *Chain) ImportBlock(block *Block) error {
 	timer := mImportSeconds.Time()
 	defer timer.Stop()
 	if err := c.verifyHeader(block); err != nil {
+		logPool.Error("block import rejected at header check",
+			telemetry.U64("height", block.Header.Height), telemetry.Err(err))
 		return err
 	}
 	if err := c.verifyStateless(block.Txs); err != nil {
+		logPool.Error("block import rejected at stateless verification",
+			telemetry.U64("height", block.Header.Height), telemetry.Err(err))
 		return err
 	}
 	receipts, _, err := c.executeAndCheck(block)
 	if err != nil {
+		logPool.Error("block import rejected at execution",
+			telemetry.U64("height", block.Header.Height), telemetry.Err(err))
 		return err
 	}
 	c.commitBlock(block, receipts)
+	logPool.Info("imported block",
+		telemetry.U64("height", block.Header.Height), telemetry.Int("txs", len(block.Txs)))
 	return nil
 }

@@ -18,6 +18,7 @@ var (
 	mPoolRejected = telemetry.C("ledger.mempool.rejected_total")
 	mPoolEvicted  = telemetry.C("ledger.mempool.evicted_total")
 	mPoolReplaced = telemetry.C("ledger.mempool.replaced_total")
+	logPool       = telemetry.L("ledger")
 )
 
 // Mempool holds verified pending transactions, ordered per sender by
@@ -113,6 +114,8 @@ func (m *Mempool) add(tx *Transaction) error {
 		}
 	}
 	if len(m.byHash) >= m.maxSize {
+		logPool.Warn("mempool full, rejecting transaction",
+			telemetry.Int("depth", len(m.byHash)), telemetry.Int("cap", m.maxSize))
 		return ErrMempoolFull
 	}
 	list = append(list, tx)
@@ -129,6 +132,9 @@ func (m *Mempool) Len() int {
 	defer m.mu.Unlock()
 	return len(m.byHash)
 }
+
+// Cap returns the pool's admission capacity.
+func (m *Mempool) Cap() int { return m.maxSize }
 
 // Contains reports whether a transaction with the given hash is pending.
 func (m *Mempool) Contains(h crypto.Digest) bool {
@@ -193,6 +199,8 @@ func (m *Mempool) Prune(st *State) int {
 	}
 	if evicted > 0 {
 		mPoolDepth.Set(float64(len(m.byHash)))
+		logPool.Info("mempool pruned stale transactions",
+			telemetry.Int("evicted", evicted), telemetry.Int("depth", len(m.byHash)))
 	}
 	return evicted
 }
@@ -239,6 +247,8 @@ func (m *Mempool) NextBatch(st *State, max int) []*Transaction {
 	}
 	if evicted > 0 {
 		mPoolDepth.Set(float64(len(m.byHash)))
+		logPool.Debug("mempool evicted stale transactions in batch build",
+			telemetry.Int("evicted", evicted), telemetry.Int("batch", len(batch)))
 	}
 	return batch
 }

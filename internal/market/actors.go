@@ -39,8 +39,8 @@ func (c *Consumer) SubmitWorkload(spec *Spec, budget uint64) (identity.Address, 
 	if err := spec.Validate(); err != nil {
 		return identity.ZeroAddress, err
 	}
-	root := telemetry.StartSpan("workload.lifecycle", 0)
-	span := telemetry.StartSpan("workload.submit", root.ID())
+	root := telemetry.StartSpan("workload.lifecycle", telemetry.SpanContext{})
+	span := telemetry.StartSpan("workload.submit", root.Context())
 	timer := mStageSubmit.Time()
 	abort := func(err error) (identity.Address, error) {
 		span.End()
@@ -62,6 +62,9 @@ func (c *Consumer) SubmitWorkload(spec *Spec, budget uint64) (identity.Address, 
 	root.SetAttr("workload", addr.Hex())
 	c.Market.trackLifecycle(addr, root)
 	mSubmitted.Inc()
+	logMarket.Info("workload submitted",
+		telemetry.Str("workload", addr.Hex()), telemetry.U64("budget", budget),
+		telemetry.Str("consumer", c.ID.Address().Hex()))
 	return addr, nil
 }
 
@@ -97,13 +100,17 @@ func (c *Consumer) Start(workload identity.Address) error {
 // Finalize triggers reward distribution — the settle stage of Fig. 2.
 // It closes the workload's lifecycle span.
 func (c *Consumer) Finalize(workload identity.Address) error {
-	span := telemetry.StartSpan("workload.settle", c.Market.lifecycleID(workload))
+	span := telemetry.StartSpan("workload.settle", c.Market.lifecycleCtx(workload))
 	timer := mStageSettle.Time()
 	_, err := MustSucceed(c.Market.SendAndSeal(c.ID, workload, 0, contract.CallData("finalize", nil)))
 	timer.Stop()
 	span.End()
 	if err == nil {
 		mFinalized.Inc()
+		logMarket.Info("workload settled", telemetry.Str("workload", workload.Hex()))
+	} else {
+		logMarket.Error("workload settlement failed",
+			telemetry.Str("workload", workload.Hex()), telemetry.Err(err))
 	}
 	c.Market.endLifecycle(workload)
 	return err
@@ -112,7 +119,7 @@ func (c *Consumer) Finalize(workload identity.Address) error {
 // Cancel reclaims the escrow after expiry. It closes the workload's
 // lifecycle span.
 func (c *Consumer) Cancel(workload identity.Address) error {
-	span := telemetry.StartSpan("workload.cancel", c.Market.lifecycleID(workload))
+	span := telemetry.StartSpan("workload.cancel", c.Market.lifecycleCtx(workload))
 	_, err := MustSucceed(c.Market.SendAndSeal(c.ID, workload, 0, contract.CallData("cancel", nil)))
 	span.End()
 	c.Market.endLifecycle(workload)
@@ -341,7 +348,7 @@ func (e *Executor) Register(workload identity.Address) error {
 	if len(auths) == 0 {
 		return errors.New("market: no authorizations collected for this workload")
 	}
-	span := telemetry.StartSpan("workload.match", e.Market.lifecycleID(workload))
+	span := telemetry.StartSpan("workload.match", e.Market.lifecycleCtx(workload))
 	span.SetAttr("executor", e.ID.Address().Hex())
 	defer span.End()
 	timer := mStageMatch.Time()
@@ -371,7 +378,17 @@ func (e *Executor) Register(workload identity.Address) error {
 	args := contract.NewEncoder().Blob(quoteRaw).Blob(certsRaw).Bytes()
 	_, err = MustSucceed(e.Market.SendAndSeal(e.ID, workload, 0,
 		contract.CallData("registerExecution", args)))
-	return err
+	if err != nil {
+		logMarket.Warn("executor registration rejected",
+			telemetry.Str("workload", workload.Hex()),
+			telemetry.Str("executor", e.ID.Address().Hex()), telemetry.Err(err))
+		return err
+	}
+	logMarket.Info("executor matched to workload",
+		telemetry.Str("workload", workload.Hex()),
+		telemetry.Str("executor", e.ID.Address().Hex()),
+		telemetry.Int("certs", len(certs)))
+	return nil
 }
 
 // TrainLocal fetches every granted dataset from the storage node, opens
@@ -552,14 +569,15 @@ func RunWorkloadExecution(workload identity.Address, executors []*Executor) ([]b
 	if len(executors) == 0 {
 		return nil, errors.New("market: no executors")
 	}
-	span := telemetry.StartSpan("workload.execute", executors[0].Market.lifecycleID(workload))
+	span := telemetry.StartSpan("workload.execute", executors[0].Market.lifecycleCtx(workload))
 	defer span.End()
 	timer := mStageExecute.Time()
 	defer timer.Stop()
 	for _, e := range executors {
-		train := telemetry.StartSpan("executor.train", span.ID())
+		train := telemetry.StartSpan("executor.train", span.Context())
 		train.SetAttr("executor", e.ID.Address().Hex())
 		err := e.TrainLocal(workload)
+		ExecutorHeartbeat.Beat()
 		train.End()
 		if err != nil {
 			return nil, fmt.Errorf("market: executor %s train: %w", e.ID.Address().Short(), err)
@@ -574,9 +592,10 @@ func RunWorkloadExecution(workload identity.Address, executors []*Executor) ([]b
 		shares = append(shares, s)
 	}
 	for _, e := range executors {
-		agg := telemetry.StartSpan("executor.aggregate", span.ID())
+		agg := telemetry.StartSpan("executor.aggregate", span.Context())
 		agg.SetAttr("executor", e.ID.Address().Hex())
 		err := e.Aggregate(workload, shares)
+		ExecutorHeartbeat.Beat()
 		agg.End()
 		if err != nil {
 			return nil, fmt.Errorf("market: executor %s aggregate: %w", e.ID.Address().Short(), err)

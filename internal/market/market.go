@@ -25,7 +25,13 @@ var (
 	mSendSeal     = telemetry.H("market.tx.sendseal_seconds", telemetry.TimeBuckets)
 	mSubmitted    = telemetry.C("market.workloads.submitted_total")
 	mFinalized    = telemetry.C("market.workloads.finalized_total")
+	logMarket     = telemetry.L("market")
 )
+
+// ExecutorHeartbeat is the liveness signal for the execution path: it
+// beats whenever an executor trains or aggregates, and the API server's
+// "market.executors" health check degrades when it goes stale.
+var ExecutorHeartbeat = telemetry.NewHeartbeat(0)
 
 // Config parameterizes a Market instance.
 type Config struct {
@@ -215,10 +221,11 @@ func (m *Market) trackLifecycle(w identity.Address, sp *telemetry.ActiveSpan) {
 	m.lifecycles[w] = sp
 }
 
-// lifecycleID returns the root-span ID for a workload, or 0 when no
-// lifecycle span is open — stage spans then become roots themselves.
-func (m *Market) lifecycleID(w identity.Address) telemetry.SpanID {
-	return m.lifecycles[w].ID()
+// lifecycleCtx returns the root span context for a workload, or the
+// zero context when no lifecycle span is open — stage spans then
+// become roots of their own traces.
+func (m *Market) lifecycleCtx(w identity.Address) telemetry.SpanContext {
+	return m.lifecycles[w].Context()
 }
 
 // endLifecycle closes and forgets a workload's root span.

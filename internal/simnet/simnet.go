@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"pds2/internal/crypto"
+	"pds2/internal/telemetry"
 )
 
 // Time is a point in virtual time, measured in microseconds from the
@@ -52,6 +53,12 @@ type Message struct {
 	To      NodeID
 	Size    int
 	Payload any
+
+	// Trace is the sender's span context, carried so the receiver can
+	// continue the sender's distributed trace (telemetry only — it does
+	// not contribute to Size, keeping wire accounting identical whether
+	// tracing is on or off).
+	Trace telemetry.SpanContext
 }
 
 // Handler receives messages delivered to a node.
@@ -224,6 +231,12 @@ func (n *Network) reachable(a, b NodeID) bool {
 // now + latency + size/bandwidth; the message may be dropped according to
 // DropRate or if either endpoint is offline at send or delivery time.
 func (n *Network) Send(from, to NodeID, payload any, size int) {
+	n.SendCtx(from, to, payload, size, telemetry.SpanContext{})
+}
+
+// SendCtx is Send carrying the sender's trace context, so the
+// receiver's spans stitch into the sender's trace.
+func (n *Network) SendCtx(from, to NodeID, payload any, size int, ctx telemetry.SpanContext) {
 	if size < 0 {
 		panic(fmt.Sprintf("simnet: negative message size %d", size))
 	}
@@ -240,7 +253,7 @@ func (n *Network) Send(from, to NodeID, payload any, size int) {
 	if n.cfg.BandwidthBytesPerSec > 0 {
 		delay += Time(int64(size) * int64(Second) / n.cfg.BandwidthBytesPerSec)
 	}
-	msg := Message{From: from, To: to, Size: size, Payload: payload}
+	msg := Message{From: from, To: to, Size: size, Payload: payload, Trace: ctx}
 	n.schedule(n.now+delay, func(t Time) {
 		if !n.online[to] || !n.reachable(from, to) {
 			n.stats.MessagesDropped++

@@ -7,7 +7,10 @@ import (
 
 	"pds2/internal/crypto"
 	"pds2/internal/identity"
+	"pds2/internal/telemetry"
 )
+
+var logTee = telemetry.L("tee")
 
 // QuotingAuthority stands in for the attestation service (Intel IAS /
 // DCAP in SGX deployments): a root of trust that certifies platform
@@ -89,13 +92,21 @@ var (
 // trusting an executor with data.
 func VerifyQuote(authorityPub ed25519.PublicKey, q Quote, expected Measurement) error {
 	if !identity.Verify(authorityPub, platformCertBytes(q.Cert.PlatformPub), q.Cert.Sig) {
+		logTee.Warn("attestation rejected: platform cert not signed by authority",
+			telemetry.U64("counter", q.Counter))
 		return ErrQuoteCert
 	}
 	if !identity.Verify(q.Cert.PlatformPub, quoteBytes(q.Measurement, q.ReportData, q.Counter), q.Sig) {
+		logTee.Warn("attestation rejected: quote signature invalid",
+			telemetry.U64("counter", q.Counter))
 		return ErrQuoteSig
 	}
 	if q.Measurement != expected {
+		logTee.Warn("attestation rejected: measurement mismatch",
+			telemetry.Str("got", q.Measurement.String()), telemetry.Str("want", expected.String()))
 		return ErrQuoteMeasurement
 	}
+	logTee.Debug("attestation verified",
+		telemetry.Str("measurement", q.Measurement.String()), telemetry.U64("counter", q.Counter))
 	return nil
 }

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCollectorMergesRegistries(t *testing.T) {
+	a := enabled(t)
+	a.SetNode("node-a")
+	b := enabled(t)
+	b.SetNode("node-b")
+
+	root := a.Tracer().Start("lifecycle", SpanContext{})
+	child := b.Tracer().Start("remote", root.Context())
+	child.End()
+	root.End()
+
+	col := NewCollector()
+	col.AddRegistry(a)
+	col.AddRegistry(b)
+	// Re-adding is idempotent.
+	col.AddRegistry(a)
+
+	tr := col.Trace()
+	if len(tr.Spans) != 2 {
+		t.Fatalf("%d spans", len(tr.Spans))
+	}
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name != "lifecycle" || roots[0].Node != "node-a" {
+		t.Fatalf("roots: %+v", roots)
+	}
+	for _, s := range tr.Spans {
+		if s.Trace != roots[0].Trace {
+			t.Fatalf("span %q in a different trace", s.Name)
+		}
+	}
+	traces := col.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("%d traces", len(traces))
+	}
+}
+
+func TestCollectorSplitsTraces(t *testing.T) {
+	r := enabled(t)
+	for i := 0; i < 3; i++ {
+		sp := r.Tracer().Start("independent", SpanContext{})
+		sp.End()
+	}
+	col := NewCollector()
+	col.AddRegistry(r)
+	if traces := col.Traces(); len(traces) != 3 {
+		t.Fatalf("%d traces, want 3 independent roots", len(traces))
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	a := enabled(t)
+	a.SetNode("consumer")
+	b := enabled(t)
+	b.SetNode("executor")
+	root := a.Tracer().Start("workload.lifecycle", SpanContext{})
+	remote := b.Tracer().Start("workload.execute", root.Context())
+	remote.SetAttr("epochs", "3")
+	remote.End()
+	root.End()
+
+	col := NewCollector()
+	col.AddRegistry(a)
+	col.AddRegistry(b)
+	raw, err := col.Trace().ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("not valid chrome trace JSON: %v", err)
+	}
+	names := map[string]int{} // name -> pid
+	procs := map[int]string{} // pid -> process name
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			procs[ev.PID] = ev.Args["name"].(string)
+		case "X":
+			names[ev.Name] = ev.PID
+			if ev.Args["span"] == "" {
+				t.Fatalf("event %s has no span context arg", ev.Name)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if procs[names["workload.lifecycle"]] != "consumer" {
+		t.Fatalf("lifecycle not attributed to consumer: %v / %v", names, procs)
+	}
+	if procs[names["workload.execute"]] != "executor" {
+		t.Fatalf("execute not attributed to executor: %v / %v", names, procs)
+	}
+	// Same trace, so both complete events share a tid row.
+	if names["workload.lifecycle"] == names["workload.execute"] {
+		t.Fatal("distinct nodes mapped to one pid")
+	}
+}

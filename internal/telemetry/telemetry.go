@@ -44,6 +44,7 @@ type shard struct {
 // but record nothing until SetEnabled(true).
 type Registry struct {
 	enabled atomic.Bool
+	node    atomic.Value // string: this node's identity on recorded spans
 	shards  [numShards]shard
 	tracer  *Tracer
 	seed    maphash.Seed
@@ -66,6 +67,19 @@ func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
 
 // Enabled reports whether the registry records.
 func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// SetNode names the node this registry belongs to. Spans recorded after
+// the call carry the name, which is how a Collector attributes merged
+// spans to nodes. Safe to call concurrently with recording.
+func (r *Registry) SetNode(name string) { r.node.Store(name) }
+
+// Node returns the registry's node name ("" until SetNode).
+func (r *Registry) Node() string {
+	if v, ok := r.node.Load().(string); ok {
+		return v
+	}
+	return ""
+}
 
 // Tracer returns the registry's span tracer.
 func (r *Registry) Tracer() *Tracer { return r.tracer }
@@ -535,8 +549,15 @@ func G(name string) *Gauge { return std.Gauge(name) }
 // H returns a histogram in the default registry.
 func H(name string, buckets []float64) *Histogram { return std.Histogram(name, buckets) }
 
-// StartSpan opens a span in the default registry's tracer. Parent 0
-// means a root span. Returns nil (inert) when disabled.
-func StartSpan(name string, parent SpanID) *ActiveSpan {
+// StartSpan opens a span in the default registry's tracer. A zero
+// parent context starts a new trace. Returns nil (inert) when disabled.
+func StartSpan(name string, parent SpanContext) *ActiveSpan {
 	return std.tracer.Start(name, parent)
+}
+
+// SetNode names the default registry's node, for span attribution and
+// the structured log.
+func SetNode(name string) {
+	std.SetNode(name)
+	stdLog.SetNode(name)
 }

@@ -191,7 +191,7 @@ func TestReset(t *testing.T) {
 	r.Gauge("g").Set(9)
 	h := r.Histogram("h", CountBuckets)
 	h.Observe(9)
-	r.Tracer().Start("s", 0).End()
+	r.Tracer().Start("s", SpanContext{}).End()
 	r.Reset()
 	if r.Counter("c").Value() != 0 || r.Gauge("g").Value() != 0 || h.Count() != 0 {
 		t.Fatal("metrics survived reset")
@@ -248,8 +248,8 @@ func TestRegistryConcurrentStress(t *testing.T) {
 				r.Counter(n + ".total").Add(1)
 				r.Gauge(n + ".depth").Set(float64(i))
 				r.Histogram(n+".lat", TimeBuckets).Observe(float64(i%100) * 1e-4)
-				sp := r.Tracer().Start(n, 0)
-				child := r.Tracer().Start(n+".child", sp.ID())
+				sp := r.Tracer().Start(n, SpanContext{})
+				child := r.Tracer().Start(n+".child", sp.Context())
 				child.End()
 				sp.End()
 			}
