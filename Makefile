@@ -20,9 +20,12 @@ bench:
 # ci is the documented pre-PR gate: static checks, the full build, the
 # race-enabled test suite (including the telemetry trace/log/health
 # tests), a single-iteration smoke run of the ledger block-pipeline and
-# structured-log benchmarks, and the distributed-tracing self-test —
-# the two-node stitching demo must verify end to end.
+# structured-log benchmarks, the distributed-tracing self-test — the
+# two-node stitching demo must verify end to end — and a seeded chaos
+# smoke: the quick E15 subset drives the full workload lifecycle
+# through fault-injected client and server and must converge.
 ci: vet build
 	$(GO) test -race ./...
 	$(GO) test -run NONE -bench 'BenchmarkImportBlock|BenchmarkMempool|BenchmarkLedger|BenchmarkLog' -benchtime=1x .
 	$(GO) run ./cmd/pds2 trace -self-test
+	$(GO) run ./cmd/pds2-experiments -quick -telemetry=false -run E15

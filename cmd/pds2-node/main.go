@@ -6,13 +6,18 @@
 // Usage:
 //
 //	pds2-node [-listen :8547] [-seed 1] [-block-ms 500] [-fund addr:amount,...] [-mempool 100000]
-//	          [-log-level info,ledger=debug] [-node-id node-0]
+//	          [-log-level info,ledger=debug] [-node-id node-0] [-drain-ms 500]
 //
 // Structured logs are retained in a bounded ring served at GET /logs
 // and mirrored to stderr; -log-level takes a default level plus
 // per-component overrides (debug, info, warn, error, off). Component
 // health is served at GET /healthz (liveness: 503 only when unhealthy)
 // and GET /readyz (readiness: 200 only when fully healthy).
+//
+// On SIGINT/SIGTERM the node shuts down gracefully: /readyz starts
+// answering 503 so load balancers stop routing here, the node keeps
+// serving for -drain-ms, then in-flight requests are allowed to finish
+// before the listener closes.
 //
 // Try it:
 //
@@ -21,13 +26,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"pds2/internal/api"
@@ -46,6 +55,7 @@ func main() {
 		tel     = flag.Bool("telemetry", true, "collect metrics and traces (served at /metrics and /trace)")
 		logSpec = flag.String("log-level", "info", "structured-log spec: default level plus component overrides, e.g. info,ledger=debug,gossip=off")
 		nodeID  = flag.String("node-id", "", "node identity stamped on spans and log records (defaults to the listen address)")
+		drainMS = flag.Int("drain-ms", 500, "how long to keep serving after /readyz goes down, before shutdown")
 	)
 	flag.Parse()
 	if *tel {
@@ -85,13 +95,23 @@ func main() {
 	}
 	srv := api.NewServer(m, true)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *blockMS > 0 {
 		go func() {
 			client := api.NewClient("http://" + listenHost(*listen))
-			for range time.Tick(time.Duration(*blockMS) * time.Millisecond) {
+			tick := time.NewTicker(time.Duration(*blockMS) * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
 				// Seal through the API so locking is uniform.
-				if st, err := client.Status(); err == nil && st.Pending > 0 {
-					if _, err := client.Seal(); err != nil {
+				if st, err := client.Status(ctx); err == nil && st.Pending > 0 {
+					if _, err := client.Seal(ctx); err != nil && ctx.Err() == nil {
 						log.Printf("auto-seal: %v", err)
 					}
 				}
@@ -99,11 +119,37 @@ func main() {
 		}()
 	}
 
+	hs := &http.Server{
+		Addr:         *listen,
+		Handler:      srv,
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+
 	log.Printf("pds2-node listening on %s (registry %s, deeds %s)",
 		*listen, m.Registry.Short(), m.Deeds.Short())
-	if err := http.ListenAndServe(*listen, srv); err != nil {
+
+	select {
+	case err := <-errCh:
 		fatalf("serve: %v", err)
+	case <-ctx.Done():
 	}
+
+	// Graceful shutdown: fail readiness first so load balancers stop
+	// routing here, keep serving while they notice, then let in-flight
+	// requests finish before the listener closes.
+	log.Printf("pds2-node draining (%dms) before shutdown", *drainMS)
+	srv.SetDraining(true)
+	time.Sleep(time.Duration(*drainMS) * time.Millisecond)
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("pds2-node stopped at height %d", m.Height())
 }
 
 // listenHost normalizes ":8547" to "localhost:8547" for the self-client.

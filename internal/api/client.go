@@ -2,10 +2,16 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"sync"
+	"time"
 
 	"pds2/internal/crypto"
 	"pds2/internal/identity"
@@ -13,221 +19,558 @@ import (
 	"pds2/internal/telemetry"
 )
 
-// Client is the Go client for a PDS² governance node's HTTP API. It is
-// what a provider agent or executor daemon embeds to interact with a
-// remote node.
-type Client struct {
-	// BaseURL is the node address, e.g. "http://localhost:8547".
-	BaseURL string
+// Client-side instrumentation: retry pressure is the first thing to
+// look at when a chaos run misbehaves.
+var (
+	mClientRetries = telemetry.C("api.retries_total")
+	mClientCalls   = telemetry.C("api.client.calls_total")
+)
 
-	// HTTPClient defaults to http.DefaultClient.
-	HTTPClient *http.Client
+// IdempotencyHeader carries the transaction hash on POST
+// /v1/transactions, so a retried submission is answered from the
+// mempool or the receipt store instead of being treated as new work.
+const IdempotencyHeader = "X-PDS2-Idempotency-Key"
 
-	// Trace, when non-zero, rides every request as the X-PDS2-Trace
-	// header, so the server's api.request spans (and everything under
-	// them) stitch into the caller's trace.
-	Trace telemetry.SpanContext
+// RetryPolicy shapes the client's retry loop: capped exponential
+// backoff with jitter, a per-attempt timeout, and a client-wide retry
+// budget that stops a fleet of callers from amplifying an outage.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts per call, first try included
+	// (<= 0 selects 4; 1 disables retries).
+	MaxAttempts int
+
+	// BaseDelay is the backoff before the first retry (<= 0 selects
+	// 100ms). Successive retries multiply by Multiplier up to MaxDelay.
+	BaseDelay time.Duration
+
+	// MaxDelay caps the backoff (<= 0 selects 2s).
+	MaxDelay time.Duration
+
+	// Multiplier grows the backoff between retries (< 1 selects 2).
+	Multiplier float64
+
+	// Jitter randomizes each backoff by ±Jitter fraction (< 0 or > 1
+	// selects 0.2), decorrelating retry storms across clients.
+	Jitter float64
+
+	// PerAttemptTimeout bounds each individual attempt; 0 leaves only
+	// the caller's context deadline in force.
+	PerAttemptTimeout time.Duration
+
+	// Budget is the client-wide retry allowance: a token bucket with
+	// this capacity, where every retry spends one token and every
+	// successful call refunds half a token. When the bucket is empty,
+	// calls fail after their first attempt instead of piling retries
+	// onto a struggling node. <= 0 selects 64; negative values in
+	// withDefaults' output never occur.
+	Budget int
 }
 
-// NewClient creates a client for the given node URL.
-func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
-}
+// NoRetry is the single-attempt policy.
+var NoRetry = RetryPolicy{MaxAttempts: 1}
 
-// WithTrace returns a shallow copy of the client that stamps requests
-// with the given span context.
-func (c *Client) WithTrace(ctx telemetry.SpanContext) *Client {
-	cp := *c
-	cp.Trace = ctx
-	return &cp
-}
-
-func (c *Client) http() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
+// DefaultRetryPolicy returns the policy NewClient starts with.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Multiplier:  2,
+		Jitter:      0.2,
+		Budget:      64,
 	}
-	return http.DefaultClient
 }
 
-// do issues one request with the trace header attached.
-func (c *Client) do(method, path string, body io.Reader) (*http.Response, error) {
-	req, err := http.NewRequest(method, c.BaseURL+path, body)
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.2
+	}
+	if p.Budget <= 0 {
+		p.Budget = 64
+	}
+	return p
+}
+
+// Client is the Go client for a PDS² governance node's HTTP API — what
+// a provider agent or executor daemon embeds to interact with a remote
+// node. It is immutable after construction (configure via Options) and
+// safe for concurrent use. Every method takes a context as its first
+// argument and respects cancellation at any point, including mid-retry
+// backoff.
+type Client struct {
+	baseURL string
+	hc      *http.Client
+	trace   telemetry.SpanContext
+	retry   RetryPolicy
+	timeout time.Duration // per-call overall timeout, 0 = none
+
+	// tokens is the retry budget in half-token units (retry costs 2,
+	// success refunds 1), shared across all calls on this client.
+	mu     sync.Mutex
+	tokens int
+	rng    *rand.Rand
+}
+
+// Option configures a Client at construction time.
+type Option func(*Client)
+
+// WithHTTPClient sets the underlying *http.Client — the hook where the
+// fault-injection transport, custom TLS or proxies come in. Nil is
+// ignored.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// WithRetryPolicy replaces the default retry policy.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p.withDefaults() }
+}
+
+// WithTrace stamps every request with the given span context via the
+// X-PDS2-Trace header, stitching server-side spans into the caller's
+// distributed trace.
+func WithTrace(ctx telemetry.SpanContext) Option {
+	return func(c *Client) { c.trace = ctx }
+}
+
+// WithTimeout bounds each call end to end (all attempts and backoffs
+// included), in addition to whatever deadline the caller's context
+// carries.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// NewClient creates a client for the given node URL. With no options it
+// uses http.DefaultClient and DefaultRetryPolicy.
+func NewClient(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		baseURL: baseURL,
+		hc:      http.DefaultClient,
+		retry:   DefaultRetryPolicy(),
+		rng:     rand.New(rand.NewSource(int64(crypto.HashString(baseURL)[0]) + time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.tokens = 2 * c.retry.Budget
+	return c
+}
+
+// BaseURL returns the node address the client talks to.
+func (c *Client) BaseURL() string { return c.baseURL }
+
+// spendRetryToken withdraws one retry from the budget; false means the
+// budget is exhausted and the caller must stop retrying.
+func (c *Client) spendRetryToken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tokens < 2 {
+		return false
+	}
+	c.tokens -= 2
+	return true
+}
+
+// refundSuccess returns half a token on success, capped at the budget.
+func (c *Client) refundSuccess() {
+	c.mu.Lock()
+	if c.tokens < 2*c.retry.Budget {
+		c.tokens++
+	}
+	c.mu.Unlock()
+}
+
+// backoff computes the jittered delay before retry number n (1-based),
+// never below the server's Retry-After hint.
+func (c *Client) backoff(n int, hint time.Duration) time.Duration {
+	d := float64(c.retry.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= c.retry.Multiplier
+		if d >= float64(c.retry.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(c.retry.MaxDelay) {
+		d = float64(c.retry.MaxDelay)
+	}
+	if j := c.retry.Jitter; j > 0 {
+		c.mu.Lock()
+		f := c.rng.Float64()
+		c.mu.Unlock()
+		d *= 1 + j*(2*f-1)
+	}
+	delay := time.Duration(d)
+	if delay < hint {
+		delay = hint
+	}
+	return delay
+}
+
+// sleep waits for d or until ctx is done.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// call performs one logical API call with retries: capped exponential
+// backoff with jitter, per-attempt timeouts, budget accounting, and
+// envelope-driven retryability (transport errors and truncated bodies
+// are always considered retryable — every endpoint is idempotent by
+// construction, transaction submission included via its idempotency
+// key). It returns the response body of the first attempt that lands a
+// 2xx, fully read.
+func (c *Client) call(ctx context.Context, method, path string, body []byte, header http.Header) ([]byte, error) {
+	data, _, err := c.callAccept(ctx, method, path, body, header, nil)
+	return data, err
+}
+
+// callAccept is call with a custom success predicate over the status
+// code (nil accepts any 2xx). The accepted response's body and status
+// are returned; non-accepted statuses become *APIError and retry per
+// the envelope's retryability.
+func (c *Client) callAccept(ctx context.Context, method, path string, body []byte, header http.Header, accept func(int) bool) ([]byte, int, error) {
+	mClientCalls.Inc()
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var lastErr error
+	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if !c.spendRetryToken() {
+				return nil, 0, fmt.Errorf("api: %s %s: retry budget exhausted: %w", method, path, lastErr)
+			}
+			mClientRetries.Inc()
+			var hint time.Duration
+			var ae *APIError
+			if errors.As(lastErr, &ae) {
+				hint = ae.RetryAfter
+			}
+			if err := sleep(ctx, c.backoff(attempt-1, hint)); err != nil {
+				return nil, 0, fmt.Errorf("api: %s %s: %w", method, path, err)
+			}
+		}
+		out, status, err := c.once(ctx, method, path, body, header, accept)
+		if err == nil {
+			c.refundSuccess()
+			return out, status, nil
+		}
+		if ctx.Err() != nil {
+			return nil, 0, fmt.Errorf("api: %s %s: %w", method, path, ctx.Err())
+		}
+		if ae, ok := err.(*APIError); ok && !ae.Retryable {
+			return nil, 0, ae
+		}
+		lastErr = err
+	}
+	return nil, 0, fmt.Errorf("api: %s %s: attempts exhausted: %w", method, path, lastErr)
+}
+
+// once is a single attempt: issue the request, read the body in full
+// (so truncated responses fail here, retryably), map non-accepted
+// statuses to *APIError.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, header http.Header, accept func(int) bool) ([]byte, int, error) {
+	actx := ctx
+	if c.retry.PerAttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.retry.PerAttemptTimeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.baseURL+path, rd)
 	if err != nil {
-		return nil, fmt.Errorf("api: %s %s: %w", method, path, err)
+		return nil, 0, fmt.Errorf("api: %s %s: %w", method, path, err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	if !c.Trace.IsZero() {
-		req.Header.Set(TraceHeader, c.Trace.String())
+	for k, vs := range header {
+		req.Header[k] = vs
 	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("api: %s %s: %w", method, path, err)
+	if !c.trace.IsZero() {
+		req.Header.Set(TraceHeader, c.trace.String())
 	}
-	return resp, nil
-}
-
-// get fetches a JSON endpoint into out.
-func (c *Client) get(path string, out any) error {
-	resp, err := c.do(http.MethodGet, path, nil)
+	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return nil, 0, fmt.Errorf("api: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return decodeAPIError(path, resp)
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("api: %s %s: reading response: %w", method, path, err)
+	}
+	ok := resp.StatusCode >= 200 && resp.StatusCode <= 299
+	if accept != nil {
+		ok = accept(resp.StatusCode)
+	}
+	if !ok {
+		return nil, 0, newAPIError(path, resp.StatusCode, resp.Header, data)
+	}
+	return data, resp.StatusCode, nil
+}
+
+// get fetches a JSON endpoint into out, retrying per policy.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	data, err := c.call(ctx, http.MethodGet, path, nil, nil)
+	if err != nil {
+		return err
 	}
 	if out == nil {
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return json.Unmarshal(data, out)
 }
 
-func decodeAPIError(path string, resp *http.Response) error {
-	var apiErr apiError
-	if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-		return fmt.Errorf("api: %s: %s (HTTP %d)", path, apiErr.Error, resp.StatusCode)
+// post sends a JSON body and decodes the 2xx response into out.
+func (c *Client) post(ctx context.Context, path string, in, out any, header http.Header) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
 	}
-	return fmt.Errorf("api: %s: HTTP %d", path, resp.StatusCode)
+	data, err := c.call(ctx, http.MethodPost, path, body, header)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
 }
 
 // Status fetches the node status.
-func (c *Client) Status() (StatusResponse, error) {
+func (c *Client) Status(ctx context.Context) (StatusResponse, error) {
 	var out StatusResponse
-	err := c.get("/v1/status", &out)
+	err := c.get(ctx, "/v1/status", &out)
 	return out, err
 }
 
 // Account fetches balance and nonce for an address.
-func (c *Client) Account(addr identity.Address) (AccountResponse, error) {
+func (c *Client) Account(ctx context.Context, addr identity.Address) (AccountResponse, error) {
 	var out AccountResponse
-	err := c.get("/v1/accounts/"+addr.Hex(), &out)
+	err := c.get(ctx, "/v1/accounts/"+addr.Hex(), &out)
 	return out, err
 }
 
 // Block fetches a block by height.
-func (c *Client) Block(height uint64) (*ledger.Block, error) {
+func (c *Client) Block(ctx context.Context, height uint64) (*ledger.Block, error) {
 	var out ledger.Block
-	if err := c.get(fmt.Sprintf("/v1/blocks/%d", height), &out); err != nil {
+	if err := c.get(ctx, fmt.Sprintf("/v1/blocks/%d", height), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Receipt fetches a transaction receipt.
-func (c *Client) Receipt(hash crypto.Digest) (*ledger.Receipt, error) {
+func (c *Client) Receipt(ctx context.Context, hash crypto.Digest) (*ledger.Receipt, error) {
 	var out ledger.Receipt
-	if err := c.get("/v1/receipts/"+hash.Hex(), &out); err != nil {
+	if err := c.get(ctx, "/v1/receipts/"+hash.Hex(), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Events fetches the audit log, optionally filtered by topic.
-func (c *Client) Events(topic string) ([]ledger.Event, error) {
-	path := "/v1/events"
-	if topic != "" {
-		path += "?topic=" + topic
+// listPath builds a list-endpoint URL with pagination parameters.
+func listPath(base string, params ...[2]string) string {
+	sep := "?"
+	for _, kv := range params {
+		if kv[1] == "" {
+			continue
+		}
+		base += sep + kv[0] + "=" + kv[1]
+		sep = "&"
 	}
-	var out []ledger.Event
-	err := c.get(path, &out)
+	return base
+}
+
+// EventsPage fetches one page of the audit log, optionally filtered by
+// topic. after is the cursor from a previous page's Next ("" starts
+// from the beginning); limit <= 0 selects the server default.
+func (c *Client) EventsPage(ctx context.Context, topic, after string, limit int) (EventsResponse, error) {
+	var out EventsResponse
+	lim := ""
+	if limit > 0 {
+		lim = strconv.Itoa(limit)
+	}
+	err := c.get(ctx, listPath("/v1/events",
+		[2]string{"topic", topic}, [2]string{"after", after}, [2]string{"limit", lim}), &out)
 	return out, err
 }
 
-// Workloads lists the workload directory.
-func (c *Client) Workloads() ([]WorkloadSummary, error) {
-	var out []WorkloadSummary
-	err := c.get("/v1/workloads", &out)
+// Events fetches the complete audit log (all pages), optionally
+// filtered by topic.
+func (c *Client) Events(ctx context.Context, topic string) ([]ledger.Event, error) {
+	var all []ledger.Event
+	after := ""
+	for {
+		page, err := c.EventsPage(ctx, topic, after, 0)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Items...)
+		if page.Next == "" {
+			break
+		}
+		after = page.Next
+	}
+	if all == nil {
+		all = []ledger.Event{}
+	}
+	return all, nil
+}
+
+// WorkloadsPage fetches one page of the workload directory.
+func (c *Client) WorkloadsPage(ctx context.Context, after string, limit int) (WorkloadsResponse, error) {
+	var out WorkloadsResponse
+	lim := ""
+	if limit > 0 {
+		lim = strconv.Itoa(limit)
+	}
+	err := c.get(ctx, listPath("/v1/workloads",
+		[2]string{"after", after}, [2]string{"limit", lim}), &out)
 	return out, err
+}
+
+// Workloads lists the complete workload directory (all pages).
+func (c *Client) Workloads(ctx context.Context) ([]WorkloadSummary, error) {
+	var all []WorkloadSummary
+	after := ""
+	for {
+		page, err := c.WorkloadsPage(ctx, after, 0)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Items...)
+		if page.Next == "" {
+			break
+		}
+		after = page.Next
+	}
+	if all == nil {
+		all = []WorkloadSummary{}
+	}
+	return all, nil
 }
 
 // Workload fetches one workload's detail view.
-func (c *Client) Workload(addr identity.Address) (WorkloadDetail, error) {
+func (c *Client) Workload(ctx context.Context, addr identity.Address) (WorkloadDetail, error) {
 	var out WorkloadDetail
-	err := c.get("/v1/workloads/"+addr.Hex(), &out)
+	err := c.get(ctx, "/v1/workloads/"+addr.Hex(), &out)
 	return out, err
 }
 
-// Logs fetches the node's structured-log ring (component "" fetches
-// every component).
-func (c *Client) Logs(component string) (LogsResponse, error) {
-	path := "/logs"
-	if component != "" {
-		path += "?component=" + component
-	}
+// LogsPage fetches one page of the node's structured-log ring
+// (component "" fetches every component). after is a LogEvent.Seq
+// cursor from a previous page's Next.
+func (c *Client) LogsPage(ctx context.Context, component, after string, limit int) (LogsResponse, error) {
 	var out LogsResponse
-	err := c.get(path, &out)
+	lim := ""
+	if limit > 0 {
+		lim = strconv.Itoa(limit)
+	}
+	err := c.get(ctx, listPath("/logs",
+		[2]string{"component", component}, [2]string{"after", after}, [2]string{"limit", lim}), &out)
 	return out, err
+}
+
+// Logs fetches the node's full structured-log ring (all pages).
+func (c *Client) Logs(ctx context.Context, component string) (LogsResponse, error) {
+	var all LogsResponse
+	after := ""
+	for {
+		page, err := c.LogsPage(ctx, component, after, 0)
+		if err != nil {
+			return LogsResponse{}, err
+		}
+		all.Components = page.Components
+		all.Events = append(all.Events, page.Events...)
+		if page.Next == "" {
+			break
+		}
+		after = page.Next
+	}
+	return all, nil
 }
 
 // Healthz fetches the node's component health report. A Degraded or
 // Unhealthy node still returns the report (alongside a non-200 status),
-// so err is non-nil only for transport or decoding failures.
-func (c *Client) Healthz() (telemetry.HealthReport, error) {
+// so err is non-nil only for transport or decoding failures — those are
+// retried per policy like any other call.
+func (c *Client) Healthz(ctx context.Context) (telemetry.HealthReport, error) {
 	var out telemetry.HealthReport
-	resp, err := c.do(http.MethodGet, "/healthz", nil)
+	// An Unhealthy node answers 503 with the report attached; that is a
+	// meaningful answer, not a failure to retry.
+	accept := func(status int) bool {
+		return (status >= 200 && status <= 299) || status == http.StatusServiceUnavailable
+	}
+	data, _, err := c.callAccept(ctx, http.MethodGet, "/healthz", nil, nil, accept)
 	if err != nil {
 		return out, err
 	}
-	defer resp.Body.Close()
-	err = json.NewDecoder(resp.Body).Decode(&out)
+	err = json.Unmarshal(data, &out)
 	return out, err
 }
 
-// SubmitTx queues a signed transaction and returns its hash.
-func (c *Client) SubmitTx(tx *ledger.Transaction) (crypto.Digest, error) {
-	body, err := json.Marshal(tx)
-	if err != nil {
-		return crypto.ZeroDigest, err
-	}
-	resp, err := c.do(http.MethodPost, "/v1/transactions", bytes.NewReader(body))
-	if err != nil {
-		return crypto.ZeroDigest, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return crypto.ZeroDigest, decodeAPIError("/v1/transactions", resp)
-	}
+// SubmitTx queues a signed transaction and returns its hash. The
+// request carries the transaction hash as an idempotency key, so
+// retrying after a lost response can never double-spend the nonce: the
+// server answers an already-admitted or already-committed transaction
+// with its cached verdict instead of treating it as new work.
+func (c *Client) SubmitTx(ctx context.Context, tx *ledger.Transaction) (crypto.Digest, error) {
+	h := http.Header{}
+	h.Set(IdempotencyHeader, tx.Hash().Hex())
 	var out SubmitResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.post(ctx, "/v1/transactions", tx, &out, h); err != nil {
 		return crypto.ZeroDigest, err
 	}
 	return out.TxHash, nil
 }
 
 // View performs a read-only contract call through the node.
-func (c *Client) View(caller, to identity.Address, method string, args []byte) ([]byte, error) {
-	body, err := json.Marshal(ViewRequest{Caller: caller, To: to, Method: method, Args: args})
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.do(http.MethodPost, "/v1/views", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeAPIError("/v1/views", resp)
-	}
+func (c *Client) View(ctx context.Context, caller, to identity.Address, method string, args []byte) ([]byte, error) {
 	var out ViewResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	req := ViewRequest{Caller: caller, To: to, Method: method, Args: args}
+	if err := c.post(ctx, "/v1/views", req, &out, nil); err != nil {
 		return nil, err
 	}
 	return out.Return, nil
 }
 
-// Seal asks an operator node to seal the pending transactions.
-func (c *Client) Seal() (SealResponse, error) {
+// Seal asks an operator node to seal the pending transactions. Sealing
+// is safe to retry: a duplicate seal after a lost response produces at
+// worst an additional (possibly empty) block, never a duplicate
+// transaction execution.
+func (c *Client) Seal(ctx context.Context) (SealResponse, error) {
 	var out SealResponse
-	resp, err := c.do(http.MethodPost, "/v1/blocks/seal", nil)
-	if err != nil {
-		return out, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return out, decodeAPIError("/v1/blocks/seal", resp)
-	}
-	err = json.NewDecoder(resp.Body).Decode(&out)
+	err := c.post(ctx, "/v1/blocks/seal", nil, &out, nil)
 	return out, err
 }

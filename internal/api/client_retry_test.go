@@ -1,0 +1,301 @@
+// Client retry semantics, tested from outside the package so the
+// fault-injection layer (which imports api) can wrap the servers.
+package api_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pds2/internal/api"
+	"pds2/internal/crypto"
+	"pds2/internal/faults"
+	"pds2/internal/identity"
+	"pds2/internal/ledger"
+	"pds2/internal/market"
+)
+
+// countingServer answers every request with the given status and
+// envelope, recording arrival times.
+func countingServer(t *testing.T, status int, body string) (*httptest.Server, func() []time.Time) {
+	t.Helper()
+	var mu sync.Mutex
+	var hits []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits = append(hits, time.Now())
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, func() []time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]time.Time(nil), hits...)
+	}
+}
+
+const retryableBody = `{"error":{"code":"internal","message":"boom","retryable":true}}`
+
+// TestRetryBackoffGrowth pins the retry engine: a persistently failing
+// retryable endpoint is attempted exactly MaxAttempts times, with
+// exponentially growing gaps.
+func TestRetryBackoffGrowth(t *testing.T) {
+	srv, hits := countingServer(t, http.StatusInternalServerError, retryableBody)
+	c := api.NewClient(srv.URL, api.WithRetryPolicy(api.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   20 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Multiplier:  2,
+		Jitter:      -1, // selects default 0.2
+		Budget:      64,
+	}))
+	_, err := c.Status(context.Background())
+	if err == nil {
+		t.Fatal("persistently failing call succeeded")
+	}
+	times := hits()
+	if len(times) != 4 {
+		t.Fatalf("%d attempts, want 4", len(times))
+	}
+	// Gaps follow 20ms·2ⁿ within jitter; pin growth loosely enough for a
+	// loaded CI box: the third gap must exceed the first.
+	g1, g3 := times[1].Sub(times[0]), times[3].Sub(times[2])
+	if g1 < 10*time.Millisecond {
+		t.Fatalf("first backoff %v, want >= ~20ms", g1)
+	}
+	if g3 <= g1 {
+		t.Fatalf("backoff did not grow: first %v, third %v", g1, g3)
+	}
+	var ae *api.APIError
+	if !errors.As(err, &ae) || ae.Code != api.CodeInternal {
+		t.Fatalf("final error does not carry the envelope: %v", err)
+	}
+}
+
+// TestRetryBudgetExhaustion pins the client-wide budget: once spent,
+// calls fail after a single attempt instead of piling on retries.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	srv, hits := countingServer(t, http.StatusInternalServerError, retryableBody)
+	c := api.NewClient(srv.URL, api.WithRetryPolicy(api.RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+		Budget:      2, // two retries total across the whole client
+	}))
+	ctx := context.Background()
+	if _, err := c.Status(ctx); err == nil {
+		t.Fatal("failing call succeeded")
+	}
+	// initial attempt + 2 budgeted retries
+	if n := len(hits()); n != 3 {
+		t.Fatalf("%d attempts, want 3 (budget caps retries)", n)
+	}
+	_, err := c.Status(ctx)
+	if err == nil {
+		t.Fatal("failing call succeeded")
+	}
+	if n := len(hits()); n != 4 {
+		t.Fatalf("%d total attempts, want 4 (no budget left for retries)", n)
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("error does not name the budget: %v", err)
+	}
+}
+
+// TestNoRetryOnNonRetryable pins envelope-driven classification: a
+// not_found answer is surfaced immediately, with no second attempt.
+func TestNoRetryOnNonRetryable(t *testing.T) {
+	srv, hits := countingServer(t, http.StatusNotFound,
+		`{"error":{"code":"not_found","message":"no such block","retryable":false}}`)
+	c := api.NewClient(srv.URL)
+	_, err := c.Block(context.Background(), 42)
+	var ae *api.APIError
+	if !errors.As(err, &ae) || ae.Code != api.CodeNotFound || ae.Retryable {
+		t.Fatalf("err = %v", err)
+	}
+	if n := len(hits()); n != 1 {
+		t.Fatalf("%d attempts on a non-retryable error, want 1", n)
+	}
+}
+
+// TestRetryAfterHint pins that a server's Retry-After floor is honored:
+// the retry arrives no earlier than the hint even when the policy's own
+// backoff is shorter.
+func TestRetryAfterHint(t *testing.T) {
+	var mu sync.Mutex
+	var times []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		n := len(times)
+		times = append(times, time.Now())
+		mu.Unlock()
+		if n == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"overloaded","message":"shed","retryable":true}}`)
+			return
+		}
+		fmt.Fprint(w, `{}`)
+	}))
+	defer srv.Close()
+	c := api.NewClient(srv.URL, api.WithRetryPolicy(api.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond, // far below the 1s hint
+		MaxDelay:    2 * time.Millisecond,
+		Budget:      8,
+	}))
+	if _, err := c.Status(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(times) != 2 {
+		t.Fatalf("%d attempts, want 2", len(times))
+	}
+	if gap := times[1].Sub(times[0]); gap < 900*time.Millisecond {
+		t.Fatalf("retry after %v, want >= ~1s (Retry-After hint ignored)", gap)
+	}
+}
+
+// TestSubmitTxIdempotentUnderLostReplies is the double-spend pin: the
+// server commits the transaction but fault injection destroys the
+// response, twice; the client's retried submission (same idempotency
+// key) must be answered from the mempool, and after sealing the
+// transfer lands exactly once.
+func TestSubmitTxIdempotentUnderLostReplies(t *testing.T) {
+	user := identity.New("retry-user", crypto.NewDRBGFromUint64(3, "retry-test"))
+	m, err := market.New(market.Config{
+		Seed:         3,
+		GenesisAlloc: map[identity.Address]uint64{user.Address(): 1_000_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(faults.Schedule{Name: "lost-twice", Seed: 3, Rules: []faults.Rule{
+		// The first two submission attempts commit and then lose their
+		// responses; the third goes through clean.
+		{Kind: faults.Err5xx, Rate: 1, AfterHandler: true, Endpoint: "/v1/transactions", FromOp: 0, ToOp: 2},
+	}})
+	srv := httptest.NewServer(faults.Middleware(inj, api.NewServer(m, true)))
+	defer srv.Close()
+	c := api.NewClient(srv.URL, api.WithRetryPolicy(api.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+		Budget:      64,
+	}))
+	ctx := context.Background()
+
+	to := identity.New("retry-to", crypto.NewDRBGFromUint64(4, "retry-test")).Address()
+	tx := ledger.SignTx(user, to, 777, 0, 50_000, nil)
+	hash, err := c.SubmitTx(ctx, tx)
+	if err != nil {
+		t.Fatalf("submit under lost replies: %v", err)
+	}
+	if hash != tx.Hash() {
+		t.Fatal("hash mismatch")
+	}
+	if got := inj.Injected()[faults.Err5xx]; got != 2 {
+		t.Fatalf("injected %d lost replies, want 2", got)
+	}
+	if m.Pool.Len() != 1 {
+		t.Fatalf("pool depth %d after retried submission, want 1", m.Pool.Len())
+	}
+	if _, err := c.Seal(ctx); err != nil {
+		t.Fatal(err)
+	}
+	acct, err := c.Account(ctx, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acct.Balance != 777 {
+		t.Fatalf("receiver balance %d, want exactly 777 (double spend?)", acct.Balance)
+	}
+	sender, err := c.Account(ctx, user.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sender.Nonce != 1 {
+		t.Fatalf("sender nonce %d, want 1", sender.Nonce)
+	}
+	// Submitting again after commit answers the cached verdict.
+	if _, err := c.SubmitTx(ctx, tx); err != nil {
+		t.Fatalf("resubmit after commit: %v", err)
+	}
+	if m.Pool.Len() != 0 {
+		t.Fatalf("resubmit after commit re-admitted the tx (pool depth %d)", m.Pool.Len())
+	}
+}
+
+// TestContextCancellationMidRetry pins that cancellation interrupts the
+// backoff sleep, not just the request.
+func TestContextCancellationMidRetry(t *testing.T) {
+	srv, hits := countingServer(t, http.StatusInternalServerError, retryableBody)
+	c := api.NewClient(srv.URL, api.WithRetryPolicy(api.RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   200 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Budget:      64,
+	}))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Status(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %v; backoff sleep not interrupted", elapsed)
+	}
+	if n := len(hits()); n != 1 {
+		t.Fatalf("%d attempts within 50ms budget, want 1", n)
+	}
+}
+
+// TestEveryMethodHonorsContext pins the ctx-first contract across the
+// whole client surface: with an already-canceled context no method
+// issues a request.
+func TestEveryMethodHonorsContext(t *testing.T) {
+	srv, hits := countingServer(t, http.StatusOK, `{}`)
+	c := api.NewClient(srv.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	user := identity.New("ctx-user", crypto.NewDRBGFromUint64(5, "retry-test"))
+	tx := ledger.SignTx(user, identity.ZeroAddress, 0, 0, 50_000, nil)
+	calls := map[string]func() error{
+		"Status":        func() error { _, err := c.Status(ctx); return err },
+		"Account":       func() error { _, err := c.Account(ctx, user.Address()); return err },
+		"Block":         func() error { _, err := c.Block(ctx, 1); return err },
+		"Receipt":       func() error { _, err := c.Receipt(ctx, tx.Hash()); return err },
+		"Events":        func() error { _, err := c.Events(ctx, ""); return err },
+		"EventsPage":    func() error { _, err := c.EventsPage(ctx, "", "", 1); return err },
+		"Workloads":     func() error { _, err := c.Workloads(ctx); return err },
+		"WorkloadsPage": func() error { _, err := c.WorkloadsPage(ctx, "", 1); return err },
+		"Workload":      func() error { _, err := c.Workload(ctx, user.Address()); return err },
+		"Logs":          func() error { _, err := c.Logs(ctx, ""); return err },
+		"LogsPage":      func() error { _, err := c.LogsPage(ctx, "", "", 1); return err },
+		"Healthz":       func() error { _, err := c.Healthz(ctx); return err },
+		"SubmitTx":      func() error { _, err := c.SubmitTx(ctx, tx); return err },
+		"View":          func() error { _, err := c.View(ctx, user.Address(), user.Address(), "m", nil); return err },
+		"Seal":          func() error { _, err := c.Seal(ctx); return err },
+	}
+	for name, call := range calls {
+		if err := call(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+	if n := len(hits()); n != 0 {
+		t.Fatalf("%d requests issued under a canceled context, want 0", n)
+	}
+}

@@ -1,0 +1,117 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Stable machine-readable error codes. The client's retry loop keys off
+// the code's retryability (carried explicitly in the envelope), never
+// off raw status numbers, so codes must not change meaning across
+// versions.
+const (
+	// CodeBadRequest: malformed input (bad hex, bad JSON, bad query).
+	CodeBadRequest = "bad_request"
+
+	// CodeNotFound: the route exists but the entity does not.
+	CodeNotFound = "not_found"
+
+	// CodeNoRoute: no handler for the path.
+	CodeNoRoute = "no_route"
+
+	// CodeMethodNotAllowed: the path exists under another HTTP method.
+	CodeMethodNotAllowed = "method_not_allowed"
+
+	// CodeForbidden: the operation is disabled on this node.
+	CodeForbidden = "forbidden"
+
+	// CodeInvalidTx: the transaction failed stateless verification.
+	CodeInvalidTx = "invalid_tx"
+
+	// CodeViewReverted: the read-only contract call reverted.
+	CodeViewReverted = "view_reverted"
+
+	// CodeOverloaded: the node is shedding load (mempool saturated).
+	// Retry after the Retry-After hint.
+	CodeOverloaded = "overloaded"
+
+	// CodeUnavailable: the node cannot serve right now (disabled
+	// subsystem, draining). Retryable — possibly against another node.
+	CodeUnavailable = "unavailable"
+
+	// CodeTimeout: the per-request deadline expired server-side.
+	CodeTimeout = "timeout"
+
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal = "internal"
+
+	// CodeInjectedFault: a synthesized failure from the fault-injection
+	// layer (chaos runs only).
+	CodeInjectedFault = "injected_fault"
+)
+
+// retryableCode is the server-side truth table stamped into envelopes.
+var retryableCode = map[string]bool{
+	CodeOverloaded:    true,
+	CodeUnavailable:   true,
+	CodeTimeout:       true,
+	CodeInternal:      true,
+	CodeInjectedFault: true,
+}
+
+// ErrorBody is the uniform machine-readable error payload.
+type ErrorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// apiError is the uniform error envelope: {"error": {...}}.
+type apiError struct {
+	Error ErrorBody `json:"error"`
+}
+
+// APIError is the client-side view of a non-2xx response. It carries
+// the envelope verbatim plus transport-level context, and implements
+// error.
+type APIError struct {
+	Path       string
+	Status     int
+	Code       string
+	Message    string
+	Retryable  bool
+	RetryAfter time.Duration // parsed Retry-After hint, 0 if absent
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("api: %s: %s: %s (HTTP %d)", e.Path, e.Code, e.Message, e.Status)
+}
+
+// newAPIError builds an *APIError from a non-2xx response. Responses
+// that do not carry the envelope (proxies, panics mid-write) degrade to
+// a synthetic code "http_<status>", retryable for 5xx and 429.
+func newAPIError(path string, status int, header http.Header, body []byte) *APIError {
+	out := &APIError{
+		Path:      path,
+		Status:    status,
+		Code:      "http_" + strconv.Itoa(status),
+		Message:   http.StatusText(status),
+		Retryable: status >= 500 || status == http.StatusTooManyRequests,
+	}
+	if ra := header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			out.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	var env apiError
+	if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
+		out.Code = env.Error.Code
+		out.Message = env.Error.Message
+		out.Retryable = env.Error.Retryable
+	}
+	return out
+}

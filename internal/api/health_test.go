@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -36,8 +37,8 @@ func TestMetricsAndTraceDisabled(t *testing.T) {
 			t.Fatalf("GET %s: Content-Type %q", path, ct)
 		}
 		var e apiError
-		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-			t.Fatalf("GET %s: body %q is not the JSON error shape", path, body)
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != CodeUnavailable {
+			t.Fatalf("GET %s: body %q is not the JSON error envelope", path, body)
 		}
 	}
 }
@@ -52,15 +53,20 @@ func TestTraceHeaderPropagation(t *testing.T) {
 	srv, _, _ := testServer(t, false)
 
 	parent := telemetry.StartSpan("client.call", telemetry.SpanContext{})
-	client := NewClient(srv.URL).WithTrace(parent.Context())
-	if _, err := client.Status(); err != nil {
+	client := NewClient(srv.URL, WithTrace(parent.Context()))
+	if _, err := client.Status(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	parent.End()
 
 	// The response header carries the server's span context in the same
 	// trace as the client's parent span.
-	resp, err := client.do(http.MethodGet, "/v1/status", nil)
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/status", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(TraceHeader, parent.Context().String())
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}

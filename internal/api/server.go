@@ -12,12 +12,16 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pds2/internal/contract"
 	"pds2/internal/crypto"
@@ -28,10 +32,12 @@ import (
 )
 
 // API instrumentation: request volume and handler latency, including the
-// market-mutex wait, which is what a client actually experiences.
+// market-mutex wait, which is what a client actually experiences; plus
+// the load-shedding counter pinned by the chaos harness.
 var (
 	mAPIRequests = telemetry.C("api.requests_total")
 	mAPIErrors   = telemetry.C("api.errors_total")
+	mAPIShed     = telemetry.C("api.shed_total")
 	mAPISeconds  = telemetry.H("api.request_seconds", telemetry.TimeBuckets)
 	logAPI       = telemetry.L("api")
 )
@@ -41,6 +47,10 @@ var (
 // context on responses, so client and server spans stitch into one
 // distributed trace.
 const TraceHeader = "X-PDS2-Trace"
+
+// DefaultRequestTimeout bounds each request's context unless overridden
+// with SetRequestTimeout.
+const DefaultRequestTimeout = 15 * time.Second
 
 // Server is the HTTP front end of one governance node.
 type Server struct {
@@ -54,6 +64,17 @@ type Server struct {
 	mux    *http.ServeMux
 	health *telemetry.Health
 
+	// reqTimeout bounds each request's context (see SetRequestTimeout).
+	reqTimeout time.Duration
+
+	// draining makes /readyz fail so load balancers stop routing here
+	// while in-flight requests finish (graceful shutdown).
+	draining atomic.Bool
+
+	// sealSkew, when set, supplies a logical-clock offset applied to
+	// the next seal — the fault-injection hook for clock-skew chaos.
+	sealSkew func() int64
+
 	// lastHeight tracks chain progress between health evaluations for
 	// the ledger.chain check. Guarded by s.mu.
 	lastHeight uint64
@@ -61,7 +82,7 @@ type Server struct {
 
 // NewServer wraps a market.
 func NewServer(m *market.Market, allowSeal bool) *Server {
-	s := &Server{m: m, AllowSeal: allowSeal, mux: http.NewServeMux()}
+	s := &Server{m: m, AllowSeal: allowSeal, mux: http.NewServeMux(), reqTimeout: DefaultRequestTimeout}
 	s.health = telemetry.NewHealth(telemetry.Default())
 	s.health.Register("ledger.chain", s.checkChain)
 	s.health.Register("ledger.mempool", s.checkMempool)
@@ -88,6 +109,24 @@ func NewServer(m *market.Market, allowSeal bool) *Server {
 // register additional component checks (e.g. gossip connectivity).
 func (s *Server) Health() *telemetry.Health { return s.health }
 
+// SetRequestTimeout bounds every request's context (0 disables the
+// per-request deadline). Handlers observe the deadline before starting
+// expensive work, so a stalled client cannot pin the market mutex.
+func (s *Server) SetRequestTimeout(d time.Duration) { s.reqTimeout = d }
+
+// SetDraining flips the drain flag: a draining node answers /readyz
+// with 503 (load balancers stop routing) while every other endpoint
+// keeps serving, so in-flight work finishes before Shutdown.
+func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
+
+// Draining reports whether the node is draining.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// SetSealSkew installs a fault-injection hook supplying a logical-clock
+// offset for each seal (nil removes it). Used by chaos runs to exercise
+// the chain's timestamp monotonicity checks.
+func (s *Server) SetSealSkew(fn func() int64) { s.sealSkew = fn }
+
 // ServeHTTP implements http.Handler. ServeMux answers unmatched routes
 // and wrong methods with plain-text errors; to keep the JSON error
 // contract uniform, those verdicts are captured on a probe writer and
@@ -107,6 +146,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		defer span.End()
 	}
 	logAPI.Debug("request", telemetry.Str("method", r.Method), telemetry.Str("path", r.URL.Path))
+	if s.reqTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	if _, pattern := s.mux.Handler(r); pattern == "" {
 		probe := &probeWriter{header: make(http.Header)}
 		s.mux.ServeHTTP(probe, r)
@@ -118,9 +162,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusNotFound
 		}
 		if status == http.StatusMethodNotAllowed {
-			writeErr(w, status, "method %s not allowed for %s", r.Method, r.URL.Path)
+			writeErr(w, status, CodeMethodNotAllowed, "method %s not allowed for %s", r.Method, r.URL.Path)
 		} else {
-			writeErr(w, status, "no route for %s %s", r.Method, r.URL.Path)
+			writeErr(w, status, CodeNoRoute, "no route for %s %s", r.Method, r.URL.Path)
 		}
 		return
 	}
@@ -143,20 +187,32 @@ func (p *probeWriter) WriteHeader(status int) {
 	}
 }
 
-// apiError is the uniform error body.
-type apiError struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+// writeErr emits the uniform error envelope. Retryability is derived
+// from the code's truth table, so clients never have to interpret raw
+// status numbers.
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
 	mAPIErrors.Inc()
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, apiError{Error: ErrorBody{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		Retryable: retryableCode[code],
+	}})
+}
+
+// deadlineExceeded answers requests whose context expired before the
+// handler could do its work, and reports whether it fired.
+func deadlineExceeded(w http.ResponseWriter, r *http.Request) bool {
+	if err := r.Context().Err(); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, CodeTimeout, "request deadline exceeded: %v", err)
+		return true
+	}
+	return false
 }
 
 // StatusResponse is the GET /v1/status body.
@@ -174,7 +230,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	wls, err := s.m.Workloads()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "list workloads: %v", err)
+		writeErr(w, http.StatusInternalServerError, CodeInternal, "list workloads: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, StatusResponse{
@@ -190,14 +246,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 	h, err := strconv.ParseUint(r.PathValue("height"), 10, 64)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad height: %v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad height: %v", err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	block, err := s.m.Chain.BlockAt(h)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		writeErr(w, http.StatusNotFound, CodeNotFound, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, block)
@@ -213,7 +269,7 @@ type AccountResponse struct {
 func (s *Server) handleAccount(w http.ResponseWriter, r *http.Request) {
 	addr, err := identity.AddressFromHex(r.PathValue("addr"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad address: %v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad address: %v", err)
 		return
 	}
 	s.mu.Lock()
@@ -228,39 +284,96 @@ func (s *Server) handleAccount(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReceipt(w http.ResponseWriter, r *http.Request) {
 	hash, err := crypto.DigestFromHex(r.PathValue("hash"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad hash: %v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad hash: %v", err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rcpt, ok := s.m.Chain.Receipt(hash)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no receipt for %s", hash.Short())
+		writeErr(w, http.StatusNotFound, CodeNotFound, "no receipt for %s", hash.Short())
 		return
 	}
 	writeJSON(w, http.StatusOK, rcpt)
 }
 
+// DefaultPageLimit bounds list endpoints when the caller sends no
+// ?limit; explicit limits are capped at MaxPageLimit.
+const (
+	DefaultPageLimit = 256
+	MaxPageLimit     = 1024
+)
+
+// pageParams parses the uniform ?after / ?limit pagination query.
+func pageParams(r *http.Request) (after string, limit int, err error) {
+	q := r.URL.Query()
+	after = q.Get("after")
+	limit = DefaultPageLimit
+	if raw := q.Get("limit"); raw != "" {
+		limit, err = strconv.Atoi(raw)
+		if err != nil || limit <= 0 {
+			return "", 0, fmt.Errorf("bad limit %q", raw)
+		}
+		if limit > MaxPageLimit {
+			limit = MaxPageLimit
+		}
+	}
+	return after, limit, nil
+}
+
+// EventsResponse is the GET /v1/events page envelope. Next is the
+// cursor for the following page, empty on the last one.
+type EventsResponse struct {
+	Items []ledger.Event `json:"items"`
+	Next  string         `json:"next,omitempty"`
+}
+
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	topic := r.URL.Query().Get("topic")
 	contractHex := r.URL.Query().Get("contract")
+	after, limit, err := pageParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	// The audit log is append-only and the filter is deterministic, so a
+	// plain offset into the filtered sequence is a stable cursor: earlier
+	// entries never move, later pages only ever gain entries at the end.
+	offset := 0
+	if after != "" {
+		offset, err = strconv.Atoi(after)
+		if err != nil || offset < 0 {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad cursor %q", after)
+			return
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var events []ledger.Event
 	if contractHex != "" {
 		addr, err := identity.AddressFromHex(contractHex)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad contract: %v", err)
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad contract: %v", err)
 			return
 		}
 		events = s.m.Chain.EventsFrom(addr, topic)
 	} else {
 		events = s.m.Chain.Events(topic)
 	}
-	if events == nil {
-		events = []ledger.Event{}
+	if offset > len(events) {
+		offset = len(events)
 	}
-	writeJSON(w, http.StatusOK, events)
+	page := events[offset:]
+	resp := EventsResponse{}
+	if len(page) > limit {
+		page = page[:limit]
+		resp.Next = strconv.Itoa(offset + limit)
+	}
+	resp.Items = page
+	if resp.Items == nil {
+		resp.Items = []ledger.Event{}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // WorkloadSummary is one entry of GET /v1/workloads.
@@ -269,23 +382,54 @@ type WorkloadSummary struct {
 	State   string           `json:"state"`
 }
 
+// WorkloadsResponse is the GET /v1/workloads page envelope. Pages are
+// ordered by address; Next is the last address of the page, empty on
+// the final one.
+type WorkloadsResponse struct {
+	Items []WorkloadSummary `json:"items"`
+	Next  string            `json:"next,omitempty"`
+}
+
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	after, limit, err := pageParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	addrs, err := s.m.Workloads()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 		return
 	}
-	out := make([]WorkloadSummary, 0, len(addrs))
+	// Addresses sort lexically by hex, giving a stable total order: the
+	// cursor is simply the last address served, immune to insertions
+	// before or after it between pages.
+	hexes := make([]string, 0, len(addrs))
+	byHex := make(map[string]identity.Address, len(addrs))
 	for _, a := range addrs {
-		st, err := s.m.WorkloadStateOf(a)
+		h := a.Hex()
+		hexes = append(hexes, h)
+		byHex[h] = a
+	}
+	sort.Strings(hexes)
+	resp := WorkloadsResponse{Items: []WorkloadSummary{}}
+	for _, h := range hexes {
+		if after != "" && h <= after {
+			continue
+		}
+		if len(resp.Items) == limit {
+			resp.Next = resp.Items[len(resp.Items)-1].Address.Hex()
+			break
+		}
+		st, err := s.m.WorkloadStateOf(byHex[h])
 		if err != nil {
 			continue
 		}
-		out = append(out, WorkloadSummary{Address: a, State: st.String()})
+		resp.Items = append(resp.Items, WorkloadSummary{Address: byHex[h], State: st.String()})
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // WorkloadDetail is the GET /v1/workloads/{addr} body.
@@ -308,19 +452,19 @@ type WorkloadDetail struct {
 func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	addr, err := identity.AddressFromHex(r.PathValue("addr"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad address: %v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad address: %v", err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, err := s.m.WorkloadStateOf(addr)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "not a workload: %v", err)
+		writeErr(w, http.StatusNotFound, CodeNotFound, "not a workload: %v", err)
 		return
 	}
 	spec, err := s.m.WorkloadSpecOf(addr)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 		return
 	}
 	detail := WorkloadDetail{
@@ -346,16 +490,43 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, detail)
 }
 
-// SubmitResponse is the POST /v1/transactions body.
+// SubmitResponse is the POST /v1/transactions body. Committed reports
+// that the transaction already executed — the answer a retried
+// submission gets when the original landed but its response was lost.
 type SubmitResponse struct {
-	TxHash crypto.Digest `json:"tx_hash"`
-	Queued bool          `json:"queued"`
+	TxHash    crypto.Digest `json:"tx_hash"`
+	Queued    bool          `json:"queued"`
+	Committed bool          `json:"committed,omitempty"`
 }
 
 func (s *Server) handleSubmitTx(w http.ResponseWriter, r *http.Request) {
+	if deadlineExceeded(w, r) {
+		return
+	}
 	var tx ledger.Transaction
 	if err := json.NewDecoder(r.Body).Decode(&tx); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad transaction: %v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad transaction: %v", err)
+		return
+	}
+	h := tx.Hash()
+	if key := r.Header.Get(IdempotencyHeader); key != "" && key != h.Hex() {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "idempotency key %s does not match transaction hash %s", key, h.Hex())
+		return
+	}
+	// Idempotency fast paths: a retried submission whose original
+	// attempt actually landed is answered with the cached verdict — the
+	// transaction is either still pending or already committed. Either
+	// way it is never admitted twice, so a retry can never double-spend
+	// the nonce.
+	if s.m.Pool.Contains(h) {
+		writeJSON(w, http.StatusAccepted, SubmitResponse{TxHash: h, Queued: true})
+		return
+	}
+	s.mu.Lock()
+	_, committed := s.m.Chain.Receipt(h)
+	s.mu.Unlock()
+	if committed {
+		writeJSON(w, http.StatusAccepted, SubmitResponse{TxHash: h, Committed: true})
 		return
 	}
 	// Fast path: admission touches only the mempool, which is safe for
@@ -370,15 +541,21 @@ func (s *Server) handleSubmitTx(w http.ResponseWriter, r *http.Request) {
 		err = s.m.Submit(&tx)
 		s.mu.Unlock()
 	}
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, ledger.ErrMempoolFull) {
-			status = http.StatusServiceUnavailable
-		}
-		writeErr(w, status, "%v", err)
-		return
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, SubmitResponse{TxHash: h, Queued: true})
+	case errors.Is(err, ledger.ErrMempoolDuplicate):
+		// Raced another admission of the same bytes — idempotent success.
+		writeJSON(w, http.StatusAccepted, SubmitResponse{TxHash: h, Queued: true})
+	case errors.Is(err, ledger.ErrMempoolFull):
+		// Load shedding: the pool stayed full even after pruning. Tell
+		// the client when to come back instead of letting it hammer us.
+		mAPIShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, CodeOverloaded, "%v", err)
+	default:
+		writeErr(w, http.StatusBadRequest, CodeInvalidTx, "%v", err)
 	}
-	writeJSON(w, http.StatusAccepted, SubmitResponse{TxHash: tx.Hash(), Queued: true})
 }
 
 // ViewRequest is the POST /v1/views body: a read-only contract call.
@@ -398,18 +575,18 @@ type ViewResponse struct {
 func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	var req ViewRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad view request: %v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad view request: %v", err)
 		return
 	}
 	if req.Method == "" {
-		writeErr(w, http.StatusBadRequest, "missing method")
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "missing method")
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ret, err := s.m.View(req.Caller, req.To, req.Method, req.Args)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "view reverted: %v", err)
+		writeErr(w, http.StatusUnprocessableEntity, CodeViewReverted, "view reverted: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ViewResponse{Return: ret})
@@ -423,14 +600,28 @@ type SealResponse struct {
 
 func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 	if !s.AllowSeal {
-		writeErr(w, http.StatusForbidden, "sealing disabled on this node")
+		writeErr(w, http.StatusForbidden, CodeForbidden, "sealing disabled on this node")
+		return
+	}
+	if deadlineExceeded(w, r) {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	block, err := s.m.SealBlock()
+	ts := s.m.Timestamp() + 1
+	if s.sealSkew != nil {
+		// Chaos hook: a skewed sealer proposes a block stamped off its
+		// own (wrong) clock. The chain's monotonicity check is what
+		// actually protects the ledger; the retried seal then lands.
+		if v := int64(ts) + s.sealSkew(); v > 0 {
+			ts = uint64(v)
+		} else {
+			ts = 0
+		}
+	}
+	block, err := s.m.SealBlockAt(ts)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SealResponse{Height: block.Header.Height, Txs: len(block.Txs)})
@@ -443,7 +634,7 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 // answers 503 with a stable JSON error instead.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if !telemetry.Default().Enabled() {
-		writeErr(w, http.StatusServiceUnavailable, "telemetry disabled on this node")
+		writeErr(w, http.StatusServiceUnavailable, CodeUnavailable, "telemetry disabled on this node")
 		return
 	}
 	writeJSON(w, http.StatusOK, telemetry.Default().Snapshot())
@@ -454,37 +645,56 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // /metrics it answers 503 while telemetry is disabled.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if !telemetry.Default().Enabled() {
-		writeErr(w, http.StatusServiceUnavailable, "telemetry disabled on this node")
+		writeErr(w, http.StatusServiceUnavailable, CodeUnavailable, "telemetry disabled on this node")
 		return
 	}
 	writeJSON(w, http.StatusOK, telemetry.Default().Tracer().Export())
 }
 
-// LogsResponse is the GET /logs body.
+// LogsResponse is the GET /logs page envelope. Next is a LogEvent.Seq
+// cursor for the following page, empty on the last one.
 type LogsResponse struct {
 	Components []string             `json:"components"`
 	Events     []telemetry.LogEvent `json:"events"`
+	Next       string               `json:"next,omitempty"`
 }
 
 // handleLogs serves GET /logs: the structured-log ring, oldest first.
 // ?component=X filters to one component; the ring itself is always
-// served — an all-off log simply has no events.
+// served — an all-off log simply has no events. Pagination cursors are
+// record sequence numbers, which survive ring eviction: a page after
+// seq N simply starts at the oldest retained record above N.
 func (s *Server) handleLogs(w http.ResponseWriter, r *http.Request) {
+	after, limit, err := pageParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	var afterSeq uint64
+	if after != "" {
+		afterSeq, err = strconv.ParseUint(after, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad cursor %q", after)
+			return
+		}
+	}
 	l := telemetry.DefaultLog()
 	events := l.Events()
-	if comp := r.URL.Query().Get("component"); comp != "" {
-		filtered := events[:0]
-		for _, e := range events {
-			if e.Component == comp {
-				filtered = append(filtered, e)
-			}
+	comp := r.URL.Query().Get("component")
+	filtered := make([]telemetry.LogEvent, 0, len(events))
+	for _, e := range events {
+		if e.Seq <= afterSeq || (comp != "" && e.Component != comp) {
+			continue
 		}
-		events = filtered
+		filtered = append(filtered, e)
 	}
-	if events == nil {
-		events = []telemetry.LogEvent{}
+	resp := LogsResponse{Components: l.Components()}
+	if len(filtered) > limit {
+		filtered = filtered[:limit]
+		resp.Next = strconv.FormatUint(filtered[len(filtered)-1].Seq, 10)
 	}
-	writeJSON(w, http.StatusOK, LogsResponse{Components: l.Components(), Events: events})
+	resp.Events = filtered
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // checkChain verifies the chain exists and reports whether it advanced
@@ -529,9 +739,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, report)
 }
 
-// handleReadyz serves GET /readyz: 200 only when fully Healthy, so load
-// balancers drain Degraded nodes while /healthz keeps them alive.
+// handleReadyz serves GET /readyz: 200 only when fully Healthy and not
+// draining, so load balancers drain Degraded or shutting-down nodes
+// while /healthz keeps them alive.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, CodeUnavailable, "node draining")
+		return
+	}
 	report := s.health.Evaluate()
 	status := http.StatusOK
 	if report.Status != telemetry.Healthy {

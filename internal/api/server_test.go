@@ -2,7 +2,9 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -243,17 +245,23 @@ func TestBlocksEndpoint(t *testing.T) {
 
 func TestEventsEndpoint(t *testing.T) {
 	srv, m, _ := testServer(t, false)
-	var events []ledger.Event
+	var events EventsResponse
 	if code := getJSON(t, srv.URL+"/v1/events", &events); code != http.StatusOK {
 		t.Fatalf("code %d", code)
 	}
 	// Registry deploy leaves no events, but the endpoint returns [].
-	if events == nil {
+	if events.Items == nil {
 		t.Fatal("nil events")
 	}
 	url := fmt.Sprintf("%s/v1/events?contract=%s&topic=Transfer", srv.URL, m.Registry.Hex())
 	if code := getJSON(t, url, &events); code != http.StatusOK {
 		t.Fatalf("filtered code %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/events?limit=bogus", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad limit code %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/events?after=x", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad cursor code %d", code)
 	}
 }
 
@@ -281,11 +289,11 @@ func TestWorkloadEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var list []WorkloadSummary
+	var list WorkloadsResponse
 	if code := getJSON(t, srv.URL+"/v1/workloads", &list); code != http.StatusOK {
 		t.Fatalf("code %d", code)
 	}
-	if len(list) != 1 || list[0].Address != addr || list[0].State != "open" {
+	if len(list.Items) != 1 || list.Items[0].Address != addr || list.Items[0].State != "open" {
 		t.Fatalf("list = %+v", list)
 	}
 
@@ -310,8 +318,9 @@ func TestWorkloadEndpoints(t *testing.T) {
 func TestClientAgainstServer(t *testing.T) {
 	srv, m, user := testServer(t, true)
 	c := NewClient(srv.URL)
+	ctx := context.Background()
 
-	st, err := c.Status()
+	st, err := c.Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,39 +328,43 @@ func TestClientAgainstServer(t *testing.T) {
 		t.Fatal("client status mismatch")
 	}
 
-	acct, err := c.Account(user.Address())
+	acct, err := c.Account(ctx, user.Address())
 	if err != nil || acct.Balance != 1_000_000 {
 		t.Fatalf("account: %+v %v", acct, err)
 	}
 
 	to := identity.New("to", crypto.NewDRBGFromUint64(3, "api-test"))
 	tx := ledger.SignTx(user, to.Address(), 77, 0, 50_000, nil)
-	hash, err := c.SubmitTx(tx)
+	hash, err := c.SubmitTx(ctx, tx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hash != tx.Hash() {
 		t.Fatal("hash mismatch")
 	}
-	seal, err := c.Seal()
+	// Re-submitting the same transaction is idempotent, not an error.
+	if _, err := c.SubmitTx(ctx, tx); err != nil {
+		t.Fatalf("idempotent resubmit: %v", err)
+	}
+	seal, err := c.Seal(ctx)
 	if err != nil || seal.Txs != 1 {
 		t.Fatalf("seal: %+v %v", seal, err)
 	}
-	rcpt, err := c.Receipt(hash)
+	rcpt, err := c.Receipt(ctx, hash)
 	if err != nil || !rcpt.Succeeded() {
 		t.Fatalf("receipt: %+v %v", rcpt, err)
 	}
-	block, err := c.Block(seal.Height)
+	block, err := c.Block(ctx, seal.Height)
 	if err != nil || len(block.Txs) != 1 {
 		t.Fatalf("block: %v", err)
 	}
-	if _, err := c.Receipt(crypto.HashString("missing")); err == nil {
+	if _, err := c.Receipt(ctx, crypto.HashString("missing")); err == nil {
 		t.Fatal("missing receipt fetched")
 	}
-	if _, err := c.Events(""); err != nil {
+	if _, err := c.Events(ctx, ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Workloads(); err != nil {
+	if _, err := c.Workloads(ctx); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -359,20 +372,25 @@ func TestClientAgainstServer(t *testing.T) {
 func TestClientErrorsSurfaceBody(t *testing.T) {
 	srv, _, _ := testServer(t, false)
 	c := NewClient(srv.URL)
-	_, err := c.Seal()
+	_, err := c.Seal(context.Background())
 	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("sealing disabled")) {
 		t.Fatalf("err = %v", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != CodeForbidden || ae.Retryable {
+		t.Fatalf("envelope not surfaced: %#v", err)
 	}
 }
 
 func TestViewEndpoint(t *testing.T) {
 	srv, m, user := testServer(t, false)
 	c := NewClient(srv.URL)
+	ctx := context.Background()
 
 	// A registry view through the node: role lookup before and after a
 	// registration transaction.
 	args := contractEncoder().Address(user.Address()).String("consumer").Bytes()
-	ret, err := c.View(user.Address(), m.Registry, "hasRole", args)
+	ret, err := c.View(ctx, user.Address(), m.Registry, "hasRole", args)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +400,7 @@ func TestViewEndpoint(t *testing.T) {
 	if _, err := market.NewConsumer(m, user); err != nil {
 		t.Fatal(err)
 	}
-	ret, err = c.View(user.Address(), m.Registry, "hasRole", args)
+	ret, err = c.View(ctx, user.Address(), m.Registry, "hasRole", args)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +409,7 @@ func TestViewEndpoint(t *testing.T) {
 	}
 
 	// Reverting views surface errors.
-	if _, err := c.View(user.Address(), m.Registry, "noSuchMethod", nil); err == nil {
+	if _, err := c.View(ctx, user.Address(), m.Registry, "noSuchMethod", nil); err == nil {
 		t.Fatal("unknown method view succeeded")
 	}
 	// Missing method rejected.

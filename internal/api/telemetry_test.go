@@ -61,8 +61,8 @@ func TestErrorPathsReturnJSON(t *testing.T) {
 			if err := json.Unmarshal(body, &e); err != nil {
 				t.Fatalf("body is not the JSON error shape: %v (%q)", err, body)
 			}
-			if e.Error == "" {
-				t.Fatalf("empty error message in %q", body)
+			if e.Error.Code == "" || e.Error.Message == "" {
+				t.Fatalf("incomplete error envelope in %q", body)
 			}
 		})
 	}

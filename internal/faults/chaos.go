@@ -1,0 +1,279 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"pds2/internal/api"
+	"pds2/internal/contract"
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+	"pds2/internal/ledger"
+	"pds2/internal/market"
+	"pds2/internal/ml"
+	"pds2/internal/semantic"
+	"pds2/internal/storage"
+)
+
+// ChaosConfig parameterizes one chaos lifecycle run.
+type ChaosConfig struct {
+	// Seed drives the market, the synthetic data and (through the
+	// schedule) every fault decision; the same config reproduces the
+	// same run.
+	Seed uint64
+
+	// Schedule is the fault plan under test.
+	Schedule Schedule
+
+	// Retry overrides the client's retry policy (zero selects
+	// DefaultChaosRetry).
+	Retry api.RetryPolicy
+}
+
+// ChaosReport summarizes a converged chaos run.
+type ChaosReport struct {
+	Schedule    string            `json:"schedule"`
+	Workload    string            `json:"workload"`
+	FinalState  string            `json:"final_state"`
+	Height      uint64            `json:"height"`
+	Ops         uint64            `json:"ops"`
+	Injected    map[string]uint64 `json:"injected"`
+	ConsumerTxs uint64            `json:"consumer_txs"`
+}
+
+// DefaultChaosRetry is tuned for chaos runs: aggressive fault rates
+// need more attempts than production defaults, and millisecond backoff
+// keeps the suite inside a CI smoke budget.
+func DefaultChaosRetry() api.RetryPolicy {
+	return api.RetryPolicy{
+		MaxAttempts:       8,
+		BaseDelay:         time.Millisecond,
+		MaxDelay:          20 * time.Millisecond,
+		Multiplier:        2,
+		Jitter:            0.2,
+		PerAttemptTimeout: 5 * time.Second,
+		Budget:            4096,
+	}
+}
+
+// RunChaosLifecycle drives a complete workload lifecycle — register,
+// submit, match, seal, settle — over the HTTP API with the schedule's
+// faults injected on both sides of the wire (client RoundTripper and
+// server middleware) plus the sealer's clock. It returns a report only
+// if the run converged: the workload completes with a result on chain,
+// a deliberately double-submitted transfer lands exactly once, and the
+// consumer's on-chain nonce equals the number of logical transactions
+// sent (no retry ever burned an extra nonce).
+//
+// The off-chain legs of the lifecycle (data vault, authorization
+// certificates, TEE execution) run in-process: faults target the system
+// boundary this package owns, the API surface.
+func RunChaosLifecycle(cfg ChaosConfig) (*ChaosReport, error) {
+	retry := cfg.Retry
+	if retry.MaxAttempts == 0 {
+		retry = DefaultChaosRetry()
+	}
+	rng := crypto.NewDRBGFromUint64(cfg.Seed, "chaos/"+cfg.Schedule.Name)
+
+	consumerID := identity.New("chaos-consumer", rng.Fork("consumer"))
+	providerID := identity.New("chaos-provider", rng.Fork("provider"))
+	executorID := identity.New("chaos-executor", rng.Fork("executor"))
+	sink := identity.New("chaos-sink", rng.Fork("sink")).Address()
+	m, err := market.New(market.Config{Seed: cfg.Seed, GenesisAlloc: map[identity.Address]uint64{
+		consumerID.Address(): 1_000_000,
+		providerID.Address(): 1_000_000,
+		executorID.Address(): 1_000_000,
+	}})
+	if err != nil {
+		return nil, err
+	}
+
+	inj := NewInjector(cfg.Schedule)
+	srv := api.NewServer(m, true)
+	srv.SetSealSkew(inj.SealSkew)
+	hs := httptest.NewServer(Middleware(inj, srv))
+	defer hs.Close()
+	client := api.NewClient(hs.URL,
+		api.WithHTTPClient(&http.Client{Transport: NewTransport(inj, nil)}),
+		api.WithRetryPolicy(retry))
+	ctx := context.Background()
+
+	// sendTx pushes one signed transaction through the faulty wire and
+	// seals until its receipt lands. Seal failures (skewed clocks,
+	// injected errors outliving the retry budget) are not terminal — the
+	// next round tries again; only a reverted or never-landing
+	// transaction fails the run.
+	var consumerTxs uint64
+	sendTx := func(stage string, from *identity.Identity, to identity.Address, value uint64, data []byte) (*ledger.Receipt, error) {
+		tx := m.SignedTx(from, to, value, data)
+		if from == consumerID {
+			consumerTxs++
+		}
+		if _, err := client.SubmitTx(ctx, tx); err != nil {
+			return nil, fmt.Errorf("chaos %s: submit: %w", stage, err)
+		}
+		for round := 0; round < 12; round++ {
+			_, _ = client.Seal(ctx)
+			rcpt, err := client.Receipt(ctx, tx.Hash())
+			if err != nil {
+				continue
+			}
+			if !rcpt.Succeeded() {
+				return nil, fmt.Errorf("chaos %s: tx reverted: %s", stage, rcpt.Err)
+			}
+			return rcpt, nil
+		}
+		return nil, fmt.Errorf("chaos %s: receipt never landed", stage)
+	}
+
+	// Register: the consumer role lands on chain through the wire.
+	if _, err := sendTx("register", consumerID, m.Registry, 0,
+		market.RegisterActorData(identity.RoleConsumer)); err != nil {
+		return nil, err
+	}
+
+	// Submit: deploy the workload contract with its escrowed budget and
+	// list it in the registry directory.
+	const budget = 100_000
+	params := market.TrainerParams{Dim: 2, Epochs: 1, Lambda: 1e-3}
+	spec := &market.Spec{
+		Predicate:      `category isa "sensor"`,
+		MinProviders:   1,
+		MinItems:       1,
+		ExpiryHeight:   m.Height() + 1_000,
+		ExecutorFeeBps: 1_000,
+		Measurement:    market.TrainerMeasurement(params.Encode()),
+		QAPub:          m.QA.PublicKey(),
+		Params:         params.Encode(),
+	}
+	rcpt, err := sendTx("submit", consumerID, identity.ZeroAddress, budget,
+		contract.DeployData(market.WorkloadCodeName, spec.Encode()))
+	if err != nil {
+		return nil, err
+	}
+	var workload identity.Address
+	copy(workload[:], rcpt.Return)
+	if _, err := sendTx("list", consumerID, m.Registry, 0,
+		market.RegisterWorkloadData(workload)); err != nil {
+		return nil, err
+	}
+	// The listed workload must be discoverable through the paginated
+	// directory, reading through the same faulty wire.
+	wls, err := client.Workloads(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("chaos list: %w", err)
+	}
+	found := false
+	for _, wl := range wls {
+		if wl.Address == workload && wl.State == "open" {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("chaos list: workload %s not open in directory %v", workload.Short(), wls)
+	}
+
+	// Match: the off-chain marketplace legs — provider vault, semantic
+	// eligibility, authorization certificates, executor attestation.
+	node := storage.NewNode(storage.NewMemStore())
+	prov, err := market.NewProvider(m, providerID, node)
+	if err != nil {
+		return nil, fmt.Errorf("chaos match: %w", err)
+	}
+	data, _ := ml.GenerateClassification(ml.SyntheticConfig{N: 40, Dim: 2}, rng.Fork("data"))
+	if _, err := prov.AddDataset(data, semantic.Metadata{
+		"category": semantic.String("sensor.temperature"),
+		"samples":  semantic.Number(float64(data.Len())),
+	}); err != nil {
+		return nil, fmt.Errorf("chaos match: %w", err)
+	}
+	exec, err := market.NewExecutor(m, executorID, node)
+	if err != nil {
+		return nil, fmt.Errorf("chaos match: %w", err)
+	}
+	refs, err := prov.EligibleData(spec)
+	if err != nil || len(refs) == 0 {
+		return nil, fmt.Errorf("chaos match: eligible data: %v (%d refs)", err, len(refs))
+	}
+	auths, err := prov.Authorize(workload, executorID.Address(), refs, spec.ExpiryHeight)
+	if err != nil {
+		return nil, fmt.Errorf("chaos match: authorize: %w", err)
+	}
+	exec.Accept(workload, auths)
+	if err := exec.Register(workload); err != nil {
+		return nil, fmt.Errorf("chaos match: executor register: %w", err)
+	}
+	if _, err := sendTx("start", consumerID, workload, 0, contract.CallData("start", nil)); err != nil {
+		return nil, err
+	}
+
+	// Execute inside the (simulated) TEE.
+	if _, err := market.RunWorkloadExecution(workload, []*market.Executor{exec}); err != nil {
+		return nil, fmt.Errorf("chaos execute: %w", err)
+	}
+
+	// Exactly-once sentinel: submit the same transfer twice, as an
+	// application-level retry would after a lost response. The
+	// idempotency key must collapse both into one execution.
+	const sentinel = 12_345
+	transfer := m.SignedTx(consumerID, sink, sentinel, nil)
+	consumerTxs++
+	for i := 0; i < 2; i++ {
+		if _, err := client.SubmitTx(ctx, transfer); err != nil {
+			return nil, fmt.Errorf("chaos sentinel submit %d: %w", i, err)
+		}
+	}
+	for round := 0; round < 12; round++ {
+		_, _ = client.Seal(ctx)
+		if _, err := client.Receipt(ctx, transfer.Hash()); err == nil {
+			break
+		}
+	}
+	sinkAcct, err := client.Account(ctx, sink)
+	if err != nil {
+		return nil, fmt.Errorf("chaos sentinel: %w", err)
+	}
+	if sinkAcct.Balance != sentinel {
+		return nil, fmt.Errorf("chaos sentinel: sink balance %d, want exactly %d (double execution?)", sinkAcct.Balance, sentinel)
+	}
+
+	// Settle: reward distribution through the wire, then verify the
+	// converged end state.
+	if _, err := sendTx("settle", consumerID, workload, 0, contract.CallData("finalize", nil)); err != nil {
+		return nil, err
+	}
+	detail, err := client.Workload(ctx, workload)
+	if err != nil {
+		return nil, fmt.Errorf("chaos settle: %w", err)
+	}
+	if detail.State != market.StateComplete.String() {
+		return nil, fmt.Errorf("chaos settle: workload state %q, want %q", detail.State, market.StateComplete)
+	}
+	if detail.ResultHash == nil {
+		return nil, fmt.Errorf("chaos settle: no result hash on chain")
+	}
+	acct, err := client.Account(ctx, consumerID.Address())
+	if err != nil {
+		return nil, fmt.Errorf("chaos settle: %w", err)
+	}
+	if acct.Nonce != consumerTxs {
+		return nil, fmt.Errorf("chaos settle: consumer nonce %d, want %d (a retry burned a nonce)", acct.Nonce, consumerTxs)
+	}
+
+	injected := map[string]uint64{}
+	for k, v := range inj.Injected() {
+		injected[k.String()] = v
+	}
+	return &ChaosReport{
+		Schedule:    cfg.Schedule.Name,
+		Workload:    workload.Hex(),
+		FinalState:  detail.State,
+		Height:      m.Height(),
+		Ops:         inj.Ops(),
+		Injected:    injected,
+		ConsumerTxs: consumerTxs,
+	}, nil
+}

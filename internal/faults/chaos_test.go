@@ -1,0 +1,61 @@
+package faults
+
+import (
+	"testing"
+)
+
+// TestChaosLifecycleAllSchedules is the acceptance pin for the fault
+// layer: the full workload lifecycle must converge under every shipped
+// schedule with a fixed seed — retries absorb injected 5xx, drops,
+// resets, torn responses, slow links and skewed sealer clocks, and the
+// idempotent submission path guarantees no nonce is ever double-spent
+// along the way (RunChaosLifecycle errors otherwise).
+func TestChaosLifecycleAllSchedules(t *testing.T) {
+	const seed = 1
+	for _, sched := range AllSchedules(seed) {
+		sched := sched
+		t.Run(sched.Name, func(t *testing.T) {
+			rep, err := RunChaosLifecycle(ChaosConfig{Seed: seed, Schedule: sched})
+			if err != nil {
+				t.Fatalf("schedule %s did not converge: %v", sched.Name, err)
+			}
+			if rep.FinalState != "complete" {
+				t.Fatalf("final state %q", rep.FinalState)
+			}
+			// Every non-baseline schedule must actually have injected
+			// faults — a chaos run that injected nothing proves nothing.
+			if sched.Name != "baseline" && len(rep.Injected) == 0 {
+				t.Fatalf("schedule %s injected no faults over %d ops", sched.Name, rep.Ops)
+			}
+			if sched.Name == "baseline" && len(rep.Injected) != 0 {
+				t.Fatalf("baseline injected %v", rep.Injected)
+			}
+			t.Logf("%s: %d ops, injected %v, height %d, %d consumer txs",
+				rep.Schedule, rep.Ops, rep.Injected, rep.Height, rep.ConsumerTxs)
+		})
+	}
+}
+
+// TestChaosDeterminism pins reproducibility: two runs of the same
+// schedule and seed inject the identical fault mix.
+func TestChaosDeterminism(t *testing.T) {
+	run := func() *ChaosReport {
+		rep, err := RunChaosLifecycle(ChaosConfig{Seed: 5, Schedule: FlakyServer(5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Ops != b.Ops {
+		t.Fatalf("ops diverged: %d vs %d", a.Ops, b.Ops)
+	}
+	for k, v := range a.Injected {
+		if b.Injected[k] != v {
+			t.Fatalf("injection mix diverged: %v vs %v", a.Injected, b.Injected)
+		}
+	}
+	if a.Height != b.Height {
+		t.Fatalf("height diverged: %d vs %d", a.Height, b.Height)
+	}
+}

@@ -1,0 +1,210 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"pds2/internal/simnet"
+)
+
+// TestInjectorDeterminism pins the seed contract: the same schedule and
+// seed produce the identical decision sequence, and a different seed
+// diverges.
+func TestInjectorDeterminism(t *testing.T) {
+	sched := Schedule{Name: "det", Seed: 42, Rules: []Rule{
+		{Kind: Drop, Rate: 0.4},
+		{Kind: Delay, Rate: 0.3, Delay: time.Millisecond},
+	}}
+	run := func(s Schedule) []Decision {
+		inj := NewInjector(s)
+		out := make([]Decision, 0, 200)
+		for i := 0; i < 200; i++ {
+			out = append(out, inj.Decide("/v1/status", "peer"))
+		}
+		return out
+	}
+	a, b := run(sched), run(sched)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced diverging decisions")
+	}
+	sched.Seed = 43
+	if reflect.DeepEqual(a, run(sched)) {
+		t.Fatal("different seed produced identical decisions")
+	}
+	// Rates are roughly honored.
+	drops := 0
+	for _, d := range a {
+		if d.Drop {
+			drops++
+		}
+	}
+	if drops < 40 || drops > 160 {
+		t.Fatalf("drop rate 0.4 fired %d/200 times", drops)
+	}
+}
+
+// TestRuleScoping pins endpoint-prefix, peer, and operation-window
+// matching.
+func TestRuleScoping(t *testing.T) {
+	inj := NewInjector(Schedule{Name: "scope", Seed: 1, Rules: []Rule{
+		{Kind: Drop, Rate: 1, Endpoint: "/v1/transactions"},
+		{Kind: Delay, Rate: 1, Delay: time.Millisecond, Peer: "node-3"},
+	}})
+	if d := inj.Decide("/v1/status", "node-1"); d.Faulty() {
+		t.Fatalf("out-of-scope op faulted: %+v", d)
+	}
+	if d := inj.Decide("/v1/transactions", "node-1"); !d.Drop || d.Delay != 0 {
+		t.Fatalf("endpoint-scoped rule: %+v", d)
+	}
+	if d := inj.Decide("/v1/status", "node-3"); d.Drop || d.Delay == 0 {
+		t.Fatalf("peer-scoped rule: %+v", d)
+	}
+
+	win := NewInjector(Schedule{Name: "window", Seed: 1, Rules: []Rule{
+		{Kind: Drop, Rate: 1, FromOp: 2, ToOp: 4},
+	}})
+	var fired []bool
+	for i := 0; i < 6; i++ {
+		fired = append(fired, win.Decide("/x", "").Drop)
+	}
+	want := []bool{false, false, true, true, false, false}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("window firing %v, want %v", fired, want)
+	}
+	if win.Ops() != 6 {
+		t.Fatalf("ops %d", win.Ops())
+	}
+	if win.InjectedTotal() != 2 || win.Injected()[Drop] != 2 {
+		t.Fatalf("hit accounting: total %d, %v", win.InjectedTotal(), win.Injected())
+	}
+}
+
+// TestTransportFaults drives each client-side fault kind through the
+// RoundTripper against a live backend.
+func TestTransportFaults(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ok":true,"pad":"0123456789abcdef"}`))
+	}))
+	defer backend.Close()
+
+	do := func(sched Schedule) (*http.Response, []byte, error) {
+		hc := &http.Client{Transport: NewTransport(NewInjector(sched), nil)}
+		resp, err := hc.Get(backend.URL + "/v1/status")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp, body, err
+	}
+
+	if _, _, err := do(Schedule{Name: "d", Rules: []Rule{{Kind: Drop, Rate: 1}}}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("drop: %v", err)
+	}
+	if _, _, err := do(Schedule{Name: "r", Rules: []Rule{{Kind: ConnReset, Rate: 1}}}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("reset: %v", err)
+	}
+	resp, body, err := do(Schedule{Name: "e", Rules: []Rule{{Kind: Err5xx, Rate: 1, Status: 503}}})
+	if err != nil || resp.StatusCode != 503 {
+		t.Fatalf("err5xx: %v %v", resp, err)
+	}
+	if len(body) == 0 {
+		t.Fatalf("synthesized body missing")
+	}
+	if _, _, err := do(Schedule{Name: "p", Rules: []Rule{{Kind: Partial, Rate: 1}}}); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("partial: %v", err)
+	}
+	if _, body, err := do(Schedule{Name: "ok"}); err != nil || len(body) == 0 {
+		t.Fatalf("clean pass-through: %q %v", body, err)
+	}
+}
+
+// TestMiddlewareFaults drives each server-side fault kind.
+func TestMiddlewareFaults(t *testing.T) {
+	var handled int
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handled++
+		w.Write([]byte(`{"ok":true,"pad":"0123456789abcdef"}`))
+	})
+	serve := func(sched Schedule) (*http.Response, []byte, error) {
+		srv := httptest.NewServer(Middleware(NewInjector(sched), handler))
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/v1/status")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp, body, err
+	}
+
+	// Drop/reset abort without a response; the client sees EOF.
+	if _, _, err := serve(Schedule{Name: "d", Rules: []Rule{{Kind: Drop, Rate: 1}}}); err == nil {
+		t.Fatal("drop produced a response")
+	}
+
+	// Plain Err5xx answers without running the handler.
+	handled = 0
+	resp, body, err := serve(Schedule{Name: "e", Rules: []Rule{{Kind: Err5xx, Rate: 1}}})
+	if err != nil || resp.StatusCode != 500 {
+		t.Fatalf("err5xx: %v %v", resp, err)
+	}
+	if handled != 0 {
+		t.Fatal("plain err5xx ran the handler")
+	}
+	if string(body) == "" {
+		t.Fatal("empty envelope")
+	}
+
+	// AfterHandler Err5xx runs the handler first — the lost-reply case.
+	handled = 0
+	resp, _, err = serve(Schedule{Name: "a", Rules: []Rule{{Kind: Err5xx, Rate: 1, AfterHandler: true}}})
+	if err != nil || resp.StatusCode != 500 {
+		t.Fatalf("after-handler err5xx: %v %v", resp, err)
+	}
+	if handled != 1 {
+		t.Fatalf("after-handler ran handler %d times, want 1", handled)
+	}
+
+	// Partial promises the full length, delivers a prefix, cuts the line.
+	if _, _, err := serve(Schedule{Name: "p", Rules: []Rule{{Kind: Partial, Rate: 1}}}); err == nil {
+		t.Fatal("partial read succeeded")
+	}
+}
+
+// TestSimnetHook pins the fabric adapter: drops register in simnet
+// stats, delays defer delivery, and determinism holds per seed.
+func TestSimnetHook(t *testing.T) {
+	run := func(seed uint64, rate float64) (delivered, dropped int64) {
+		net := simnet.New(simnet.Config{Seed: seed})
+		inj := NewInjector(Schedule{Name: "fabric", Seed: seed, Rules: []Rule{
+			{Kind: Drop, Rate: rate, Endpoint: "simnet"},
+		}})
+		net.SetFaultHook(SimnetHook(inj))
+		got := 0
+		a := net.AddNode(simnet.HandlerFunc(func(now simnet.Time, msg simnet.Message) {}))
+		b := net.AddNode(simnet.HandlerFunc(func(now simnet.Time, msg simnet.Message) { got++ }))
+		for i := 0; i < 100; i++ {
+			net.Send(a, b, "x", 1)
+		}
+		net.Run(10 * simnet.Second)
+		st := net.Stats()
+		return st.MessagesDelivered, st.MessagesDropped
+	}
+	delivered, dropped := run(7, 0.5)
+	if dropped == 0 || delivered == 0 {
+		t.Fatalf("delivered %d dropped %d, want both nonzero", delivered, dropped)
+	}
+	d2, x2 := run(7, 0.5)
+	if d2 != delivered || x2 != dropped {
+		t.Fatal("same seed, different fabric outcome")
+	}
+	if d0, x0 := run(7, 0); x0 != 0 || d0 == 0 {
+		t.Fatalf("zero rate dropped %d", x0)
+	}
+}

@@ -1,0 +1,226 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ErrInjected is the base error for client-side injected transport
+// failures, so tests and retry loops can classify them with errors.Is.
+var ErrInjected = errors.New("faults: injected failure")
+
+// injectedErr tags a fault kind onto ErrInjected.
+type injectedErr struct{ kind Kind }
+
+func (e injectedErr) Error() string { return fmt.Sprintf("faults: injected %s", e.kind) }
+
+func (e injectedErr) Unwrap() error { return ErrInjected }
+
+// Timeout marks injected drops as timeout-like, matching how real
+// request drops surface (net.Error deadline semantics).
+func (e injectedErr) Timeout() bool { return e.kind == Drop }
+
+func (e injectedErr) Temporary() bool { return true }
+
+// Transport is an http.RoundTripper that applies an injector's verdicts
+// to outgoing requests — the client-side half of the fault layer. The
+// zero delay ordering is: delay, then drop/reset, then synthesized 5xx,
+// then the real round trip with optional body truncation.
+type Transport struct {
+	// Base performs the real round trips; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+
+	// Injector decides the faults; nil disables injection.
+	Injector *Injector
+}
+
+// NewTransport wraps base with the injector.
+func NewTransport(inj *Injector, base http.RoundTripper) *Transport {
+	return &Transport{Base: base, Injector: inj}
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Injector == nil {
+		return t.base().RoundTrip(req)
+	}
+	d := t.Injector.Decide(req.URL.Path, req.URL.Host)
+	if d.Delay > 0 {
+		select {
+		case <-time.After(d.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if d.Drop {
+		return nil, injectedErr{kind: Drop}
+	}
+	if d.Reset {
+		return nil, injectedErr{kind: ConnReset}
+	}
+	if d.Status != 0 {
+		return synthesized5xx(req, d.Status), nil
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.Partial {
+		resp.Body = truncateBody(resp.Body)
+	}
+	return resp, nil
+}
+
+// synthesized5xx fabricates a 5xx response carrying the platform's
+// standard error envelope, exactly as a faulting gateway would.
+func synthesized5xx(req *http.Request, status int) *http.Response {
+	body := fmt.Sprintf(
+		`{"error":{"code":"injected_fault","message":"fault injection: synthesized %d","retryable":true}}`,
+		status)
+	return &http.Response{
+		StatusCode: status,
+		Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     http.Header{"Content-Type": []string{"application/json"}},
+		Body:       io.NopCloser(bytes.NewReader([]byte(body))),
+		Request:    req,
+	}
+}
+
+// truncateBody returns a reader that yields roughly half the body and
+// then fails with an unexpected EOF, simulating a connection cut
+// mid-response.
+func truncateBody(rc io.ReadCloser) io.ReadCloser {
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		data = nil
+	}
+	return &partialBody{data: data[:len(data)/2]}
+}
+
+type partialBody struct {
+	data []byte
+	off  int
+}
+
+func (p *partialBody) Read(b []byte) (int, error) {
+	if p.off >= len(p.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(b, p.data[p.off:])
+	p.off += n
+	return n, nil
+}
+
+func (p *partialBody) Close() error { return nil }
+
+// Middleware wraps an http.Handler with server-side fault injection —
+// the other half of the RoundTripper/middleware pair. Drop and
+// ConnReset abort the connection without a response (the client sees a
+// transport error); Err5xx answers with the standard envelope, running
+// the real handler first when the rule sets AfterHandler; Partial runs
+// the handler and truncates its response body. Peer scope matches the
+// request's RemoteAddr host.
+func Middleware(inj *Injector, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if inj == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		d := inj.Decide(r.URL.Path, remoteHost(r))
+		if d.Delay > 0 {
+			select {
+			case <-time.After(d.Delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if d.Drop || d.Reset {
+			// ErrAbortHandler aborts the connection without writing a
+			// response; net/http recovers it without logging a stack.
+			panic(http.ErrAbortHandler)
+		}
+		if d.Status != 0 {
+			if d.AfterHandler {
+				// The dangerous case: the handler commits, the response
+				// is lost. Run it for real, discard what it wrote.
+				next.ServeHTTP(discardWriter{header: make(http.Header)}, r)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(d.Status)
+			fmt.Fprintf(w,
+				`{"error":{"code":"injected_fault","message":"fault injection: synthesized %d","retryable":true}}`,
+				d.Status)
+			return
+		}
+		if d.Partial {
+			rec := &recordingWriter{header: make(http.Header)}
+			next.ServeHTTP(rec, r)
+			for k, v := range rec.header {
+				w.Header()[k] = v
+			}
+			// Promise the full body, deliver half, cut the connection:
+			// the client's read fails with an unexpected EOF exactly as
+			// it would on a mid-response link failure.
+			body := rec.buf.Bytes()
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			if rec.status != 0 {
+				w.WriteHeader(rec.status)
+			}
+			w.Write(body[:len(body)/2])
+			panic(http.ErrAbortHandler)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// remoteHost extracts the host part of RemoteAddr ("ip:port").
+func remoteHost(r *http.Request) string {
+	addr := r.RemoteAddr
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[:i]
+		}
+	}
+	return addr
+}
+
+// discardWriter satisfies handlers whose response is being thrown away.
+type discardWriter struct{ header http.Header }
+
+func (d discardWriter) Header() http.Header         { return d.header }
+func (d discardWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (d discardWriter) WriteHeader(int)             {}
+
+// recordingWriter buffers a handler's full response for truncation.
+type recordingWriter struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (r *recordingWriter) Header() http.Header { return r.header }
+
+func (r *recordingWriter) Write(b []byte) (int, error) { return r.buf.Write(b) }
+
+func (r *recordingWriter) WriteHeader(status int) {
+	if r.status == 0 {
+		r.status = status
+	}
+}

@@ -1,0 +1,103 @@
+package faults
+
+import "time"
+
+// Shipped schedules: one per fault class the platform claims to
+// tolerate, each aggressive enough to fire many times in a short chaos
+// run yet bounded so a retrying client always converges. Rates and
+// windows are chosen so the whole suite stays inside a CI smoke budget.
+//
+// Every schedule here must keep the chaos lifecycle convergent — that
+// is the contract TestChaosLifecycleAllSchedules pins.
+
+// Baseline injects nothing; it pins that the harness itself converges.
+func Baseline(seed uint64) Schedule {
+	return Schedule{Name: "baseline", Seed: seed}
+}
+
+// FlakyServer answers 20% of requests with a synthesized 500 before the
+// handler runs.
+func FlakyServer(seed uint64) Schedule {
+	return Schedule{Name: "flaky-server", Seed: seed, Rules: []Rule{
+		{Kind: Err5xx, Rate: 0.2},
+	}}
+}
+
+// LostReplies runs the handler, then replaces 25% of transaction-submit
+// responses with a 500 — the commit succeeded but the client cannot
+// know. Only idempotent resubmission survives this without
+// double-spending.
+func LostReplies(seed uint64) Schedule {
+	return Schedule{Name: "lost-replies", Seed: seed, Rules: []Rule{
+		{Kind: Err5xx, Rate: 0.25, AfterHandler: true, Endpoint: "/v1/transactions"},
+	}}
+}
+
+// SlowNetwork delays every request by 2–6ms (two stacked rules), enough
+// to interleave retries with fresh traffic without stalling CI.
+func SlowNetwork(seed uint64) Schedule {
+	return Schedule{Name: "slow-network", Seed: seed, Rules: []Rule{
+		{Kind: Delay, Rate: 1, Delay: 2 * time.Millisecond},
+		{Kind: Delay, Rate: 0.5, Delay: 4 * time.Millisecond},
+	}}
+}
+
+// DropStorm drops 30% of requests during an early operation window,
+// then heals — the Jepsen-style transient partition.
+func DropStorm(seed uint64) Schedule {
+	return Schedule{Name: "drop-storm", Seed: seed, Rules: []Rule{
+		{Kind: Drop, Rate: 0.3, FromOp: 2, ToOp: 60},
+	}}
+}
+
+// TornResponses truncates 20% of response bodies mid-stream.
+func TornResponses(seed uint64) Schedule {
+	return Schedule{Name: "torn-responses", Seed: seed, Rules: []Rule{
+		{Kind: Partial, Rate: 0.2},
+	}}
+}
+
+// ResetStorm resets 20% of connections during an operation window.
+func ResetStorm(seed uint64) Schedule {
+	return Schedule{Name: "reset-storm", Seed: seed, Rules: []Rule{
+		{Kind: ConnReset, Rate: 0.2, FromOp: 0, ToOp: 80},
+	}}
+}
+
+// SkewedSealer skews a third of seal attempts backwards by 5 logical
+// ticks — the chain must refuse the non-monotonic block and the caller
+// must retry into a clean seal.
+func SkewedSealer(seed uint64) Schedule {
+	return Schedule{Name: "skewed-sealer", Seed: seed, Rules: []Rule{
+		{Kind: ClockSkew, Rate: 0.33, Skew: -5, Endpoint: "seal.clock"},
+	}}
+}
+
+// Everything combines every fault class at reduced rates.
+func Everything(seed uint64) Schedule {
+	return Schedule{Name: "everything", Seed: seed, Rules: []Rule{
+		{Kind: Err5xx, Rate: 0.08},
+		{Kind: Err5xx, Rate: 0.08, AfterHandler: true, Endpoint: "/v1/transactions"},
+		{Kind: Delay, Rate: 0.3, Delay: time.Millisecond},
+		{Kind: Drop, Rate: 0.08},
+		{Kind: Partial, Rate: 0.05},
+		{Kind: ConnReset, Rate: 0.05},
+		{Kind: ClockSkew, Rate: 0.25, Skew: -3, Endpoint: "seal.clock"},
+	}}
+}
+
+// AllSchedules returns every shipped schedule at the given seed, in the
+// order the chaos suite runs them.
+func AllSchedules(seed uint64) []Schedule {
+	return []Schedule{
+		Baseline(seed),
+		FlakyServer(seed),
+		LostReplies(seed),
+		SlowNetwork(seed),
+		DropStorm(seed),
+		TornResponses(seed),
+		ResetStorm(seed),
+		SkewedSealer(seed),
+		Everything(seed),
+	}
+}

@@ -1,0 +1,25 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"pds2/internal/simnet"
+)
+
+// SimnetHook adapts an injector to simnet's fault hook, so the same
+// declarative schedule that batters the HTTP surface can batter the
+// message fabric. Rules are scoped with Endpoint "simnet" (or "" for
+// schedule-wide rules) and Peer "node-<id>" of the receiver. Drop and
+// Delay map directly; the HTTP-only kinds (Err5xx, Partial, ConnReset)
+// degrade to drops — on a datagram fabric a torn or reset message is a
+// lost message. ClockSkew does not apply.
+func SimnetHook(inj *Injector) simnet.FaultHook {
+	return func(now simnet.Time, from, to simnet.NodeID, size int) simnet.FaultVerdict {
+		d := inj.Decide("simnet", fmt.Sprintf("node-%d", to))
+		return simnet.FaultVerdict{
+			Drop:       d.Drop || d.Status != 0 || d.Partial || d.Reset,
+			ExtraDelay: simnet.Time(d.Delay / time.Microsecond),
+		}
+	}
+}

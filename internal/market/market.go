@@ -193,17 +193,33 @@ func (m *Market) Submit(tx *ledger.Transaction) error {
 // SealBlock packages the executable mempool transactions into the next
 // block, signed by the rotating authority.
 func (m *Market) SealBlock() (*ledger.Block, error) {
+	return m.SealBlockAt(m.timestamp + 1)
+}
+
+// SealBlockAt is SealBlock with an explicit logical timestamp — the
+// entry point for sealers whose clock may be skewed (fault-injection
+// chaos runs, multi-authority deployments with drifting clocks). The
+// chain enforces timestamp monotonicity, so a seal behind the parent's
+// timestamp fails without consuming the batch; a seal ahead succeeds
+// and advances the market's logical clock to the given value.
+func (m *Market) SealBlockAt(timestamp uint64) (*ledger.Block, error) {
 	batch := m.Pool.NextBatch(m.Chain.State(), 10_000)
-	m.timestamp++
 	height := m.Chain.Height() + 1
 	proposer := m.authorities[(height-1)%uint64(len(m.authorities))]
-	block, err := m.Chain.ProposeBlock(proposer, m.timestamp, batch)
+	block, err := m.Chain.ProposeBlock(proposer, timestamp, batch)
 	if err != nil {
 		return nil, err
+	}
+	if timestamp > m.timestamp {
+		m.timestamp = timestamp
 	}
 	m.Pool.Remove(batch)
 	return block, nil
 }
+
+// Timestamp returns the market's current logical clock (the timestamp
+// of the last sealed block).
+func (m *Market) Timestamp() uint64 { return m.timestamp }
 
 // SignedTx builds a signed transaction from the identity using its
 // current on-chain nonce plus its pending mempool transactions.

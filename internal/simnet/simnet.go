@@ -141,6 +141,19 @@ type Stats struct {
 	BytesDelivered    int64
 }
 
+// FaultVerdict is a fault hook's decision for one message: lose it,
+// and/or add propagation delay on top of the latency model.
+type FaultVerdict struct {
+	Drop       bool
+	ExtraDelay Time
+}
+
+// FaultHook inspects every message at send time and may inject faults.
+// It runs after the online/DropRate checks, so hook-injected losses are
+// additive to the network's own loss model. Hooks must be deterministic
+// for reproducible runs (internal/faults provides a seeded one).
+type FaultHook func(now Time, from, to NodeID, size int) FaultVerdict
+
 // Network is the simulator instance. It is not safe for concurrent use;
 // all interaction happens from protocol callbacks inside Run or from the
 // single goroutine that constructed it.
@@ -153,6 +166,7 @@ type Network struct {
 	handlers  []Handler
 	online    []bool
 	partition []int // group id per node; nil = no partition
+	faultHook FaultHook
 	stats     Stats
 	perNode   []Stats
 	running   bool
@@ -219,6 +233,10 @@ func (n *Network) SetPartition(groups ...[]NodeID) {
 // ClearPartition heals all partitions.
 func (n *Network) ClearPartition() { n.partition = nil }
 
+// SetFaultHook installs (or, with nil, removes) a fault-injection hook
+// consulted for every subsequent Send.
+func (n *Network) SetFaultHook(h FaultHook) { n.faultHook = h }
+
 // reachable reports whether a message from a to b crosses a partition.
 func (n *Network) reachable(a, b NodeID) bool {
 	if n.partition == nil {
@@ -249,7 +267,16 @@ func (n *Network) SendCtx(from, to NodeID, payload any, size int, ctx telemetry.
 		n.stats.MessagesDropped++
 		return
 	}
-	delay := n.cfg.Latency.Latency(from, to, n.rng)
+	var injected Time
+	if n.faultHook != nil {
+		v := n.faultHook(n.now, from, to, size)
+		if v.Drop {
+			n.stats.MessagesDropped++
+			return
+		}
+		injected = v.ExtraDelay
+	}
+	delay := injected + n.cfg.Latency.Latency(from, to, n.rng)
 	if n.cfg.BandwidthBytesPerSec > 0 {
 		delay += Time(int64(size) * int64(Second) / n.cfg.BandwidthBytesPerSec)
 	}

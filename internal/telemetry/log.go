@@ -139,6 +139,11 @@ type LogField struct {
 // LogEvent is one retained structured-log record — the GET /logs wire
 // element.
 type LogEvent struct {
+	// Seq numbers records monotonically from 1 for the life of the
+	// log (Reset does not rewind it), so consumers can page through
+	// the ring with a stable cursor even while old records are
+	// evicted.
+	Seq       uint64     `json:"seq"`
 	TimeNS    int64      `json:"time_ns"`
 	Level     string     `json:"level"`
 	Component string     `json:"component"`
@@ -181,6 +186,7 @@ type Log struct {
 	buf       []LogEvent
 	pos       int
 	full      bool
+	seq       uint64 // last assigned LogEvent.Seq
 }
 
 // NewLog returns a log retaining up to capacity records (<= 0 selects
@@ -299,6 +305,8 @@ func (l *Log) emit(lvl LogLevel, component, msg string, fields []F) {
 		ev.Fields = fs
 	}
 	l.mu.Lock()
+	l.seq++
+	ev.Seq = l.seq
 	ev.Node = l.node
 	out := l.out
 	l.buf[l.pos] = ev
