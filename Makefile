@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet bench proptest fuzz covgate ci
 
 build:
 	$(GO) build ./...
@@ -17,15 +17,40 @@ vet:
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./...
 
+# proptest runs the fixed-seed property-harness smoke: deterministic
+# randomized histories checked against the global ledger invariants and
+# the three-way differential replay oracle. Reproduce a failure with
+# PDS2_PROPTEST_SEED=<seed> PDS2_PROPTEST_OPS=<ops> (see README).
+proptest:
+	$(GO) test ./internal/proptest/ -count=1
+
+# fuzz gives each native fuzz target a short randomized budget on top
+# of its checked-in seed corpus. Go allows one -fuzz pattern per
+# invocation, hence one line per target.
+fuzz:
+	$(GO) test ./internal/ledger/ -run NONE -fuzz FuzzTxDecode -fuzztime 5s
+	$(GO) test ./internal/ledger/ -run NONE -fuzz FuzzBlockImport -fuzztime 5s
+	$(GO) test ./internal/contract/ -run NONE -fuzz FuzzEncoderRoundTrip -fuzztime 5s
+
+# covgate fails if ledger/contract/token statement coverage drops below
+# the recorded floors (see scripts/covgate.sh to ratchet them up).
+covgate:
+	./scripts/covgate.sh
+
 # ci is the documented pre-PR gate: static checks, the full build, the
 # race-enabled test suite (including the telemetry trace/log/health
 # tests), a single-iteration smoke run of the ledger block-pipeline and
 # structured-log benchmarks, the distributed-tracing self-test — the
-# two-node stitching demo must verify end to end — and a seeded chaos
-# smoke: the quick E15 subset drives the full workload lifecycle
-# through fault-injected client and server and must converge.
+# two-node stitching demo must verify end to end — a seeded chaos
+# smoke (the quick E15 subset drives the full workload lifecycle
+# through fault-injected client and server and must converge), the
+# fixed-seed property-harness smoke with differential replay, a short
+# randomized pass over each fuzz target, and the coverage ratchet.
 ci: vet build
 	$(GO) test -race ./...
 	$(GO) test -run NONE -bench 'BenchmarkImportBlock|BenchmarkMempool|BenchmarkLedger|BenchmarkLog' -benchtime=1x .
 	$(GO) run ./cmd/pds2 trace -self-test
 	$(GO) run ./cmd/pds2-experiments -quick -telemetry=false -run E15
+	$(MAKE) proptest
+	$(MAKE) fuzz
+	$(MAKE) covgate

@@ -1,0 +1,284 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"pds2/internal/contract"
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+	"pds2/internal/ledger"
+	"pds2/internal/market"
+	"pds2/internal/token"
+)
+
+// seedEvents fires n ERC-20 transfers through the market so the audit
+// log holds a known batch of Transfer events, and returns the total
+// event count on the chain.
+func seedEvents(t *testing.T, m *market.Market, user *identity.Identity, n int) int {
+	t.Helper()
+	deploy := m.SignedTx(user, identity.ZeroAddress, 0,
+		contract.DeployData(token.ERC20CodeName, token.ERC20InitArgs("Page", "PG", 1_000_000)))
+	if err := m.Submit(deploy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SealBlock(); err != nil {
+		t.Fatal(err)
+	}
+	rcpt, ok := m.Chain.Receipt(deploy.Hash())
+	if !ok || !rcpt.Succeeded() {
+		t.Fatalf("deploy: %+v", rcpt)
+	}
+	var tok identity.Address
+	copy(tok[:], rcpt.Return)
+	for i := 0; i < n; i++ {
+		if _, err := market.MustSucceed(m.SendAndSeal(user, tok,
+			0, token.ERC20TransferData(user.Address(), 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return len(m.Chain.Events(""))
+}
+
+// TestEventsPaginationWalk pages through the full event log with a
+// small limit and checks the concatenation is exactly the unpaginated
+// sequence — no duplicates, no gaps at page boundaries.
+func TestEventsPaginationWalk(t *testing.T) {
+	srv, m, user := testServer(t, false)
+	total := seedEvents(t, m, user, 7)
+	if total < 8 {
+		t.Fatalf("only %d events seeded", total)
+	}
+
+	var full EventsResponse
+	if code := getJSON(t, srv.URL+"/v1/events?limit=1000", &full); code != http.StatusOK {
+		t.Fatalf("code %d", code)
+	}
+	if len(full.Items) != total || full.Next != "" {
+		t.Fatalf("full fetch: %d items, next %q", len(full.Items), full.Next)
+	}
+
+	var walked []ledger.Event
+	after, pages := "", 0
+	for {
+		url := srv.URL + "/v1/events?limit=3"
+		if after != "" {
+			url += "&after=" + after
+		}
+		var page EventsResponse
+		if code := getJSON(t, url, &page); code != http.StatusOK {
+			t.Fatalf("page %d: code %d", pages, code)
+		}
+		if page.Next != "" && len(page.Items) != 3 {
+			t.Fatalf("non-final page %d has %d items", pages, len(page.Items))
+		}
+		walked = append(walked, page.Items...)
+		pages++
+		if page.Next == "" {
+			break
+		}
+		after = page.Next
+	}
+	if len(walked) != total {
+		t.Fatalf("walk yielded %d events, want %d (in %d pages)", len(walked), total, pages)
+	}
+	for i := range walked {
+		a, _ := json.Marshal(walked[i])
+		b, _ := json.Marshal(full.Items[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("event %d differs between walk and full fetch", i)
+		}
+	}
+}
+
+// TestEventsPaginationBoundaries pins the off-by-one cases: a limit
+// exactly equal to the remainder must not emit a next cursor, one
+// below must, and the final cursor lands on an empty page.
+func TestEventsPaginationBoundaries(t *testing.T) {
+	srv, m, user := testServer(t, false)
+	total := seedEvents(t, m, user, 5)
+
+	// limit == total: everything in one page, no cursor.
+	var page EventsResponse
+	if code := getJSON(t, fmt.Sprintf("%s/v1/events?limit=%d", srv.URL, total), &page); code != http.StatusOK {
+		t.Fatalf("code %d", code)
+	}
+	if len(page.Items) != total || page.Next != "" {
+		t.Fatalf("limit=total: %d items, next %q", len(page.Items), page.Next)
+	}
+
+	// limit == total-1: one short, cursor present, second page has 1.
+	var short EventsResponse
+	if code := getJSON(t, fmt.Sprintf("%s/v1/events?limit=%d", srv.URL, total-1), &short); code != http.StatusOK {
+		t.Fatalf("code %d", code)
+	}
+	if len(short.Items) != total-1 || short.Next == "" {
+		t.Fatalf("limit=total-1: %d items, next %q", len(short.Items), short.Next)
+	}
+	var final EventsResponse
+	if code := getJSON(t, fmt.Sprintf("%s/v1/events?limit=%d&after=%s", srv.URL, total-1, short.Next), &final); code != http.StatusOK {
+		t.Fatalf("code %d", code)
+	}
+	if len(final.Items) != 1 || final.Next != "" {
+		t.Fatalf("final page: %d items, next %q", len(final.Items), final.Next)
+	}
+
+	// A cursor at or past the end is a valid empty page, not an error —
+	// a client holding a stale cursor from before a restart must not
+	// crash-loop on 4xx.
+	for _, after := range []string{fmt.Sprint(total), "1000000"} {
+		var stale EventsResponse
+		if code := getJSON(t, srv.URL+"/v1/events?after="+after, &stale); code != http.StatusOK {
+			t.Fatalf("stale cursor %s: code %d", after, code)
+		}
+		if len(stale.Items) != 0 || stale.Next != "" {
+			t.Fatalf("stale cursor %s: %d items, next %q", after, len(stale.Items), stale.Next)
+		}
+	}
+
+	// Garbage cursors and limits are client errors.
+	for _, q := range []string{"after=abc", "after=-1", "limit=0", "limit=-2", "limit=xyz"} {
+		if code := getJSON(t, srv.URL+"/v1/events?"+q, nil); code != http.StatusBadRequest {
+			t.Fatalf("%s: code %d, want 400", q, code)
+		}
+	}
+}
+
+// TestWorkloadsPaginationWalk walks the address-ordered workload pages
+// and checks the cursor survives what offset cursors cannot: it is the
+// last address served, so every workload appears exactly once.
+func TestWorkloadsPaginationWalk(t *testing.T) {
+	srv, m, user := testServer(t, false)
+	consumer, err := market.NewConsumer(m, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := market.TrainerParams{Dim: 4, Epochs: 1, Lambda: 1e-3}
+	want := make(map[string]bool)
+	for i := 0; i < 5; i++ {
+		spec := &market.Spec{
+			Predicate:      `category isa "sensor"`,
+			MinProviders:   1,
+			MinItems:       1,
+			ExpiryHeight:   m.Height() + 1000,
+			ExecutorFeeBps: 500,
+			Measurement:    market.TrainerMeasurement(params.Encode()),
+			QAPub:          m.QA.PublicKey(),
+			Params:         params.Encode(),
+		}
+		addr, err := consumer.SubmitWorkload(spec, 1_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[addr.Hex()] = true
+	}
+
+	var got []string
+	after := ""
+	for {
+		url := srv.URL + "/v1/workloads?limit=2"
+		if after != "" {
+			url += "&after=" + after
+		}
+		var page WorkloadsResponse
+		if code := getJSON(t, url, &page); code != http.StatusOK {
+			t.Fatalf("code %d", code)
+		}
+		for _, it := range page.Items {
+			got = append(got, it.Address.Hex())
+		}
+		if page.Next == "" {
+			break
+		}
+		after = page.Next
+	}
+	if len(got) != len(want) {
+		t.Fatalf("walked %d workloads, want %d", len(got), len(want))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("pages not address-ordered: %v", got)
+	}
+	for _, h := range got {
+		if !want[h] {
+			t.Fatalf("unexpected workload %s", h)
+		}
+		delete(want, h)
+	}
+
+	// A cursor beyond every address yields an empty final page.
+	var page WorkloadsResponse
+	if code := getJSON(t, srv.URL+"/v1/workloads?after=ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff", &page); code != http.StatusOK {
+		t.Fatalf("code %d", code)
+	}
+	if len(page.Items) != 0 || page.Next != "" {
+		t.Fatalf("past-the-end cursor: %+v", page)
+	}
+}
+
+// TestIdempotencyReplayAfterRestart pins the cross-restart contract: a
+// client that retries a submission against a freshly restarted node —
+// new server process, same chain — must get the cached Committed
+// verdict, not a second admission that would burn the nonce again.
+func TestIdempotencyReplayAfterRestart(t *testing.T) {
+	srv, m, user := testServer(t, true)
+	to := identity.New("to", crypto.NewDRBGFromUint64(55, "idem-restart"))
+	tx := ledger.SignTx(user, to.Address(), 77, 0, 50_000, nil)
+	body, _ := json.Marshal(tx)
+
+	post := func(base string) (int, SubmitResponse) {
+		req, _ := http.NewRequest(http.MethodPost, base+"/v1/transactions", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(IdempotencyHeader, tx.Hash().Hex())
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sub SubmitResponse
+		json.NewDecoder(resp.Body).Decode(&sub)
+		return resp.StatusCode, sub
+	}
+
+	if code, sub := post(srv.URL); code != http.StatusAccepted || !sub.Queued {
+		t.Fatalf("first submit: %d %+v", code, sub)
+	}
+	if resp, err := http.Post(srv.URL+"/v1/blocks/seal", "application/json", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	nonceAfter := m.Chain.State().Nonce(user.Address())
+	balAfter := m.Chain.State().Balance(to.Address())
+
+	// "Restart": a brand-new server over the same market state. The
+	// mempool no longer remembers the hash, so the handler must fall
+	// through to the chain's receipt index.
+	srv2 := httptest.NewServer(NewServer(m, true))
+	defer srv2.Close()
+	code, sub := post(srv2.URL)
+	if code != http.StatusAccepted || !sub.Committed || sub.Queued {
+		t.Fatalf("replay after restart: %d %+v", code, sub)
+	}
+	if got := m.Chain.State().Nonce(user.Address()); got != nonceAfter {
+		t.Fatalf("nonce moved on replay: %d -> %d", nonceAfter, got)
+	}
+	if got := m.Chain.State().Balance(to.Address()); got != balAfter {
+		t.Fatalf("balance moved on replay: %d -> %d", balAfter, got)
+	}
+	// Sealing again must not re-include it either.
+	resp, err := http.Post(srv2.URL+"/v1/blocks/seal", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seal SealResponse
+	json.NewDecoder(resp.Body).Decode(&seal)
+	resp.Body.Close()
+	if seal.Txs != 0 {
+		t.Fatalf("replayed tx re-sealed: %d txs", seal.Txs)
+	}
+}

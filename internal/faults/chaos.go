@@ -42,6 +42,11 @@ type ChaosReport struct {
 	Ops         uint64            `json:"ops"`
 	Injected    map[string]uint64 `json:"injected"`
 	ConsumerTxs uint64            `json:"consumer_txs"`
+
+	// Market is the live market the run converged on, exposed so audits
+	// (the proptest differential replay oracle) can re-validate the
+	// chain a chaos run produced. Excluded from the JSON report.
+	Market *market.Market `json:"-"`
 }
 
 // DefaultChaosRetry is tuned for chaos runs: aggressive fault rates
@@ -275,5 +280,6 @@ func RunChaosLifecycle(cfg ChaosConfig) (*ChaosReport, error) {
 		Ops:         inj.Ops(),
 		Injected:    injected,
 		ConsumerTxs: consumerTxs,
+		Market:      m,
 	}, nil
 }

@@ -74,6 +74,17 @@ var (
 	ErrNonMonotonicTS = errors.New("ledger: block timestamp not monotonic")
 )
 
+// Seal signs the header with the proposer identity. ProposeBlock seals
+// the blocks it builds itself; the exported form exists for external
+// proposers and for adversarial harnesses (internal/proptest) that
+// forge validly-sealed blocks carrying bad payloads to prove the
+// execution-level checks catch what the signature checks cannot.
+func (b *Block) Seal(proposer *identity.Identity) { b.seal(proposer) }
+
+// TxRoot computes the Merkle root binding an ordered transaction list —
+// the commitment stored in Header.TxRoot.
+func TxRoot(txs []*Transaction) crypto.Digest { return txRoot(txs) }
+
 // seal signs the header with the proposer identity.
 func (b *Block) seal(proposer *identity.Identity) {
 	b.Header.Proposer = proposer.Address()

@@ -126,6 +126,9 @@ func NewChain(cfg ChainConfig) (*Chain, error) {
 // Height returns the height of the latest block.
 func (c *Chain) Height() uint64 { return c.blocks[len(c.blocks)-1].Header.Height }
 
+// GasLimit returns the per-block gas limit this chain enforces.
+func (c *Chain) GasLimit() uint64 { return c.cfg.BlockGasLimit }
+
 // Head returns the latest block.
 func (c *Chain) Head() *Block { return c.blocks[len(c.blocks)-1] }
 

@@ -138,6 +138,48 @@ func (s *State) StorageKeys(contract identity.Address, prefix string) []string {
 	return keys
 }
 
+// TotalBalance returns the sum of every native-token balance. Nothing in
+// the transaction semantics mints or burns native tokens after genesis,
+// so this quantity is conserved across every block — the supply
+// invariant the property-testing harness (internal/proptest) audits
+// after each seal.
+func (s *State) TotalBalance() uint64 {
+	var total uint64
+	for _, v := range s.balances {
+		total += v
+	}
+	return total
+}
+
+// Accounts returns every address carrying a non-zero balance or nonce,
+// in deterministic (address) order — the enumeration surface invariant
+// auditors walk to compare replicas account by account.
+func (s *State) Accounts() []identity.Address {
+	seen := make(map[identity.Address]bool, len(s.balances)+len(s.nonces))
+	for a, v := range s.balances {
+		if v != 0 {
+			seen[a] = true
+		}
+	}
+	for a, v := range s.nonces {
+		if v != 0 {
+			seen[a] = true
+		}
+	}
+	addrs := make([]identity.Address, 0, len(seen))
+	for a := range seen {
+		addrs = append(addrs, a)
+	}
+	sortAddresses(addrs)
+	return addrs
+}
+
+// JournalLen returns the number of uncommitted journal entries. A chain
+// that just sealed a block must report zero — Commit collapses the
+// journal — which the invariant harness checks to pin that no partial
+// transaction effects leak across block boundaries.
+func (s *State) JournalLen() int { return len(s.journal) }
+
 // Snapshot returns a marker for the current journal position.
 func (s *State) Snapshot() int { return len(s.journal) }
 

@@ -1,0 +1,222 @@
+package market
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pds2/internal/contract"
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+	"pds2/internal/ledger"
+)
+
+// TestWorkloadMatchSettleEdgeCases drives the workload state machine
+// into every mismatched transition the lifecycle can reach and checks
+// the revert reasons, table-driven: the governance layer must refuse,
+// not wedge, when actors call out of order.
+func TestWorkloadMatchSettleEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		// call receives a freshly submitted (native-denominated, open)
+		// workload and returns the receipt of the offending transaction.
+		call    func(t *testing.T, w *testWorld, workload identity.Address) *ledger.Receipt
+		wantErr string
+	}{
+		{
+			name: "start with no registered executors",
+			call: func(t *testing.T, w *testWorld, workload identity.Address) *ledger.Receipt {
+				rcpt, err := w.m.SendAndSeal(w.consumer.ID, workload, 0, contract.CallData("start", nil))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rcpt
+			},
+			wantErr: "conditions not met",
+		},
+		{
+			name: "fund a native-denominated workload",
+			call: func(t *testing.T, w *testWorld, workload identity.Address) *ledger.Receipt {
+				rcpt, err := w.m.SendAndSeal(w.consumer.ID, workload, 0, contract.CallData("fund", nil))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rcpt
+			},
+			wantErr: "expected funding",
+		},
+		{
+			name: "finalize before execution",
+			call: func(t *testing.T, w *testWorld, workload identity.Address) *ledger.Receipt {
+				rcpt, err := w.m.SendAndSeal(w.consumer.ID, workload, 0, contract.CallData("finalize", nil))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rcpt
+			},
+			wantErr: "expected running",
+		},
+		{
+			name: "cancel before expiry",
+			call: func(t *testing.T, w *testWorld, workload identity.Address) *ledger.Receipt {
+				rcpt, err := w.m.SendAndSeal(w.consumer.ID, workload, 0, contract.CallData("cancel", nil))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rcpt
+			},
+			wantErr: "not expired until",
+		},
+		{
+			name: "register execution with garbage quote",
+			call: func(t *testing.T, w *testWorld, workload identity.Address) *ledger.Receipt {
+				args := contract.NewEncoder().Blob([]byte("not json")).Blob([]byte("[]")).Bytes()
+				rcpt, err := w.m.SendAndSeal(w.executors[0].ID, workload, 0,
+					contract.CallData("registerExecution", args))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rcpt
+			},
+			wantErr: "registerExecution",
+		},
+		{
+			name: "submit result from unregistered executor",
+			call: func(t *testing.T, w *testWorld, workload identity.Address) *ledger.Receipt {
+				rcpt, err := w.m.SendAndSeal(w.executors[0].ID, workload, 0,
+					contract.CallData("submitResult", contract.NewEncoder().
+						Digest(crypto.HashString("bogus")).Blob(nil).Blob([]byte("{}")).Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rcpt
+			},
+			wantErr: "expected running",
+		},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := newTestWorld(t, uint64(100+i), 1, 1)
+			workload, err := w.consumer.SubmitWorkload(w.spec, 50_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rcpt := tc.call(t, w, workload)
+			if rcpt.Succeeded() {
+				t.Fatalf("offending call succeeded; want revert containing %q", tc.wantErr)
+			}
+			if !strings.Contains(rcpt.Err, tc.wantErr) {
+				t.Fatalf("revert %q does not contain %q", rcpt.Err, tc.wantErr)
+			}
+			// A refused transition must leave the workload in its original
+			// open state, still able to proceed normally.
+			st, err := w.m.WorkloadStateOf(workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != StateOpen {
+				t.Fatalf("workload state %v after refused call, want %v", st, StateOpen)
+			}
+		})
+	}
+}
+
+// TestRegisterExecutionAfterExpiry burns blocks past the workload's
+// expiry height and checks registration is refused.
+func TestRegisterExecutionAfterExpiry(t *testing.T) {
+	w := newTestWorld(t, 200, 1, 1)
+	w.spec.ExpiryHeight = w.m.Height() + 3
+	workload, err := w.consumer.SubmitWorkload(w.spec, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w.m.Height() <= w.spec.ExpiryHeight {
+		if _, err := MustSucceed(w.m.SendAndSeal(w.consumer.ID, w.providers[0].ID.Address(), 1, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refs, err := w.providers[0].EligibleData(w.spec)
+	if err != nil || len(refs) == 0 {
+		t.Fatalf("eligible data: %v (%d refs)", err, len(refs))
+	}
+	auths, err := w.providers[0].Authorize(workload, w.executors[0].ID.Address(), refs, w.spec.ExpiryHeight+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.executors[0].Accept(workload, auths)
+	err = w.executors[0].Register(workload)
+	if err == nil {
+		t.Fatal("registration after expiry succeeded")
+	}
+	if !strings.Contains(err.Error(), "expired at height") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestMempoolOverflow exercises Submit's overflow handling with a tiny
+// pool: non-includable (nonce-gapped) transactions clog it and cannot
+// be pruned, so admission fails; once chain progress makes entries
+// stale, Submit's prune-retry path reclaims the space transparently.
+func TestMempoolOverflow(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(77, "mempool-overflow")
+	authority := identity.New("authority", rng.Fork("authority"))
+	alice := identity.New("alice", rng.Fork("alice"))
+	bob := identity.New("bob", rng.Fork("bob"))
+	const poolSize = 4
+	m, err := New(Config{
+		Seed: 77,
+		GenesisAlloc: map[identity.Address]uint64{
+			alice.Address(): 1_000_000,
+			bob.Address():   1_000_000,
+		},
+		Authorities: []*identity.Identity{authority},
+		MempoolSize: poolSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clog the pool with nonce-gapped transactions: not includable, not
+	// stale, so Prune cannot evict them.
+	base := m.Chain.State().Nonce(alice.Address())
+	for i := 0; i < poolSize; i++ {
+		gapped := ledger.SignTx(alice, bob.Address(), 1, base+10+uint64(i), m.DefaultGasLimit, nil)
+		if err := m.Submit(gapped); err != nil {
+			t.Fatalf("gapped tx %d: %v", i, err)
+		}
+	}
+	if got := m.Pool.Len(); got != poolSize {
+		t.Fatalf("pool len %d, want %d", got, poolSize)
+	}
+	live := m.SignedTx(bob, alice.Address(), 5, nil)
+	if err := m.Submit(live); !errors.Is(err, ledger.ErrMempoolFull) {
+		t.Fatalf("submit into clogged pool: %v, want ErrMempoolFull", err)
+	}
+
+	// Make the clog stale: include alice transactions at the real nonces
+	// through a directly proposed block, so the gapped entries fall
+	// behind the chain and become prunable.
+	var include []*ledger.Transaction
+	for i := uint64(0); i < 12; i++ {
+		include = append(include, ledger.SignTx(alice, bob.Address(), 1, base+i, m.DefaultGasLimit, nil))
+	}
+	if _, err := m.Chain.ProposeBlock(authority, m.Timestamp()+1, include); err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit now succeeds via the prune-retry path: the stale entries are
+	// evicted to make room.
+	if err := m.Submit(live); err != nil {
+		t.Fatalf("submit after staleness: %v", err)
+	}
+	if _, err := m.SealBlockAt(m.Timestamp() + 2); err != nil {
+		t.Fatal(err)
+	}
+	rcpt, ok := m.Chain.Receipt(live.Hash())
+	if !ok {
+		t.Fatal("live tx not included after overflow recovery")
+	}
+	if !rcpt.Succeeded() {
+		t.Fatalf("live tx failed: %s", rcpt.Err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package proptest is the deterministic property-testing subsystem of
+// the PDS² reproduction: a seed-driven generator of randomized
+// full-lifecycle marketplace histories (accounts, native transfers,
+// ERC-20/721 operations, contract calls with forced reverts, workload
+// register→match→seal→settle flows, and mempool churn under the
+// internal/faults schedules) with a global-invariant audit after every
+// sealed block and a three-way differential replay oracle over every
+// generated chain.
+//
+// The design goals, in order:
+//
+//  1. Determinism — a Config (seed + sizes) fully determines the plan,
+//     the execution, and the recorded History, byte for byte. A failing
+//     run reproduces from its seed alone.
+//  2. Shrinking — a failing plan minimizes by greedy chunk removal
+//     (Shrink); ops are self-contained (own sub-seeds), so removing one
+//     never shifts the randomness of the survivors.
+//  3. Depth — invariants are global (supply conservation, nonce
+//     accounting, gas bounds, journal hygiene, receipt/event and
+//     state-root consistency), not per-op oracles, so they catch
+//     cross-transaction interactions no table-driven test enumerates.
+//
+// The harness is the correctness backstop the ROADMAP's scaling work
+// runs against: any import-pipeline or mempool optimisation that breaks
+// replayability fails here with a replayable seed.
+package proptest
+
+import (
+	"fmt"
+
+	"pds2/internal/crypto"
+	"pds2/internal/faults"
+)
+
+// Config fully determines a generated history.
+type Config struct {
+	// Seed drives every random choice: the plan, the market's keys, the
+	// synthetic datasets inside lifecycle ops.
+	Seed uint64
+
+	// Ops is the number of generated operations (default 200).
+	Ops int
+
+	// Accounts is the number of externally-owned accounts the generator
+	// transacts between (default 6, minimum 2).
+	Accounts int
+
+	// Lifecycles bounds how many full workload lifecycles
+	// (register→match→seal→settle) the plan may weave in (default 1).
+	// Lifecycles dominate runtime; CI smokes keep this small.
+	Lifecycles int
+
+	// Schedule, when non-nil, churns the mempool under fault injection:
+	// submissions can be dropped before admission and seal timestamps
+	// skewed, driving the chain's monotonicity and the pool's
+	// eviction/replacement machinery.
+	Schedule *faults.Schedule
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ops <= 0 {
+		c.Ops = 200
+	}
+	if c.Accounts < 2 {
+		c.Accounts = 6
+	}
+	if c.Lifecycles < 0 {
+		c.Lifecycles = 0
+	} else if c.Lifecycles == 0 {
+		c.Lifecycles = 1
+	}
+	return c
+}
+
+// OpKind enumerates the generated operation classes.
+type OpKind int
+
+// Operation classes. Submission ops sign and enqueue transactions; the
+// chain only advances on seal ops (and inside lifecycle ops), which is
+// when invariants are audited.
+const (
+	OpTransfer      OpKind = iota // native transfer, bounded amount
+	OpOverdraft                   // native transfer of balance+ε → failed receipt
+	OpERC20Transfer               // token transfer, may revert on balance
+	OpERC20Mint                   // mint; reverts unless sender is the minter
+	OpERC20Approve                // allowance grant
+	OpERC20XferFrom               // transferFrom; may revert on allowance
+	OpERC20Burn                   // burn; may revert on balance
+	OpERC721Mint                  // deed mint; reverts unless sender is the minter
+	OpERC721Approve               // deed approval; reverts unless sender owns it
+	OpERC721Xfer                  // deed transferFrom; may revert on authorization
+	OpBadCall                     // unknown contract method → forced revert
+	OpFutureNonce                 // nonce-gapped tx parks in the mempool
+	OpReplace                     // two txs, same nonce: newer replaces older
+	OpResubmit                    // byte-identical resubmission → duplicate verdict
+	OpSeal                        // seal a block (possibly clock-skewed), audit invariants
+	OpPrune                       // evict stale mempool entries
+	OpRevertProbe                 // snapshot → mutate → revert must be an exact no-op
+	OpLifecycle                   // full workload register→match→seal→settle
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	names := [...]string{
+		"transfer", "overdraft", "erc20-transfer", "erc20-mint",
+		"erc20-approve", "erc20-transfer-from", "erc20-burn",
+		"erc721-mint", "erc721-approve", "erc721-transfer", "bad-call",
+		"future-nonce", "replace", "resubmit", "seal", "prune",
+		"revert-probe", "lifecycle",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one self-contained planned operation. A and B index accounts,
+// Amount parameterizes values, and Seed feeds any op-local randomness
+// (lifecycle datasets, forged token IDs) so that removing sibling ops
+// during shrinking never changes this op's behaviour.
+type Op struct {
+	Kind   OpKind
+	A, B   int
+	Amount uint64
+	Seed   uint64
+}
+
+// String renders the op compactly for history logs and shrink reports.
+func (o Op) String() string {
+	return fmt.Sprintf("%s(a=%d,b=%d,v=%d)", o.Kind, o.A, o.B, o.Amount)
+}
+
+// planWeights is the sampling table for plan generation. Seal is
+// frequent so invariants audit continuously; lifecycle draws are
+// bounded separately by Config.Lifecycles.
+var planWeights = []struct {
+	kind   OpKind
+	weight int
+}{
+	{OpTransfer, 16},
+	{OpOverdraft, 4},
+	{OpERC20Transfer, 8},
+	{OpERC20Mint, 4},
+	{OpERC20Approve, 4},
+	{OpERC20XferFrom, 4},
+	{OpERC20Burn, 3},
+	{OpERC721Mint, 4},
+	{OpERC721Approve, 3},
+	{OpERC721Xfer, 4},
+	{OpBadCall, 3},
+	{OpFutureNonce, 4},
+	{OpReplace, 4},
+	{OpResubmit, 3},
+	{OpSeal, 14},
+	{OpPrune, 3},
+	{OpRevertProbe, 3},
+}
+
+// Plan expands a Config into its deterministic operation list. The same
+// Config always yields the same plan; execution (Run) is equally
+// deterministic, so Plan+Run is reproducible end to end.
+func Plan(cfg Config) []Op {
+	cfg = cfg.withDefaults()
+	rng := crypto.NewDRBGFromUint64(cfg.Seed, "proptest/plan")
+	var total int
+	for _, w := range planWeights {
+		total += w.weight
+	}
+	ops := make([]Op, 0, cfg.Ops)
+	lifecyclesLeft := cfg.Lifecycles
+	for i := 0; i < cfg.Ops; i++ {
+		// Spread lifecycle ops evenly through the plan rather than
+		// sampling them: they are orders of magnitude heavier than
+		// everything else and their count is a budget, not a rate.
+		if lifecyclesLeft > 0 && i == (cfg.Ops/(cfg.Lifecycles+1))*(cfg.Lifecycles-lifecyclesLeft+1) {
+			ops = append(ops, Op{Kind: OpLifecycle, Seed: rng.Uint64()})
+			lifecyclesLeft--
+			continue
+		}
+		pick := rng.Intn(total)
+		var kind OpKind
+		for _, w := range planWeights {
+			if pick < w.weight {
+				kind = w.kind
+				break
+			}
+			pick -= w.weight
+		}
+		ops = append(ops, Op{
+			Kind:   kind,
+			A:      rng.Intn(cfg.Accounts),
+			B:      rng.Intn(cfg.Accounts),
+			Amount: rng.Uint64(),
+			Seed:   rng.Uint64(),
+		})
+	}
+	return ops
+}

@@ -1,0 +1,235 @@
+package proptest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"pds2/internal/contract"
+	"pds2/internal/crypto"
+	"pds2/internal/ledger"
+	"pds2/internal/market"
+	"pds2/internal/token"
+)
+
+// The differential replay oracle: every generated chain is executed
+// three independent ways and any divergence — in acceptance, in height,
+// or in final state root — is a correctness failure of the ledger's
+// import pipeline.
+//
+//	import — a fresh replica importing block-by-block (ImportBlock)
+//	audit  — a read-only auditor verifying each block (VerifyBlock)
+//	         before advancing, checking that verification itself is
+//	         side-effect free
+//	replay — the ledger's own export/replay path (ledger.Replay)
+
+// MarketRuntime builds a contract runtime with the full marketplace
+// code registry — the applier any replica must run to re-validate a
+// market chain.
+func MarketRuntime() (*contract.Runtime, error) {
+	rt := contract.NewRuntime()
+	for name, code := range map[string]contract.Contract{
+		market.RegistryCodeName: market.RegistryContract{},
+		market.WorkloadCodeName: market.WorkloadContract{},
+		token.ERC20CodeName:     token.ERC20{},
+		token.ERC721CodeName:    token.ERC721{},
+	} {
+		if err := rt.RegisterCode(name, code); err != nil {
+			return nil, err
+		}
+	}
+	return rt, nil
+}
+
+// ModeResult is the outcome of one replay mode over one exported chain.
+type ModeResult struct {
+	Mode     string
+	Err      error  // nil when the whole chain was accepted
+	FailedAt uint64 // height of the first rejected block (0 = none)
+	Height   uint64 // final height reached
+	Root     crypto.Digest
+}
+
+func (m ModeResult) String() string {
+	if m.Err != nil {
+		return fmt.Sprintf("%s: rejected block %d: %v", m.Mode, m.FailedAt, m.Err)
+	}
+	return fmt.Sprintf("%s: height %d root %s", m.Mode, m.Height, m.Root.Short())
+}
+
+// ExportMarket serializes a market's chain into the portable form the
+// replay modes consume.
+func ExportMarket(m *market.Market) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Chain.Export(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// freshReplica rebuilds an empty chain from an export's embedded
+// genesis configuration, with the marketplace applier.
+func freshReplica(exp *ledger.ChainExport) (*ledger.Chain, error) {
+	rt, err := MarketRuntime()
+	if err != nil {
+		return nil, err
+	}
+	return ledger.NewChain(ledger.ChainConfig{
+		Authorities:   exp.Authorities,
+		BlockGasLimit: exp.BlockGasLimit,
+		GenesisAlloc:  exp.GenesisAlloc,
+		Applier:       rt,
+	})
+}
+
+// decodeExport parses exported chain bytes.
+func decodeExport(data []byte) (*ledger.ChainExport, error) {
+	var exp ledger.ChainExport
+	if err := json.Unmarshal(data, &exp); err != nil {
+		return nil, fmt.Errorf("proptest: decode export: %w", err)
+	}
+	return &exp, nil
+}
+
+// runImportMode replays the chain on a fresh replica through
+// ImportBlock — the path a following node runs.
+func runImportMode(data []byte) ModeResult {
+	res := ModeResult{Mode: "import"}
+	exp, err := decodeExport(data)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	chain, err := freshReplica(exp)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	for _, b := range exp.Blocks {
+		if err := chain.ImportBlock(b); err != nil {
+			res.Err = err
+			res.FailedAt = b.Header.Height
+			res.Height = chain.Height()
+			res.Root = chain.State().Root()
+			return res
+		}
+	}
+	res.Height = chain.Height()
+	res.Root = chain.State().Root()
+	return res
+}
+
+// runAuditMode replays the chain on a fresh replica through
+// VerifyBlock — the read-only auditor's path — checking after every
+// verification that the state is bit-identical to before (verification
+// must be a pure read), then advancing with ImportBlock.
+func runAuditMode(data []byte) ModeResult {
+	res := ModeResult{Mode: "audit"}
+	exp, err := decodeExport(data)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	chain, err := freshReplica(exp)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	for _, b := range exp.Blocks {
+		before := chain.State().Root()
+		verr := chain.VerifyBlock(b)
+		if after := chain.State().Root(); after != before {
+			res.Err = fmt.Errorf("proptest: VerifyBlock mutated state: %s -> %s", before.Short(), after.Short())
+			res.FailedAt = b.Header.Height
+			res.Height = chain.Height()
+			res.Root = after
+			return res
+		}
+		if verr != nil {
+			res.Err = verr
+			res.FailedAt = b.Header.Height
+			res.Height = chain.Height()
+			res.Root = before
+			return res
+		}
+		if err := chain.ImportBlock(b); err != nil {
+			res.Err = fmt.Errorf("proptest: verified block failed import: %w", err)
+			res.FailedAt = b.Header.Height
+			res.Height = chain.Height()
+			res.Root = chain.State().Root()
+			return res
+		}
+	}
+	res.Height = chain.Height()
+	res.Root = chain.State().Root()
+	return res
+}
+
+// runReplayMode replays the chain through the ledger's own
+// export/replay API.
+func runReplayMode(data []byte) ModeResult {
+	res := ModeResult{Mode: "replay"}
+	rt, err := MarketRuntime()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	chain, err := ledger.Replay(bytes.NewReader(data), rt)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Height = chain.Height()
+	res.Root = chain.State().Root()
+	return res
+}
+
+// RunReplayModes executes an exported chain through all three modes.
+func RunReplayModes(data []byte) []ModeResult {
+	return []ModeResult{
+		runImportMode(data),
+		runAuditMode(data),
+		runReplayMode(data),
+	}
+}
+
+// DifferentialCheck asserts that every mode accepted the chain and that
+// all modes converged on the same height and state root; live, when
+// non-nil, is the originating market every mode must also agree with.
+func DifferentialCheck(results []ModeResult, live *market.Market) error {
+	if len(results) == 0 {
+		return fmt.Errorf("proptest: no replay results")
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("proptest: mode %s rejected the chain: %w", r.Mode, r.Err)
+		}
+	}
+	want := results[0]
+	for _, r := range results[1:] {
+		if r.Height != want.Height || r.Root != want.Root {
+			return fmt.Errorf("proptest: divergence: %s vs %s", want, r)
+		}
+	}
+	if live != nil {
+		if h := live.Height(); h != want.Height {
+			return fmt.Errorf("proptest: replicas at height %d, live chain at %d", want.Height, h)
+		}
+		if root := live.Chain.State().Root(); root != want.Root {
+			return fmt.Errorf("proptest: replica root %s, live root %s", want.Root.Short(), root.Short())
+		}
+	}
+	return nil
+}
+
+// CheckDetection asserts that every mode rejected a (corrupted) chain —
+// a corruption that slips past any replica is a validation hole.
+func CheckDetection(results []ModeResult) error {
+	for _, r := range results {
+		if r.Err == nil {
+			return fmt.Errorf("proptest: mode %s accepted a corrupted chain (height %d, root %s)",
+				r.Mode, r.Height, r.Root.Short())
+		}
+	}
+	return nil
+}

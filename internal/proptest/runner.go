@@ -1,0 +1,481 @@
+package proptest
+
+import (
+	"fmt"
+	"strings"
+
+	"pds2/internal/contract"
+	"pds2/internal/crypto"
+	"pds2/internal/faults"
+	"pds2/internal/identity"
+	"pds2/internal/ledger"
+	"pds2/internal/market"
+	"pds2/internal/ml"
+	"pds2/internal/semantic"
+	"pds2/internal/storage"
+	"pds2/internal/token"
+)
+
+// deedSpace bounds the ERC-721 token-ID universe the generator draws
+// from. Keeping it tiny makes mint collisions (revert path) and
+// approve/transfer hits on live tokens both frequent.
+const deedSpace = 8
+
+// deedID derives the nth deterministic token ID.
+func deedID(n uint64) crypto.Digest {
+	return crypto.HashString(fmt.Sprintf("proptest/deed/%d", n%deedSpace))
+}
+
+// BlockSummary is the canonical record of one sealed block in a
+// History — everything the determinism fingerprint commits to.
+type BlockSummary struct {
+	Height    uint64
+	Timestamp uint64
+	Txs       int
+	GasUsed   uint64
+	StateRoot crypto.Digest
+	TxRoot    crypto.Digest
+	// Receipts digests every receipt (status, gas, error, events) of the
+	// block in order, so two runs agreeing on it executed identically.
+	Receipts crypto.Digest
+}
+
+// History is the full deterministic trace of one run: an op log, every
+// sealed block, and any invariant violations.
+type History struct {
+	Seed       uint64
+	OpLog      []string
+	Blocks     []BlockSummary
+	Violations []Violation
+}
+
+// Fingerprint renders the history canonically. Two runs of the same
+// Config must produce byte-identical fingerprints; anything that may
+// legitimately differ between runs must not appear here.
+func (h *History) Fingerprint() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", h.Seed)
+	for i, line := range h.OpLog {
+		fmt.Fprintf(&b, "op %04d %s\n", i, line)
+	}
+	for _, blk := range h.Blocks {
+		fmt.Fprintf(&b, "block %d ts=%d txs=%d gas=%d state=%s txroot=%s receipts=%s\n",
+			blk.Height, blk.Timestamp, blk.Txs, blk.GasUsed,
+			blk.StateRoot.Hex(), blk.TxRoot.Hex(), blk.Receipts.Hex())
+	}
+	for _, v := range h.Violations {
+		fmt.Fprintf(&b, "violation %s\n", v.String())
+	}
+	return []byte(b.String())
+}
+
+// Result bundles everything a run produced: the executed plan, the
+// trace, and the live market (for export, replay, and corruption
+// experiments).
+type Result struct {
+	Config  Config
+	Plan    []Op
+	History *History
+	Market  *market.Market
+
+	// Authority is the market's (sole) sealing identity, exposed so the
+	// corruption helpers can forge validly-sealed hostile blocks.
+	Authority *identity.Identity
+
+	// Sender is a funded account whose key the corruption helpers may
+	// sign forged transactions with.
+	Sender *identity.Identity
+
+	// Coin and Deeds are the generator's own ERC-20 and ERC-721
+	// deployments (minter: account 0). The market's data-deeds contract
+	// is audited too; see Auditor.
+	Coin  identity.Address
+	Deeds identity.Address
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.History.Violations) > 0 }
+
+// runner is the mutable execution world behind one Run call.
+type runner struct {
+	cfg      Config
+	m        *market.Market
+	accounts []*identity.Identity
+	coin     identity.Address
+	deeds    identity.Address
+	inj      *faults.Injector
+	auditor  *Auditor
+	hist     *History
+	synced   uint64 // height up to which blocks were audited
+}
+
+// RunSeed generates and executes the default-sized plan for a seed.
+func RunSeed(seed uint64, ops int) (*Result, error) {
+	cfg := Config{Seed: seed, Ops: ops}
+	return Run(cfg, Plan(cfg))
+}
+
+// Run executes a plan against a fresh market, auditing every global
+// invariant after each sealed block. The returned error reports harness
+// setup failures only; system misbehaviour surfaces as
+// History.Violations so it can be shrunk and replayed.
+func Run(cfg Config, plan []Op) (*Result, error) {
+	cfg = cfg.withDefaults()
+	rng := crypto.NewDRBGFromUint64(cfg.Seed, "proptest/run")
+
+	accounts := make([]*identity.Identity, cfg.Accounts)
+	alloc := make(map[identity.Address]uint64, cfg.Accounts)
+	for i := range accounts {
+		accounts[i] = identity.New(fmt.Sprintf("prop-%d", i), rng.Fork(fmt.Sprintf("account/%d", i)))
+		alloc[accounts[i].Address()] = 10_000_000
+	}
+	// The authority is created explicitly (rather than letting the market
+	// default one) so corruption experiments can forge validly-sealed
+	// blocks carrying bad payloads.
+	authority := identity.New("prop-authority", rng.Fork("authority"))
+	m, err := market.New(market.Config{
+		Seed:         cfg.Seed,
+		GenesisAlloc: alloc,
+		Authorities:  []*identity.Identity{authority},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("proptest: market: %w", err)
+	}
+
+	// The generator's own token worlds, minted by account 0.
+	rcpt, err := market.MustSucceed(m.SendAndSeal(accounts[0], identity.ZeroAddress, 0,
+		contract.DeployData(token.ERC20CodeName, token.ERC20InitArgs("PropCoin", "PRC", 1_000_000))))
+	if err != nil {
+		return nil, fmt.Errorf("proptest: deploy coin: %w", err)
+	}
+	var coin identity.Address
+	copy(coin[:], rcpt.Return)
+	rcpt, err = market.MustSucceed(m.SendAndSeal(accounts[0], identity.ZeroAddress, 0,
+		contract.DeployData(token.ERC721CodeName, token.ERC721InitArgs("PropDeeds"))))
+	if err != nil {
+		return nil, fmt.Errorf("proptest: deploy deeds: %w", err)
+	}
+	var deeds identity.Address
+	copy(deeds[:], rcpt.Return)
+
+	r := &runner{
+		cfg:      cfg,
+		m:        m,
+		accounts: accounts,
+		coin:     coin,
+		deeds:    deeds,
+		auditor:  NewAuditor(m, []identity.Address{coin}, []identity.Address{deeds, m.Deeds}),
+		hist:     &History{Seed: cfg.Seed},
+	}
+	if cfg.Schedule != nil {
+		r.inj = faults.NewInjector(*cfg.Schedule)
+	}
+	// Absorb the setup blocks (market deploys + token deploys) without
+	// attributing them to any op, then audit once to pin the baseline.
+	r.syncBlocks(-1)
+
+	for i, op := range plan {
+		r.exec(i, op)
+		r.syncBlocks(i)
+	}
+	// A forced final seal flushes whatever the plan left in the pool so
+	// every submitted-and-includable transaction faces the invariants.
+	if _, err := r.m.SealBlock(); err != nil {
+		r.logf("final-seal: %v", err)
+	} else {
+		r.logf("final-seal: ok")
+	}
+	r.syncBlocks(len(plan))
+
+	return &Result{
+		Config:    cfg,
+		Plan:      plan,
+		History:   r.hist,
+		Market:    m,
+		Authority: authority,
+		Sender:    accounts[0],
+		Coin:      coin,
+		Deeds:     deeds,
+	}, nil
+}
+
+func (r *runner) logf(format string, args ...any) {
+	r.hist.OpLog = append(r.hist.OpLog, fmt.Sprintf(format, args...))
+}
+
+// submit routes a signed transaction through the (possibly faulty)
+// admission path and returns a canonical outcome string.
+func (r *runner) submit(tx *ledger.Transaction) string {
+	if r.inj != nil && r.inj.Decide("/v1/transactions", "").Drop {
+		return "dropped"
+	}
+	if err := r.m.Submit(tx); err != nil {
+		return "rejected: " + err.Error()
+	}
+	return "queued"
+}
+
+// acct returns a planned account, clamping the plan's index.
+func (r *runner) acct(i int) *identity.Identity {
+	return r.accounts[i%len(r.accounts)]
+}
+
+func (r *runner) exec(i int, op Op) {
+	from, to := r.acct(op.A), r.acct(op.B)
+	switch op.Kind {
+	case OpTransfer:
+		amt := op.Amount % 1_000
+		tx := r.m.SignedTx(from, to.Address(), amt, nil)
+		r.logf("%s -> %s", op, r.submit(tx))
+	case OpOverdraft:
+		// Current balance plus a margin: guaranteed to fail at apply
+		// time unless incoming pool transfers outrun it — either way the
+		// receipt, not the block, carries the verdict.
+		amt := r.m.Chain.State().Balance(from.Address()) + 1 + op.Amount%1_000
+		tx := r.m.SignedTx(from, to.Address(), amt, nil)
+		r.logf("%s -> %s", op, r.submit(tx))
+	case OpERC20Transfer:
+		tx := r.m.SignedTx(from, r.coin, 0, token.ERC20TransferData(to.Address(), op.Amount%5_000))
+		r.logf("%s -> %s", op, r.submit(tx))
+	case OpERC20Mint:
+		tx := r.m.SignedTx(from, r.coin, 0, token.ERC20MintData(to.Address(), op.Amount%10_000))
+		r.logf("%s -> %s", op, r.submit(tx))
+	case OpERC20Approve:
+		tx := r.m.SignedTx(from, r.coin, 0, token.ERC20ApproveData(to.Address(), op.Amount%5_000))
+		r.logf("%s -> %s", op, r.submit(tx))
+	case OpERC20XferFrom:
+		tx := r.m.SignedTx(from, r.coin, 0,
+			token.ERC20TransferFromData(to.Address(), from.Address(), op.Amount%5_000))
+		r.logf("%s -> %s", op, r.submit(tx))
+	case OpERC20Burn:
+		tx := r.m.SignedTx(from, r.coin, 0, token.ERC20BurnData(op.Amount%2_000))
+		r.logf("%s -> %s", op, r.submit(tx))
+	case OpERC721Mint:
+		tx := r.m.SignedTx(from, r.deeds, 0, token.ERC721MintData(to.Address(), deedID(op.Seed), nil))
+		r.logf("%s -> %s", op, r.submit(tx))
+	case OpERC721Approve:
+		tx := r.m.SignedTx(from, r.deeds, 0, token.ERC721ApproveData(to.Address(), deedID(op.Seed)))
+		r.logf("%s -> %s", op, r.submit(tx))
+	case OpERC721Xfer:
+		tx := r.m.SignedTx(from, r.deeds, 0,
+			token.ERC721TransferFromData(from.Address(), to.Address(), deedID(op.Seed)))
+		r.logf("%s -> %s", op, r.submit(tx))
+	case OpBadCall:
+		tx := r.m.SignedTx(from, r.coin, 0, contract.CallData("no-such-method", nil))
+		r.logf("%s -> %s", op, r.submit(tx))
+	case OpFutureNonce:
+		gap := 1 + op.Amount%3
+		nonce := r.m.Pool.NextNonce(from.Address(), r.m.Chain.State().Nonce(from.Address())) + gap
+		tx := ledger.SignTx(from, to.Address(), 1, nonce, r.m.DefaultGasLimit, nil)
+		r.logf("%s gap=%d -> %s", op, gap, r.submit(tx))
+	case OpReplace:
+		nonce := r.m.Pool.NextNonce(from.Address(), r.m.Chain.State().Nonce(from.Address()))
+		first := ledger.SignTx(from, to.Address(), op.Amount%100, nonce, r.m.DefaultGasLimit, nil)
+		second := ledger.SignTx(from, to.Address(), op.Amount%100+1, nonce, r.m.DefaultGasLimit, nil)
+		r.logf("%s -> %s then %s", op, r.submit(first), r.submit(second))
+	case OpResubmit:
+		tx := r.m.SignedTx(from, to.Address(), op.Amount%100, nil)
+		r.logf("%s -> %s then %s", op, r.submit(tx), r.submit(tx))
+	case OpSeal:
+		ts := int64(r.m.Timestamp()) + 1
+		if r.inj != nil {
+			ts += r.inj.SealSkew()
+		}
+		if ts < 0 {
+			ts = 0
+		}
+		if _, err := r.m.SealBlockAt(uint64(ts)); err != nil {
+			r.logf("%s ts=%d -> %v", op, ts, err)
+		} else {
+			r.logf("%s ts=%d -> sealed", op, ts)
+		}
+	case OpPrune:
+		r.logf("%s -> evicted %d", op, r.m.Pool.Prune(r.m.Chain.State()))
+	case OpRevertProbe:
+		r.revertProbe(i, op)
+	case OpLifecycle:
+		if err := r.lifecycle(op); err != nil {
+			// A failed lifecycle on an in-process market is a genuine
+			// defect, not an expected revert path: report it as a
+			// violation so it shrinks like any other failure.
+			r.hist.Violations = append(r.hist.Violations, Violation{
+				Invariant: "lifecycle", OpIndex: i, Height: r.m.Height(),
+				Detail: err.Error(),
+			})
+			r.logf("%s -> FAILED: %v", op, err)
+		} else {
+			r.logf("%s -> settled", op)
+		}
+	default:
+		r.logf("%s -> unknown kind", op)
+	}
+}
+
+// revertProbe checks that Snapshot → mutate → RevertTo is an exact
+// no-op on the world state: identical root and journal position.
+func (r *runner) revertProbe(i int, op Op) {
+	st := r.m.Chain.State()
+	before := st.Root()
+	journalBefore := st.JournalLen()
+	snap := st.Snapshot()
+	addr := r.acct(op.A).Address()
+	st.SetBalance(addr, st.Balance(addr)+1+op.Amount%100)
+	st.BumpNonce(addr)
+	st.SetStorage(r.coin, "proptest/probe", []byte{byte(op.Seed)})
+	st.SetStorage(r.coin, "proptest/probe", nil) // write-then-delete path
+	st.RevertTo(snap)
+	if after := st.Root(); after != before {
+		r.hist.Violations = append(r.hist.Violations, Violation{
+			Invariant: "journal-revert", OpIndex: i, Height: r.m.Height(),
+			Detail: fmt.Sprintf("root %s != %s after revert", after.Short(), before.Short()),
+		})
+	}
+	if st.JournalLen() != journalBefore {
+		r.hist.Violations = append(r.hist.Violations, Violation{
+			Invariant: "journal-revert", OpIndex: i, Height: r.m.Height(),
+			Detail: fmt.Sprintf("journal %d != %d after revert", st.JournalLen(), journalBefore),
+		})
+	}
+	r.logf("%s -> ok", op)
+}
+
+// lifecycle drives one full workload register→match→seal→settle flow
+// with actors derived from the op's own seed, interleaved with whatever
+// the rest of the plan left in the mempool.
+func (r *runner) lifecycle(op Op) error {
+	rng := crypto.NewDRBGFromUint64(op.Seed, "proptest/lifecycle")
+	consumerID := identity.New("prop-consumer", rng.Fork("consumer"))
+	providerID := identity.New("prop-provider", rng.Fork("provider"))
+	executorID := identity.New("prop-executor", rng.Fork("executor"))
+	// Fund the fresh actors from account 0 — actors pay escrow in native
+	// tokens, and value conservation is audited across these transfers
+	// like any others.
+	for _, id := range []*identity.Identity{consumerID, providerID, executorID} {
+		if _, err := market.MustSucceed(r.m.SendAndSeal(r.accounts[0], id.Address(), 300_000, nil)); err != nil {
+			return fmt.Errorf("fund actor: %w", err)
+		}
+	}
+	consumer, err := market.NewConsumer(r.m, consumerID)
+	if err != nil {
+		return fmt.Errorf("consumer: %w", err)
+	}
+	node := storage.NewNode(storage.NewMemStore())
+	provider, err := market.NewProvider(r.m, providerID, node)
+	if err != nil {
+		return fmt.Errorf("provider: %w", err)
+	}
+	executor, err := market.NewExecutor(r.m, executorID, node)
+	if err != nil {
+		return fmt.Errorf("executor: %w", err)
+	}
+	data, _ := ml.GenerateClassification(ml.SyntheticConfig{N: 40, Dim: 2}, rng.Fork("data"))
+	if _, err := provider.AddDataset(data, semantic.Metadata{
+		"category": semantic.String("sensor.temperature"),
+		"samples":  semantic.Number(float64(data.Len())),
+	}); err != nil {
+		return fmt.Errorf("add dataset: %w", err)
+	}
+	params := market.TrainerParams{Dim: 2, Epochs: 1, Lambda: 1e-3}
+	spec := &market.Spec{
+		Predicate:      `category isa "sensor"`,
+		MinProviders:   1,
+		MinItems:       1,
+		ExpiryHeight:   r.m.Height() + 1_000,
+		ExecutorFeeBps: 1_000,
+		Measurement:    market.TrainerMeasurement(params.Encode()),
+		QAPub:          r.m.QA.PublicKey(),
+		Params:         params.Encode(),
+	}
+	workload, err := consumer.SubmitWorkload(spec, 100_000)
+	if err != nil {
+		return fmt.Errorf("submit workload: %w", err)
+	}
+	refs, err := provider.EligibleData(spec)
+	if err != nil {
+		return fmt.Errorf("eligible data: %w", err)
+	}
+	if len(refs) == 0 {
+		return fmt.Errorf("no eligible data")
+	}
+	auths, err := provider.Authorize(workload, executorID.Address(), refs, spec.ExpiryHeight)
+	if err != nil {
+		return fmt.Errorf("authorize: %w", err)
+	}
+	executor.Accept(workload, auths)
+	if err := executor.Register(workload); err != nil {
+		return fmt.Errorf("register execution: %w", err)
+	}
+	if err := consumer.Start(workload); err != nil {
+		return fmt.Errorf("start: %w", err)
+	}
+	if _, err := market.RunWorkloadExecution(workload, []*market.Executor{executor}); err != nil {
+		return fmt.Errorf("execute: %w", err)
+	}
+	if err := consumer.Finalize(workload); err != nil {
+		return fmt.Errorf("finalize: %w", err)
+	}
+	st, err := r.m.WorkloadStateOf(workload)
+	if err != nil {
+		return err
+	}
+	if st != market.StateComplete {
+		return fmt.Errorf("workload state %s, want %s", st, market.StateComplete)
+	}
+	return nil
+}
+
+// syncBlocks audits every block sealed since the last call, attributing
+// violations to the op that produced them. opIndex -1 marks setup
+// blocks (market construction and token deploys).
+func (r *runner) syncBlocks(opIndex int) {
+	head := r.m.Height()
+	var fresh bool
+	for h := r.synced + 1; h <= head; h++ {
+		blk, err := r.m.Chain.BlockAt(h)
+		if err != nil {
+			r.hist.Violations = append(r.hist.Violations, Violation{
+				Invariant: "block-access", OpIndex: opIndex, Height: h, Detail: err.Error(),
+			})
+			continue
+		}
+		fresh = true
+		r.auditor.ObserveBlock(blk)
+		vs := r.auditor.CheckBlock(blk)
+		for j := range vs {
+			vs[j].OpIndex = opIndex
+		}
+		r.hist.Violations = append(r.hist.Violations, vs...)
+		r.hist.Blocks = append(r.hist.Blocks, r.summarize(blk))
+	}
+	r.synced = head
+	if fresh {
+		vs := r.auditor.CheckGlobal()
+		for j := range vs {
+			vs[j].OpIndex = opIndex
+		}
+		r.hist.Violations = append(r.hist.Violations, vs...)
+	}
+}
+
+// summarize reduces a block to its canonical fingerprint record.
+func (r *runner) summarize(blk *ledger.Block) BlockSummary {
+	parts := make([][]byte, 0, len(blk.Txs))
+	for _, tx := range blk.Txs {
+		rcpt, ok := r.m.Chain.Receipt(tx.Hash())
+		if !ok {
+			parts = append(parts, []byte("missing"))
+			continue
+		}
+		parts = append(parts, []byte(fmt.Sprintf("%d|%d|%s|%d",
+			rcpt.Status, rcpt.GasUsed, rcpt.Err, len(rcpt.Events))))
+	}
+	return BlockSummary{
+		Height:    blk.Header.Height,
+		Timestamp: blk.Header.Timestamp,
+		Txs:       len(blk.Txs),
+		GasUsed:   blk.Header.GasUsed,
+		StateRoot: blk.Header.StateRoot,
+		TxRoot:    blk.Header.TxRoot,
+		Receipts:  crypto.HashConcat(parts...),
+	}
+}

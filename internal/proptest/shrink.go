@@ -1,0 +1,102 @@
+package proptest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Greedy history shrinking: when a plan fails, chunks of ops are
+// removed — halving the chunk size until single ops — keeping any
+// candidate that still fails. Ops carry their own sub-seeds, so removal
+// never perturbs the survivors' behaviour and every candidate replays
+// deterministically.
+
+// FailureFunc decides whether an executed plan still exhibits the
+// failure being minimized. It must be deterministic in (cfg, plan).
+type FailureFunc func(cfg Config, plan []Op) bool
+
+// InvariantFailure is the standard oracle: the plan produces at least
+// one invariant violation.
+func InvariantFailure(cfg Config, plan []Op) bool {
+	res, err := Run(cfg, plan)
+	if err != nil {
+		return false // setup failures are not the bug under minimization
+	}
+	return res.Failed()
+}
+
+// Shrink minimizes a failing plan under the oracle, returning the
+// smallest still-failing plan found and the number of executions spent.
+// The input plan must fail; Shrink never returns a passing plan.
+func Shrink(cfg Config, plan []Op, fails FailureFunc) ([]Op, int) {
+	runs := 0
+	current := append([]Op(nil), plan...)
+	for chunk := len(current) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(current); {
+			candidate := make([]Op, 0, len(current)-chunk)
+			candidate = append(candidate, current[:start]...)
+			candidate = append(candidate, current[start+chunk:]...)
+			runs++
+			if fails(cfg, candidate) {
+				current = candidate
+				// Do not advance: the window now holds fresh ops.
+				continue
+			}
+			start += chunk
+		}
+	}
+	return current, runs
+}
+
+// MinimizeFailure runs a config, and on failure shrinks the plan and
+// formats a replayable report. It returns nil when the run passes.
+func MinimizeFailure(cfg Config) *FailureReport {
+	plan := Plan(cfg)
+	res, err := Run(cfg, plan)
+	if err != nil {
+		return &FailureReport{Config: cfg, SetupErr: err}
+	}
+	if !res.Failed() {
+		return nil
+	}
+	minPlan, runs := Shrink(cfg, plan, InvariantFailure)
+	minRes, _ := Run(cfg, minPlan)
+	return &FailureReport{
+		Config:     cfg,
+		Plan:       minPlan,
+		Violations: minRes.History.Violations,
+		ShrinkRuns: runs,
+		Original:   len(plan),
+	}
+}
+
+// FailureReport is a minimized, replayable failure.
+type FailureReport struct {
+	Config     Config
+	Plan       []Op
+	Violations []Violation
+	ShrinkRuns int
+	Original   int
+	SetupErr   error
+}
+
+// String renders the report with the exact reproduction recipe.
+func (r *FailureReport) String() string {
+	var b strings.Builder
+	if r.SetupErr != nil {
+		fmt.Fprintf(&b, "proptest: setup failed for seed %d: %v\n", r.Config.Seed, r.SetupErr)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "proptest: invariant failure, seed %d (plan shrunk %d -> %d ops in %d runs)\n",
+		r.Config.Seed, r.Original, len(r.Plan), r.ShrinkRuns)
+	fmt.Fprintf(&b, "reproduce: PDS2_PROPTEST_SEED=%d PDS2_PROPTEST_OPS=%d go test ./internal/proptest -run TestProptestSeedRepro -v\n",
+		r.Config.Seed, r.Config.Ops)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	fmt.Fprintf(&b, "minimized plan:\n")
+	for i, op := range r.Plan {
+		fmt.Fprintf(&b, "  %3d %s\n", i, op)
+	}
+	return b.String()
+}

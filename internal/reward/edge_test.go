@@ -1,0 +1,130 @@
+package reward
+
+import (
+	"strings"
+	"testing"
+
+	"pds2/internal/crypto"
+	"pds2/internal/ml"
+)
+
+// TestAllocateConservesBudget is the table-driven conservation check:
+// whatever the score vector looks like — negatives, zeros, ties,
+// rounding-hostile ratios — every unit of budget must be paid out and
+// none invented.
+func TestAllocateConservesBudget(t *testing.T) {
+	cases := []struct {
+		name   string
+		scores []float64
+		budget uint64
+	}{
+		{"rounding residue", []float64{1, 1, 1}, 100},
+		{"hostile ratios", []float64{0.1, 0.3, 0.7, 1e-9}, 997},
+		{"negatives clamped", []float64{-5, 3, -1, 2}, 1_000},
+		{"all negative", []float64{-1, -2, -3}, 10},
+		{"all zero", []float64{0, 0, 0, 0, 0}, 7},
+		{"single provider", []float64{0.42}, 123_456},
+		{"dominant score", []float64{1e12, 1, 1}, 999},
+		{"budget one", []float64{2, 3}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := Allocate(tc.scores, tc.budget)
+			if len(out) != len(tc.scores) {
+				t.Fatalf("len %d, want %d", len(out), len(tc.scores))
+			}
+			var sum uint64
+			for _, v := range out {
+				sum += v
+			}
+			if sum != tc.budget {
+				t.Fatalf("allocated %d of budget %d: %v", sum, tc.budget, out)
+			}
+			// Negative contributors never get paid more than the pure
+			// rounding residue could hand them (residue goes to best).
+			for i, s := range tc.scores {
+				hasPositive := false
+				for _, s2 := range tc.scores {
+					if s2 > 0 {
+						hasPositive = true
+					}
+				}
+				if hasPositive && s <= 0 && out[i] != 0 {
+					// The residue recipient is the single best scorer;
+					// a non-positive score can only be best when no
+					// positive score exists.
+					t.Fatalf("non-positive score %v at %d was paid %d", s, i, out[i])
+				}
+			}
+		})
+	}
+	// Empty and zero-budget degenerate cases return all-zero vectors.
+	if out := Allocate(nil, 100); len(out) != 0 {
+		t.Fatalf("nil scores: %v", out)
+	}
+	if out := Allocate([]float64{1, 2}, 0); out[0] != 0 || out[1] != 0 {
+		t.Fatalf("zero budget: %v", out)
+	}
+}
+
+// TestPricingErrorPaths covers the model-market refusals: zero price is
+// invalid everywhere it can be smuggled in, and paying at or above full
+// price buys the noiseless model.
+func TestPricingErrorPaths(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(9, "reward-edge")
+	data, _ := ml.GenerateClassification(ml.SyntheticConfig{N: 60, Dim: 3}, rng)
+	model := ml.NewLogisticModel(3, 1e-3)
+	ml.TrainEpochs(model, data, 2)
+
+	mkt, err := NewModelMarket(model, 1_000, 0.5, rng.Fork("mkt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mkt.Sigma(0); err == nil {
+		t.Fatal("Sigma(0) accepted")
+	}
+	if _, err := mkt.Purchase(0); err == nil {
+		t.Fatal("Purchase(0) accepted")
+	}
+	if _, err := mkt.Curve([]uint64{500, 0}, data, 1); err == nil ||
+		!strings.Contains(err.Error(), "price 0") {
+		t.Fatalf("Curve with zero price: %v", err)
+	}
+	// At and above full price the buyer gets the exact model.
+	for _, p := range []uint64{1_000, 2_000} {
+		sigma, err := mkt.Sigma(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sigma != 0 {
+			t.Fatalf("Sigma(%d) = %v, want 0", p, sigma)
+		}
+		bought, err := mkt.Purchase(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw, mw := bought.Weights(), model.Weights()
+		for i := range bw {
+			if bw[i] != mw[i] {
+				t.Fatalf("full-price purchase perturbed weight %d", i)
+			}
+		}
+	}
+}
+
+// TestNoiseInjectedClones pins that noise injection never aliases the
+// source model's weight storage, even at sigma 0 where it could be
+// tempting to return the input.
+func TestNoiseInjectedClones(t *testing.T) {
+	model := ml.NewLogisticModel(4, 1e-3)
+	out := NoiseInjected(model, 0, crypto.NewDRBGFromUint64(1, "noise"))
+	w := out.Weights()
+	for i := range w {
+		w[i] = 99
+	}
+	for i, v := range model.Weights() {
+		if v == 99 {
+			t.Fatalf("weight %d aliased into the source model", i)
+		}
+	}
+}

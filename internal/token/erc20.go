@@ -250,6 +250,12 @@ func (ERC20) move(ctx *contract.Context, from, to identity.Address, amount uint6
 	if fromBal < amount {
 		return contract.Revertf("erc20: balance %d < amount %d", fromBal, amount)
 	}
+	if from == to {
+		// A self-transfer must be a balance no-op. Debiting and crediting
+		// through separate reads would credit the stale pre-debit balance
+		// and mint `amount` out of thin air.
+		return emitTransfer(ctx, from, to, amount)
+	}
 	toBal, err := ctx.GetUint64(balKey(to))
 	if err != nil {
 		return err
