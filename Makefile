@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench proptest fuzz covgate ci
+.PHONY: build test race vet bench proptest fuzz covgate load-smoke bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,21 @@ fuzz:
 covgate:
 	./scripts/covgate.sh
 
+# load-smoke self-hosts a node and drives it over real HTTP with the
+# open-loop load harness for 30 seconds, failing on any SLO breach
+# (throughput floor, p99 ceiling, error rate). The report lands outside
+# the tree so a smoke run never dirties checked-in BENCH_*.json history;
+# full-scale baselines are produced explicitly with `go run ./cmd/pds2-load`.
+load-smoke:
+	$(GO) run ./cmd/pds2-load -accounts 5000 -workers 8 -rate 300 -duration 30s \
+		-slo-tx-per-sec 50 -slo-p99-ms 250 -slo-error-rate 0.02 \
+		-out $${TMPDIR:-/tmp}/pds2-load-smoke
+
+# bench-compare diffs the newest two checked-in BENCH_*.json reports and
+# fails on a >10% committed-throughput regression.
+bench-compare:
+	./scripts/bench_compare.sh
+
 # ci is the documented pre-PR gate: static checks, the full build, the
 # race-enabled test suite (including the telemetry trace/log/health
 # tests), a single-iteration smoke run of the ledger block-pipeline and
@@ -45,7 +60,9 @@ covgate:
 # smoke (the quick E15 subset drives the full workload lifecycle
 # through fault-injected client and server and must converge), the
 # fixed-seed property-harness smoke with differential replay, a short
-# randomized pass over each fuzz target, and the coverage ratchet.
+# randomized pass over each fuzz target, a 30-second open-loop load
+# smoke against a self-hosted node (SLO-gated), the BENCH_*.json
+# regression diff, and the coverage ratchet.
 ci: vet build
 	$(GO) test -race ./...
 	$(GO) test -run NONE -bench 'BenchmarkImportBlock|BenchmarkMempool|BenchmarkLedger|BenchmarkLog' -benchtime=1x .
@@ -53,4 +70,6 @@ ci: vet build
 	$(GO) run ./cmd/pds2-experiments -quick -telemetry=false -run E15
 	$(MAKE) proptest
 	$(MAKE) fuzz
+	$(MAKE) load-smoke
+	$(MAKE) bench-compare
 	$(MAKE) covgate

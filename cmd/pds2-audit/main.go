@@ -6,9 +6,15 @@
 // — and reports the audit summary. Any tampering with the export fails
 // the replay.
 //
+// With -from-store it audits a durable chain store directory offline
+// instead: the store's newest snapshot is integrity-checked against its
+// head block's sealed state root, the log tail is re-validated block by
+// block, and nothing is written — a node need not be running.
+//
 // Usage:
 //
 //	pds2-audit [-log-level info,ledger=debug] chain.json
+//	pds2-audit -from-store /var/lib/pds2
 package main
 
 import (
@@ -16,50 +22,72 @@ import (
 	"fmt"
 	"os"
 
-	"pds2/internal/contract"
+	"pds2/internal/chainstore"
 	"pds2/internal/ledger"
 	"pds2/internal/market"
 	"pds2/internal/telemetry"
-	"pds2/internal/token"
 )
 
 func main() {
 	logSpec := flag.String("log-level", "off", "structured-log spec mirrored to stderr, e.g. info,ledger=debug")
+	fromStore := flag.String("from-store", "", "audit a durable chain store directory instead of an export file")
 	flag.Parse()
 	if err := telemetry.SetLogSpec(*logSpec); err != nil {
 		fatalf("bad -log-level: %v", err)
 	}
 	telemetry.DefaultLog().SetOutput(os.Stderr)
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pds2-audit <chain-export.json>")
-		os.Exit(2)
-	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fatalf("open export: %v", err)
-	}
-	defer f.Close()
 
 	// The auditor runs the exact platform contract code the network ran.
-	rt := contract.NewRuntime()
-	for name, code := range map[string]contract.Contract{
-		market.RegistryCodeName: market.RegistryContract{},
-		market.WorkloadCodeName: market.WorkloadContract{},
-		token.ERC20CodeName:     token.ERC20{},
-		token.ERC721CodeName:    token.ERC721{},
-	} {
-		if err := rt.RegisterCode(name, code); err != nil {
-			fatalf("register code: %v", err)
-		}
-	}
-
-	chain, err := ledger.Replay(f, rt)
+	rt, err := market.NewRuntime()
 	if err != nil {
-		fmt.Printf("AUDIT FAILED: %v\n", err)
-		os.Exit(1)
+		fatalf("register code: %v", err)
 	}
 
-	fmt.Println("AUDIT PASSED: every block re-validated from genesis")
+	var chain *ledger.Chain
+	switch {
+	case *fromStore != "":
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: pds2-audit -from-store <dir>")
+			os.Exit(2)
+		}
+		store, err := chainstore.Open(*fromStore, nil)
+		if err != nil {
+			fatalf("open store: %v", err)
+		}
+		defer store.Close()
+		if n := store.RecoveredBytes(); n > 0 {
+			fmt.Printf("  note: truncated %d bytes of torn tail during open\n", n)
+		}
+		chain, err = store.VerifyChain(rt)
+		if err != nil {
+			fmt.Printf("AUDIT FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		stats := store.Stats()
+		fmt.Println("AUDIT PASSED: snapshot verified, every tail block re-validated")
+		fmt.Printf("  store       %s (%d segments, %d frames, %d snapshots)\n",
+			stats.Dir, stats.Segments, stats.Frames, stats.Snapshots)
+		if base := chain.Base(); base > 0 {
+			fmt.Printf("  snapshot    height %d (state root checked against sealed header)\n", base)
+		}
+	default:
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: pds2-audit <chain-export.json>")
+			os.Exit(2)
+		}
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("open export: %v", err)
+		}
+		defer f.Close()
+		chain, err = ledger.Replay(f, rt)
+		if err != nil {
+			fmt.Printf("AUDIT FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("AUDIT PASSED: every block re-validated from genesis")
+	}
+
 	fmt.Printf("  height      %d\n", chain.Height())
 	fmt.Printf("  state root  %s\n", chain.State().Root())
 	events := chain.Events("")

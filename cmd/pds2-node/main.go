@@ -7,6 +7,19 @@
 //
 //	pds2-node [-listen :8547] [-seed 1] [-block-ms 500] [-fund addr:amount,...] [-mempool 100000]
 //	          [-log-level info,ledger=debug] [-node-id node-0] [-drain-ms 500]
+//	          [-data-dir /var/lib/pds2] [-snapshot-every 1000]
+//	          [-load-accounts 100000] [-load-seed 1] [-load-fund 1000000] [-block-gas 0]
+//
+// -load-accounts funds the deterministic pds2-load population at
+// genesis (same seed and count on both sides, no key material crosses
+// the wire), so an external pds2-load run finds its accounts funded.
+//
+// With -data-dir the node is durable: every sealed block is appended
+// (fsynced) to a segmented log under the directory, a state snapshot is
+// written every -snapshot-every blocks, and a restart resumes from
+// "snapshot + tail-of-log" instead of genesis — killed mid-run, the node
+// reopens with at most the last torn append truncated away. The store
+// surfaces as the "chainstore" component in /healthz and /readyz.
 //
 // Structured logs are retained in a bounded ring served at GET /logs
 // and mirrored to stderr; -log-level takes a default level plus
@@ -40,22 +53,30 @@ import (
 	"time"
 
 	"pds2/internal/api"
+	"pds2/internal/chainstore"
 	"pds2/internal/identity"
+	"pds2/internal/loadgen"
 	"pds2/internal/market"
 	"pds2/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", ":8547", "HTTP listen address")
-		seed    = flag.Uint64("seed", 1, "deterministic seed")
-		blockMS = flag.Int("block-ms", 500, "auto-seal interval in milliseconds (0 disables)")
-		fund    = flag.String("fund", "", "comma-separated genesis allocations addr:amount")
-		pool    = flag.Int("mempool", 0, "mempool capacity in transactions (0 selects the default)")
-		tel     = flag.Bool("telemetry", true, "collect metrics and traces (served at /metrics and /trace)")
-		logSpec = flag.String("log-level", "info", "structured-log spec: default level plus component overrides, e.g. info,ledger=debug,gossip=off")
-		nodeID  = flag.String("node-id", "", "node identity stamped on spans and log records (defaults to the listen address)")
-		drainMS = flag.Int("drain-ms", 500, "how long to keep serving after /readyz goes down, before shutdown")
+		listen    = flag.String("listen", ":8547", "HTTP listen address")
+		seed      = flag.Uint64("seed", 1, "deterministic seed")
+		blockMS   = flag.Int("block-ms", 500, "auto-seal interval in milliseconds (0 disables)")
+		fund      = flag.String("fund", "", "comma-separated genesis allocations addr:amount")
+		pool      = flag.Int("mempool", 0, "mempool capacity in transactions (0 selects the default)")
+		tel       = flag.Bool("telemetry", true, "collect metrics and traces (served at /metrics and /trace)")
+		logSpec   = flag.String("log-level", "info", "structured-log spec: default level plus component overrides, e.g. info,ledger=debug,gossip=off")
+		nodeID    = flag.String("node-id", "", "node identity stamped on spans and log records (defaults to the listen address)")
+		drainMS   = flag.Int("drain-ms", 500, "how long to keep serving after /readyz goes down, before shutdown")
+		dataDir   = flag.String("data-dir", "", "durable chain store directory (empty runs in memory)")
+		snapEvery = flag.Uint64("snapshot-every", 1000, "write a state snapshot every N blocks (with -data-dir; 0 disables)")
+		loadN     = flag.Int("load-accounts", 0, "fund this many deterministic pds2-load accounts at genesis")
+		loadSeed  = flag.Uint64("load-seed", 1, "seed of the pds2-load population funded by -load-accounts")
+		loadFund  = flag.Uint64("load-fund", 1_000_000, "genesis balance per -load-accounts account")
+		blockGas  = flag.Uint64("block-gas", 0, "per-block gas limit (0 selects the chain default)")
 	)
 	flag.Parse()
 	if *tel {
@@ -89,9 +110,31 @@ func main() {
 		}
 	}
 
-	m, err := market.New(market.Config{Seed: *seed, GenesisAlloc: alloc, MempoolSize: *pool})
+	if *loadN > 0 {
+		log.Printf("funding %d pds2-load accounts (seed %d, %d each)", *loadN, *loadSeed, *loadFund)
+		for addr, amount := range loadgen.GenesisAlloc(*loadSeed, *loadN, *loadFund) {
+			alloc[addr] = amount
+		}
+	}
+
+	var store *chainstore.Store
+	if *dataDir != "" {
+		var err error
+		store, err = chainstore.Open(*dataDir, nil)
+		if err != nil {
+			fatalf("open chain store: %v", err)
+		}
+		if n := store.RecoveredBytes(); n > 0 {
+			log.Printf("chain store: recovered from torn write (%d bytes truncated)", n)
+		}
+	}
+	m, err := market.Open(market.Config{Seed: *seed, GenesisAlloc: alloc, MempoolSize: *pool, BlockGasLimit: *blockGas}, store)
 	if err != nil {
 		fatalf("start market: %v", err)
+	}
+	if store != nil {
+		log.Printf("chain store %s: resumed at height %d (base %d)", *dataDir, m.Height(), m.Chain.Base())
+		store.AttachSnapshotting(m.Chain, *snapEvery)
 	}
 	srv := api.NewServer(m, true)
 
@@ -148,6 +191,11 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("shutdown: %v", err)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Printf("close chain store: %v", err)
+		}
 	}
 	log.Printf("pds2-node stopped at height %d", m.Height())
 }

@@ -540,6 +540,16 @@ func (c *Client) Healthz(ctx context.Context) (telemetry.HealthReport, error) {
 	return out, err
 }
 
+// Metrics fetches the node's telemetry snapshot (GET /metrics):
+// counters, gauges and histograms with p50/p95/p99. Load harnesses use
+// it to read server-side throughput counters around a run. The node
+// answers 503 while telemetry is disabled; that surfaces as an APIError.
+func (c *Client) Metrics(ctx context.Context) (telemetry.Snapshot, error) {
+	var out telemetry.Snapshot
+	err := c.get(ctx, "/metrics", &out)
+	return out, err
+}
+
 // SubmitTx queues a signed transaction and returns its hash. The
 // request carries the transaction hash as an idempotency key, so
 // retrying after a lost response can never double-spend the nonce: the

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"pds2/internal/chainstore"
 	"pds2/internal/crypto"
 	"pds2/internal/gossip"
 	"pds2/internal/identity"
@@ -218,6 +219,45 @@ func healthTestServer(t *testing.T, mempoolSize int) (string, *Server) {
 func identityNamed(t *testing.T, name string) *identity.Identity {
 	t.Helper()
 	return identity.New(name, crypto.NewDRBGFromUint64(99, name))
+}
+
+// TestHealthChainstoreComponent pins that a durable node surfaces the
+// disk-backed store in /healthz (and an in-memory node does not).
+func TestHealthChainstoreComponent(t *testing.T) {
+	telemetry.Default().Reset()
+	st, err := chainstore.Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	m, err := market.Open(market.Config{Seed: 11}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(m, false))
+	t.Cleanup(srv.Close)
+
+	var rep telemetry.HealthReport
+	if code := getJSON(t, srv.URL+"/healthz", &rep); code != http.StatusOK {
+		t.Fatalf("GET /healthz: %d", code)
+	}
+	comp, ok := rep.Components["chainstore"]
+	if !ok {
+		t.Fatalf("no chainstore component in %v", rep.Components)
+	}
+	if comp.State != telemetry.Healthy {
+		t.Fatalf("chainstore: %+v", comp)
+	}
+
+	// In-memory market: no chainstore component.
+	srvURL, _ := healthTestServer(t, 0)
+	var rep2 telemetry.HealthReport
+	if code := getJSON(t, srvURL+"/healthz", &rep2); code != http.StatusOK {
+		t.Fatalf("GET /healthz: %d", code)
+	}
+	if _, ok := rep2.Components["chainstore"]; ok {
+		t.Fatal("in-memory node reports a chainstore component")
+	}
 }
 
 // TestLogsEndpoint pins GET /logs: records retained by the process log

@@ -87,6 +87,13 @@ func NewServer(m *market.Market, allowSeal bool) *Server {
 	s.health.Register("ledger.chain", s.checkChain)
 	s.health.Register("ledger.mempool", s.checkMempool)
 	s.health.Register("market.executors", market.ExecutorHeartbeat.Check)
+	if st := m.Store(); st != nil {
+		// Durable node: the disk-backed store participates in the
+		// worst-wins aggregate (degraded on slow fsync, unhealthy on
+		// write errors), so /readyz stops routing traffic to a node
+		// that can no longer persist what it seals.
+		s.health.Register("chainstore", st.Health)
+	}
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/blocks/{height}", s.handleBlock)
 	s.mux.HandleFunc("GET /v1/accounts/{addr}", s.handleAccount)

@@ -1,0 +1,32 @@
+package chainstore
+
+import (
+	"fmt"
+
+	"pds2/internal/telemetry"
+)
+
+// Health is the store's component check for the node health aggregator
+// (worst-wins): a sticky write/fsync error reports unhealthy until a
+// later durable write succeeds; an fsync slower than the configured
+// threshold reports degraded (the disk is falling behind the seal
+// rate); otherwise healthy with the log position.
+func (s *Store) Health() telemetry.CheckResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return telemetry.UnhealthyResult("store closed")
+	}
+	if s.lastErr != nil {
+		return telemetry.UnhealthyResult(fmt.Sprintf("write error at %s: %v",
+			s.lastErrTime.Format("15:04:05"), s.lastErr))
+	}
+	if s.lastFsync > s.opts.SlowFsyncThreshold {
+		return telemetry.DegradedResult(fmt.Sprintf("slow fsync: %s (threshold %s)",
+			s.lastFsync, s.opts.SlowFsyncThreshold))
+	}
+	if !s.haveAny {
+		return telemetry.OK("empty log")
+	}
+	return telemetry.OK(fmt.Sprintf("log at height %d, %d segments", s.last, len(s.segments)))
+}

@@ -64,6 +64,14 @@ const (
 	// for seal operations, exercising the chain's timestamp
 	// monotonicity checks.
 	ClockSkew
+
+	// Kill crashes the process (or a harness's stand-in for it) at the
+	// decided operation: a durable node dies mid-run — possibly mid
+	// log append — and must restart from its chain store. The HTTP and
+	// simnet adapters ignore Kill; it is interpreted by crash-recovery
+	// harnesses (the proptest persist oracle, experiment E17) which
+	// tear the store down and reopen it when the decision fires.
+	Kill
 )
 
 // String implements fmt.Stringer.
@@ -81,6 +89,8 @@ func (k Kind) String() string {
 		return "conn_reset"
 	case ClockSkew:
 		return "clock_skew"
+	case Kill:
+		return "kill"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -161,11 +171,12 @@ type Decision struct {
 	Partial      bool
 	Reset        bool
 	Skew         int64
+	Kill         bool
 }
 
 // Faulty reports whether any fault fired.
 func (d Decision) Faulty() bool {
-	return d.Drop || d.Delay > 0 || d.Status != 0 || d.Partial || d.Reset || d.Skew != 0
+	return d.Drop || d.Delay > 0 || d.Status != 0 || d.Partial || d.Reset || d.Skew != 0 || d.Kill
 }
 
 // Injector evaluates a schedule deterministically. It is safe for
@@ -227,6 +238,8 @@ func (i *Injector) Decide(endpoint, peer string) Decision {
 			d.Reset = true
 		case ClockSkew:
 			d.Skew += r.Skew
+		case Kill:
+			d.Kill = true
 		}
 		i.hits[r.Kind]++
 		mInjected.Inc()
@@ -245,6 +258,15 @@ func (i *Injector) Decide(endpoint, peer string) Decision {
 // Endpoint: "seal.clock".
 func (i *Injector) SealSkew() int64 {
 	return i.Decide("seal.clock", "").Skew
+}
+
+// ShouldKill reports whether a crash fires at the next "node.commit"
+// operation (one decision per committed block). Crash-recovery
+// harnesses call it once per block and, when true, tear the durable
+// store down mid-write and reopen it — Kill rules are typically scoped
+// with Endpoint: "node.commit".
+func (i *Injector) ShouldKill() bool {
+	return i.Decide("node.commit", "").Kill
 }
 
 // Ops returns the number of operations decided so far.

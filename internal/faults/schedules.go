@@ -86,6 +86,16 @@ func Everything(seed uint64) Schedule {
 	}}
 }
 
+// KillRestart crashes a durable node on roughly one in eight committed
+// blocks — the crash-recovery schedule the proptest persist oracle and
+// experiment E17 interpret (the HTTP chaos adapters ignore Kill, so
+// this schedule is not part of AllSchedules).
+func KillRestart(seed uint64) Schedule {
+	return Schedule{Name: "kill-restart", Seed: seed, Rules: []Rule{
+		{Kind: Kill, Rate: 0.125, Endpoint: "node.commit"},
+	}}
+}
+
 // AllSchedules returns every shipped schedule at the given seed, in the
 // order the chaos suite runs them.
 func AllSchedules(seed uint64) []Schedule {

@@ -90,9 +90,15 @@ const DefaultBlockGasLimit uint64 = 30_000_000
 type Chain struct {
 	cfg      ChainConfig
 	blocks   []*Block
+	base     uint64 // height of blocks[0]: 0 for genesis, >0 when restored from a snapshot
 	state    *State
 	receipts map[crypto.Digest]*Receipt
 	events   []Event // flat, append-only audit log across all blocks
+
+	// onCommit, when set, observes every block the moment it commits
+	// (seal and import alike) — the durable-store hook. It runs under
+	// whatever lock serializes chain mutation.
+	onCommit func(*Block)
 }
 
 // NewChain creates a chain with a genesis block at height 0.
@@ -132,12 +138,27 @@ func (c *Chain) GasLimit() uint64 { return c.cfg.BlockGasLimit }
 // Head returns the latest block.
 func (c *Chain) Head() *Block { return c.blocks[len(c.blocks)-1] }
 
-// BlockAt returns the block at the given height.
+// Base returns the height of the oldest block this chain holds: 0 for
+// a chain grown from genesis, the snapshot height for a chain restored
+// through NewChainFromSnapshot (earlier blocks are pruned).
+func (c *Chain) Base() uint64 { return c.base }
+
+// SetOnCommit installs a hook observing every committed block — the
+// durable chain store's append point (nil removes it). The hook runs
+// after the block and its receipts are recorded, under the caller's
+// chain-serialization lock, so it must not call back into the chain.
+func (c *Chain) SetOnCommit(fn func(*Block)) { c.onCommit = fn }
+
+// BlockAt returns the block at the given height. Heights below the
+// chain's base (pruned by a snapshot restore) are unavailable.
 func (c *Chain) BlockAt(h uint64) (*Block, error) {
-	if h >= uint64(len(c.blocks)) {
+	if h < c.base {
+		return nil, fmt.Errorf("ledger: block %d pruned (chain restored from snapshot at %d)", h, c.base)
+	}
+	if h-c.base >= uint64(len(c.blocks)) {
 		return nil, fmt.Errorf("ledger: no block at height %d (head %d)", h, c.Height())
 	}
-	return c.blocks[h], nil
+	return c.blocks[h-c.base], nil
 }
 
 // State returns the live world state. Callers outside block processing
@@ -273,6 +294,9 @@ func (c *Chain) commitBlock(block *Block, receipts []*Receipt) {
 	mBlockTxs.Observe(float64(len(block.Txs)))
 	mBlockGas.Observe(float64(block.Header.GasUsed))
 	mHeight.Set(float64(block.Header.Height))
+	if c.onCommit != nil {
+		c.onCommit(block)
+	}
 }
 
 // verifyHeader checks everything about a block that does not require

@@ -23,8 +23,13 @@ type ChainExport struct {
 }
 
 // Export serializes the chain (excluding genesis, which is derived from
-// the config) as indented JSON.
+// the config) as indented JSON. A chain restored from a snapshot has
+// pruned its history below the snapshot height and cannot produce a
+// from-genesis export.
 func (c *Chain) Export(w io.Writer) error {
+	if c.base != 0 {
+		return fmt.Errorf("ledger: cannot export chain with pruned history (base %d)", c.base)
+	}
 	exp := ChainExport{
 		Authorities:   c.cfg.Authorities,
 		BlockGasLimit: c.cfg.BlockGasLimit,
@@ -34,6 +39,17 @@ func (c *Chain) Export(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(exp)
+}
+
+// ExportConfig returns the chain's replayable configuration as a
+// block-less export — the genesis record a durable store persists so a
+// later open can rebuild the genesis block before replaying the log.
+func (c *Chain) ExportConfig() ChainExport {
+	return ChainExport{
+		Authorities:   append([]identity.Address(nil), c.cfg.Authorities...),
+		BlockGasLimit: c.cfg.BlockGasLimit,
+		GenesisAlloc:  c.cfg.GenesisAlloc,
+	}
 }
 
 // Replay reconstructs and fully re-validates a chain from an export: it

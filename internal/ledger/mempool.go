@@ -66,11 +66,6 @@ var (
 	// transaction replaces the pending one — but the sentinel remains
 	// for callers that classified the old rejection.
 	ErrMempoolNonceDup = errors.New("ledger: duplicate nonce for sender")
-
-	// Deprecated: ErrMempoolNonceGap is the old, misleading name for
-	// ErrMempoolNonceDup (the condition is a duplicate nonce, not a
-	// gap). Use ErrMempoolNonceDup.
-	ErrMempoolNonceGap = ErrMempoolNonceDup
 )
 
 // Add admits a transaction after stateless verification. A transaction

@@ -90,10 +90,6 @@ func TestMempoolSameNonceReplaces(t *testing.T) {
 	if len(batch) != 1 || batch[0].Hash() != repl.Hash() {
 		t.Fatalf("batch = %+v", batch)
 	}
-	// The deprecated alias still points at the new sentinel.
-	if !errors.Is(ErrMempoolNonceGap, ErrMempoolNonceDup) {
-		t.Fatal("ErrMempoolNonceGap is not an alias of ErrMempoolNonceDup")
-	}
 }
 
 // TestMempoolReplacementAtCapacity checks that replacement is exempt

@@ -1,0 +1,181 @@
+package ledger
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+)
+
+// State snapshots: the chain export of export.go replays every block
+// from genesis, which is the right trust model for a third-party audit
+// but the wrong startup cost for a node restarting mid-run or a replica
+// fast-syncing at height one million. A StateSnapshot captures the full
+// world state at a block boundary, checksummed by the head block's
+// sealed StateRoot, so a chain can resume from "snapshot + tail-of-log"
+// (internal/chainstore) instead of re-executing history.
+
+// StateSnapshot is the portable point-in-time form of a chain at a
+// block boundary. It reuses the ledger export encoding for the chain
+// configuration (authorities, gas limit, genesis allocations) and adds
+// the head block plus the three world-state maps. The head block's
+// sealed StateRoot is the snapshot's integrity checksum:
+// NewChainFromSnapshot recomputes the root of the restored state and
+// rejects the snapshot on any mismatch, so a flipped balance bit or a
+// truncated storage value cannot produce a silently divergent replica.
+type StateSnapshot struct {
+	Authorities   []identity.Address                      `json:"authorities"`
+	BlockGasLimit uint64                                  `json:"block_gas_limit"`
+	GenesisAlloc  map[identity.Address]uint64             `json:"genesis_alloc,omitempty"`
+	Head          *Block                                  `json:"head"`
+	Balances      map[identity.Address]uint64             `json:"balances,omitempty"`
+	Nonces        map[identity.Address]uint64             `json:"nonces,omitempty"`
+	Storage       map[identity.Address]map[string][]byte  `json:"storage,omitempty"`
+}
+
+// Height returns the block height the snapshot was taken at.
+func (s *StateSnapshot) Height() uint64 {
+	if s.Head == nil {
+		return 0
+	}
+	return s.Head.Header.Height
+}
+
+// ErrSnapshotChecksum reports a snapshot whose restored state does not
+// reproduce the head block's sealed state root — corruption, tampering,
+// or a snapshot produced by incompatible state semantics.
+var ErrSnapshotChecksum = errors.New("ledger: snapshot state does not match head state root")
+
+// ExportSnapshot captures the chain's current state as a snapshot
+// anchored at the head block. The maps are deep copies: callers may
+// serialize the snapshot while the chain keeps sealing.
+func (c *Chain) ExportSnapshot() *StateSnapshot {
+	st := c.state
+	snap := &StateSnapshot{
+		Authorities:   append([]identity.Address(nil), c.cfg.Authorities...),
+		BlockGasLimit: c.cfg.BlockGasLimit,
+		Head:          c.Head(),
+		Balances:      make(map[identity.Address]uint64, len(st.balances)),
+		Nonces:        make(map[identity.Address]uint64, len(st.nonces)),
+		Storage:       make(map[identity.Address]map[string][]byte, len(st.storage)),
+	}
+	if len(c.cfg.GenesisAlloc) > 0 {
+		snap.GenesisAlloc = make(map[identity.Address]uint64, len(c.cfg.GenesisAlloc))
+		for a, v := range c.cfg.GenesisAlloc {
+			snap.GenesisAlloc[a] = v
+		}
+	}
+	for a, v := range st.balances {
+		if v != 0 {
+			snap.Balances[a] = v
+		}
+	}
+	for a, v := range st.nonces {
+		if v != 0 {
+			snap.Nonces[a] = v
+		}
+	}
+	for a, slot := range st.storage {
+		if len(slot) == 0 {
+			continue
+		}
+		cp := make(map[string][]byte, len(slot))
+		for k, v := range slot {
+			cp[k] = append([]byte(nil), v...)
+		}
+		snap.Storage[a] = cp
+	}
+	return snap
+}
+
+// WriteSnapshot serializes a snapshot as JSON.
+func WriteSnapshot(w io.Writer, snap *StateSnapshot) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// ReadSnapshot parses a serialized snapshot. Integrity is checked by
+// NewChainFromSnapshot, not here.
+func ReadSnapshot(r io.Reader) (*StateSnapshot, error) {
+	var snap StateSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("ledger: decode snapshot: %w", err)
+	}
+	if snap.Head == nil {
+		return nil, errors.New("ledger: snapshot has no head block")
+	}
+	return &snap, nil
+}
+
+// NewChainFromSnapshot restores a chain from a snapshot: the world
+// state is rebuilt from the snapshot maps, its recomputed root is
+// checked against the head block's sealed StateRoot (the checksum), and
+// the head block's proposer seal is re-verified against the embedded
+// authority set. The returned chain's base is the snapshot height:
+// blocks below it are pruned (BlockAt reports them unavailable) but the
+// chain imports, seals and verifies new blocks exactly as a
+// genesis-grown chain does. applier must provide the same transaction
+// semantics the original chain ran; nil selects plain transfers.
+func NewChainFromSnapshot(snap *StateSnapshot, applier TxApplier) (*Chain, error) {
+	if snap == nil || snap.Head == nil {
+		return nil, errors.New("ledger: nil snapshot")
+	}
+	if len(snap.Authorities) == 0 {
+		return nil, errors.New("ledger: snapshot carries no authority set")
+	}
+	if applier == nil {
+		applier = TransferApplier{}
+	}
+	gasLimit := snap.BlockGasLimit
+	if gasLimit == 0 {
+		gasLimit = DefaultBlockGasLimit
+	}
+	head := snap.Head
+	if head.Header.Height > 0 {
+		// Genesis blocks are unsealed (derived, not proposed); every
+		// other head must carry a valid seal by the rotation's proposer.
+		if err := head.verifySeal(); err != nil {
+			return nil, fmt.Errorf("ledger: snapshot head: %w", err)
+		}
+		expect := snap.Authorities[(head.Header.Height-1)%uint64(len(snap.Authorities))]
+		if head.Header.Proposer != expect {
+			return nil, fmt.Errorf("%w: snapshot head sealed by %s, rotation expects %s",
+				ErrBadProposer, head.Header.Proposer.Short(), expect.Short())
+		}
+		if txRoot(head.Txs) != head.Header.TxRoot {
+			return nil, fmt.Errorf("ledger: snapshot head: %w", ErrBadTxRoot)
+		}
+	}
+	st := NewState()
+	for a, v := range snap.Balances {
+		st.SetBalance(a, v)
+	}
+	for a, v := range snap.Nonces {
+		st.SetNonce(a, v)
+	}
+	for a, slot := range snap.Storage {
+		for k, v := range slot {
+			st.SetStorage(a, k, v)
+		}
+	}
+	st.Commit()
+	if root := st.Root(); root != head.Header.StateRoot {
+		return nil, fmt.Errorf("%w: restored %s, head claims %s",
+			ErrSnapshotChecksum, root.Short(), head.Header.StateRoot.Short())
+	}
+	return &Chain{
+		cfg: ChainConfig{
+			Authorities:   append([]identity.Address(nil), snap.Authorities...),
+			BlockGasLimit: gasLimit,
+			Applier:       applier,
+			GenesisAlloc:  snap.GenesisAlloc,
+		},
+		blocks:   []*Block{head},
+		base:     head.Header.Height,
+		state:    st,
+		receipts: make(map[crypto.Digest]*Receipt),
+	}, nil
+}

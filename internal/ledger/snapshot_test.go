@@ -1,0 +1,110 @@
+package ledger
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSnapshotRoundTripAtNonGenesisHeight(t *testing.T) {
+	chain, authority, alice, bob := testChain(t)
+	for i := uint64(0); i < 6; i++ {
+		tx := SignTx(alice, bob.Address(), 10, i, 50_000, nil)
+		if _, err := chain.ProposeBlock(authority, i+1, []*Transaction{tx}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := chain.ExportSnapshot()
+	if snap.Height() != 6 {
+		t.Fatalf("snapshot height = %d, want 6", snap.Height())
+	}
+
+	// Serialize and parse — the on-disk round trip chainstore performs.
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := NewChainFromSnapshot(parsed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Height() != chain.Height() {
+		t.Fatalf("restored height %d != %d", restored.Height(), chain.Height())
+	}
+	if restored.Base() != 6 {
+		t.Fatalf("restored base = %d, want 6", restored.Base())
+	}
+	if restored.State().Root() != chain.State().Root() {
+		t.Fatal("restored state root diverges")
+	}
+	if restored.State().Balance(bob.Address()) != 560 {
+		t.Fatalf("bob = %d", restored.State().Balance(bob.Address()))
+	}
+
+	// The restored chain keeps sealing in lockstep with the original.
+	tx := SignTx(alice, bob.Address(), 5, 6, 50_000, nil)
+	orig, err := chain.ProposeBlock(authority, 7, []*Transaction{tx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ImportBlock(orig); err != nil {
+		t.Fatalf("restored chain rejects block sealed by original: %v", err)
+	}
+	if restored.State().Root() != chain.State().Root() {
+		t.Fatal("chains diverged after sealing past the snapshot")
+	}
+
+	// History below the snapshot is pruned; the head is retained.
+	if _, err := restored.BlockAt(3); err == nil {
+		t.Fatal("pruned block served")
+	}
+	if b, err := restored.BlockAt(6); err != nil || b.Header.Height != 6 {
+		t.Fatalf("snapshot head unavailable: %v", err)
+	}
+
+	// A pruned chain cannot produce a from-genesis export.
+	if err := restored.Export(&bytes.Buffer{}); err == nil {
+		t.Fatal("export of pruned chain succeeded")
+	}
+}
+
+func TestSnapshotCorruptedChecksumRejected(t *testing.T) {
+	chain, authority, alice, bob := testChain(t)
+	for i := uint64(0); i < 3; i++ {
+		tx := SignTx(alice, bob.Address(), 10, i, 50_000, nil)
+		if _, err := chain.ProposeBlock(authority, i+1, []*Transaction{tx}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := chain.ExportSnapshot()
+
+	// Flip one balance: the restored root no longer matches the head
+	// block's sealed StateRoot, so the restore must refuse.
+	snap.Balances[bob.Address()]++
+	if _, err := NewChainFromSnapshot(snap, nil); !errors.Is(err, ErrSnapshotChecksum) {
+		t.Fatalf("corrupted snapshot restored: err=%v", err)
+	}
+}
+
+func TestSnapshotRejectsTamperedHead(t *testing.T) {
+	chain, authority, alice, bob := testChain(t)
+	tx := SignTx(alice, bob.Address(), 10, 0, 50_000, nil)
+	if _, err := chain.ProposeBlock(authority, 1, []*Transaction{tx}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tampered seal: mutate the header after sealing.
+	snap := chain.ExportSnapshot()
+	cp := *snap.Head
+	cp.Header.Timestamp++
+	snap.Head = &cp
+	if _, err := NewChainFromSnapshot(snap, nil); err == nil {
+		t.Fatal("snapshot with broken head seal restored")
+	}
+}

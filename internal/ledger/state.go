@@ -88,6 +88,14 @@ func (s *State) SubBalance(addr identity.Address, v uint64) error {
 // Nonce returns the next expected transaction nonce for addr.
 func (s *State) Nonce(addr identity.Address) uint64 { return s.nonces[addr] }
 
+// SetNonce sets addr's nonce, journaling the previous value. Normal
+// transaction flow only ever bumps; this exists for snapshot restore.
+func (s *State) SetNonce(addr identity.Address, v uint64) {
+	s.journal = append(s.journal, journalEntry{kind: jNonce, addr: addr, prevU64: s.nonces[addr]})
+	s.nonces[addr] = v
+	mStateWrites.Inc()
+}
+
 // BumpNonce increments addr's nonce.
 func (s *State) BumpNonce(addr identity.Address) {
 	s.journal = append(s.journal, journalEntry{kind: jNonce, addr: addr, prevU64: s.nonces[addr]})

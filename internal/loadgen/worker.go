@@ -1,0 +1,330 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"pds2/internal/api"
+	"pds2/internal/contract"
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+	"pds2/internal/ledger"
+	"pds2/internal/market"
+	"pds2/internal/token"
+)
+
+// Gas limits attached to generated transactions. Transfers carry the
+// exact intrinsic cost; contract calls carry generous headroom — the
+// chain packs blocks by gas actually used, so headroom is free.
+const (
+	callGas   = 2_000_000
+	deployGas = 5_000_000
+)
+
+// loadMeasurement is the enclave measurement stamped on generated
+// workload specs; no executor ever attests against it — lifecycle load
+// exercises submit/list/cancel, not execution.
+var loadMeasurement = crypto.HashBytes([]byte("pds2/loadgen/enclave"))
+
+// pendingWorkload is a workload this worker deployed and will cancel
+// once the chain passes its expiry.
+type pendingWorkload struct {
+	addr   identity.Address
+	expiry uint64
+}
+
+// worker drives one shard of the account population. Each worker owns
+// accounts [lo, hi) exclusively — nonces never race across workers —
+// and runs ops strictly sequentially, so its banker account (shard
+// index 0: ERC-20 owner, registered consumer, lifecycle actor) needs no
+// locking either.
+type worker struct {
+	index    int
+	cfg      Config
+	client   *api.Client
+	ids      []*identity.Identity
+	lo, hi   int
+	qaPub    []byte
+	registry identity.Address
+
+	rng    *crypto.DRBG
+	nonces []uint64 // local nonce view per shard account
+	dirty  []bool   // resync from chain before next use
+	cursor int
+
+	token   identity.Address
+	pending []pendingWorkload
+
+	ops, errs map[string]uint64
+}
+
+func newWorker(index int, cfg Config, client *api.Client, ids []*identity.Identity, lo, hi int, qaPub []byte, registry identity.Address) *worker {
+	return &worker{
+		index:    index,
+		cfg:      cfg,
+		client:   client,
+		ids:      ids,
+		lo:       lo,
+		hi:       hi,
+		qaPub:    qaPub,
+		registry: registry,
+		rng:      crypto.NewDRBGFromUint64(cfg.Seed, "loadgen/worker/"+strconv.Itoa(index)),
+		nonces:   make([]uint64, hi-lo),
+		dirty:    make([]bool, hi-lo),
+		ops:      make(map[string]uint64),
+		errs:     make(map[string]uint64),
+	}
+}
+
+func (w *worker) banker() *identity.Identity { return w.ids[w.lo] }
+
+// setup runs once before the measured phase: the banker deploys the
+// worker's ERC-20 (mint traffic) and registers as a consumer (lifecycle
+// traffic). Skipped entirely when the mix never uses them.
+func (w *worker) setup(ctx context.Context) error {
+	if w.cfg.Mix.Mints > 0 {
+		nonce := w.nonces[0]
+		tx := ledger.SignTx(w.banker(), identity.ZeroAddress, 0, nonce, deployGas,
+			contract.DeployData(token.ERC20CodeName, token.ERC20InitArgs("Load", "LOAD", 0)))
+		rcpt, err := w.submitAndWait(ctx, tx, 0)
+		if err != nil {
+			return fmt.Errorf("deploy ERC-20: %w", err)
+		}
+		copy(w.token[:], rcpt.Return)
+	}
+	if w.cfg.Mix.Lifecycle > 0 {
+		nonce := w.nonces[0]
+		tx := ledger.SignTx(w.banker(), w.registry, 0, nonce, callGas,
+			market.RegisterActorData(identity.RoleConsumer))
+		if _, err := w.submitAndWait(ctx, tx, 0); err != nil {
+			return fmt.Errorf("register consumer: %w", err)
+		}
+	}
+	return nil
+}
+
+// run consumes dispatcher slots until the channel closes or the run
+// context expires.
+func (w *worker) run(ctx context.Context, slots <-chan struct{}) {
+	for range slots {
+		if ctx.Err() != nil {
+			// Drain remaining slots without doing work so the
+			// dispatcher never blocks on a stopped worker.
+			continue
+		}
+		class := w.pickClass()
+		t0 := time.Now()
+		err := w.do(ctx, class)
+		if ctx.Err() != nil {
+			continue // cut off mid-op by the deadline; not a node failure
+		}
+		classHist(class).Observe(time.Since(t0).Seconds())
+		mOps.Inc()
+		w.ops[class]++
+		if err != nil {
+			mErrors.Inc()
+			w.errs[class]++
+		}
+	}
+}
+
+// pickClass draws a traffic class from the mix.
+func (w *worker) pickClass() string {
+	m := w.cfg.Mix
+	n := w.rng.Intn(m.total())
+	switch {
+	case n < m.Transfers:
+		return ClassTransfer
+	case n < m.Transfers+m.Mints:
+		return ClassMint
+	case n < m.Transfers+m.Mints+m.Reads:
+		return ClassRead
+	default:
+		return ClassLifecycle
+	}
+}
+
+func (w *worker) do(ctx context.Context, class string) error {
+	switch class {
+	case ClassTransfer:
+		return w.doTransfer(ctx)
+	case ClassMint:
+		return w.doMint(ctx)
+	case ClassRead:
+		return w.doRead(ctx)
+	default:
+		return w.doLifecycle(ctx)
+	}
+}
+
+// nonceFor returns the next usable nonce for shard account j, resyncing
+// from the chain after a failed submission. Resyncing to the committed
+// nonce can re-issue a nonce that is still pooled; the mempool's
+// same-nonce replacement makes that harmless.
+func (w *worker) nonceFor(ctx context.Context, j int) (uint64, error) {
+	if w.dirty[j] {
+		acct, err := w.client.Account(ctx, w.ids[w.lo+j].Address())
+		if err != nil {
+			return 0, err
+		}
+		w.nonces[j] = acct.Nonce
+		w.dirty[j] = false
+	}
+	return w.nonces[j], nil
+}
+
+// randomAddr picks a recipient from the whole population — transfers
+// cross worker shards, so the state working set is the full population,
+// not a per-worker slice.
+func (w *worker) randomAddr() identity.Address {
+	return w.ids[w.rng.Intn(len(w.ids))].Address()
+}
+
+// doTransfer sends one native-token transfer from the next shard
+// account (round-robin, so each account submits rarely and its local
+// nonce view stays ahead of the chain by at most one block's worth).
+func (w *worker) doTransfer(ctx context.Context) error {
+	shard := w.hi - w.lo
+	j := 1 + w.cursor%(shard-1)
+	w.cursor++
+	sender := w.ids[w.lo+j]
+	nonce, err := w.nonceFor(ctx, j)
+	if err != nil {
+		return err
+	}
+	to := w.randomAddr()
+	if to == sender.Address() {
+		to = w.banker().Address()
+	}
+	tx := ledger.SignTx(sender, to, 1, nonce, ledger.TxBaseGas, nil)
+	if _, err := w.client.SubmitTx(ctx, tx); err != nil {
+		w.dirty[j] = true
+		return err
+	}
+	w.nonces[j]++
+	return nil
+}
+
+// doMint mints one unit of the worker's ERC-20 to a random account.
+func (w *worker) doMint(ctx context.Context) error {
+	nonce, err := w.nonceFor(ctx, 0)
+	if err != nil {
+		return err
+	}
+	data := token.ERC20MintData(w.randomAddr(), 1)
+	tx := ledger.SignTx(w.banker(), w.token, 0, nonce, callGas, data)
+	if _, err := w.client.SubmitTx(ctx, tx); err != nil {
+		w.dirty[0] = true
+		return err
+	}
+	w.nonces[0]++
+	return nil
+}
+
+// doRead fetches a random account — the cheap read path a wallet or
+// explorer hammers.
+func (w *worker) doRead(ctx context.Context) error {
+	_, err := w.client.Account(ctx, w.randomAddr())
+	return err
+}
+
+// doLifecycle advances this worker's workload lifecycle traffic: cancel
+// the oldest deployed workload once the chain passes its expiry,
+// otherwise deploy-and-list a fresh one. Unlike the submit-only
+// classes, a deploy is receipt-gated (the workload address comes from
+// the deploy receipt), so lifecycle latency includes a commit round
+// trip and is dominated by the block interval.
+func (w *worker) doLifecycle(ctx context.Context) error {
+	status, err := w.client.Status(ctx)
+	if err != nil {
+		return err
+	}
+	if len(w.pending) > 0 && status.Height > w.pending[0].expiry {
+		p := w.pending[0]
+		w.pending = w.pending[1:]
+		nonce, err := w.nonceFor(ctx, 0)
+		if err != nil {
+			return err
+		}
+		tx := ledger.SignTx(w.banker(), p.addr, 0, nonce, callGas, contract.CallData("cancel", nil))
+		if _, err := w.client.SubmitTx(ctx, tx); err != nil {
+			w.dirty[0] = true
+			return err
+		}
+		w.nonces[0]++
+		return nil
+	}
+
+	spec := &market.Spec{
+		Predicate:      "class=loadgen",
+		MinProviders:   1,
+		MinItems:       1,
+		ExpiryHeight:   status.Height + 3,
+		ExecutorFeeBps: 1000,
+		Measurement:    loadMeasurement,
+		QAPub:          w.qaPub,
+		Params:         []byte("noop"),
+	}
+	nonce, err := w.nonceFor(ctx, 0)
+	if err != nil {
+		return err
+	}
+	deploy := ledger.SignTx(w.banker(), identity.ZeroAddress, 10, nonce, deployGas,
+		contract.DeployData(market.WorkloadCodeName, spec.Encode()))
+	rcpt, err := w.submitAndWait(ctx, deploy, 0)
+	if err != nil {
+		return fmt.Errorf("deploy workload: %w", err)
+	}
+	var addr identity.Address
+	copy(addr[:], rcpt.Return)
+
+	nonce, err = w.nonceFor(ctx, 0)
+	if err != nil {
+		return err
+	}
+	list := ledger.SignTx(w.banker(), w.registry, 0, nonce, callGas, market.RegisterWorkloadData(addr))
+	if _, err := w.client.SubmitTx(ctx, list); err != nil {
+		w.dirty[0] = true
+		return fmt.Errorf("list workload: %w", err)
+	}
+	w.nonces[0]++
+	w.pending = append(w.pending, pendingWorkload{addr: addr, expiry: spec.ExpiryHeight})
+	return nil
+}
+
+// submitAndWait submits a transaction from shard account j and polls
+// until its receipt commits (the node's auto-sealer or an external
+// sealer must be running). The local nonce advances only on success.
+func (w *worker) submitAndWait(ctx context.Context, tx *ledger.Transaction, j int) (*ledger.Receipt, error) {
+	hash, err := w.client.SubmitTx(ctx, tx)
+	if err != nil {
+		w.dirty[j] = true
+		return nil, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rcpt, err := w.client.Receipt(ctx, hash)
+		if err == nil {
+			w.nonces[j] = tx.Nonce + 1
+			w.dirty[j] = false
+			if !rcpt.Succeeded() {
+				return nil, fmt.Errorf("loadgen: tx %s reverted: %s", hash.Short(), rcpt.Err)
+			}
+			return rcpt, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			w.dirty[j] = true
+			return nil, fmt.Errorf("loadgen: tx %s not committed after 30s (is a sealer running?)", hash.Short())
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

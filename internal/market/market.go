@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pds2/internal/chainstore"
 	"pds2/internal/contract"
 	"pds2/internal/crypto"
 	"pds2/internal/identity"
@@ -48,6 +49,11 @@ type Config struct {
 	// MempoolSize bounds the pending-transaction pool; <= 0 selects
 	// ledger.DefaultMempoolSize.
 	MempoolSize int
+
+	// BlockGasLimit overrides the chain's per-block gas budget; 0
+	// selects ledger.DefaultBlockGasLimit. Load rigs raise it so
+	// block packing, not an artificial gas ceiling, bounds throughput.
+	BlockGasLimit uint64
 }
 
 // Market is one deployment of the PDS² governance layer: a
@@ -72,6 +78,10 @@ type Market struct {
 	rng         *crypto.DRBG
 	timestamp   uint64
 
+	// store, when non-nil, is the durable chain store every sealed or
+	// imported block lands in (wired by Open).
+	store *chainstore.Store
+
 	// lifecycles holds the open root telemetry span per workload, so
 	// every stage (submit, match, execute, settle) parents under one
 	// "workload.lifecycle" span. Entries are nil while telemetry is
@@ -86,16 +96,9 @@ type Market struct {
 // registry contract owned by the first authority.
 func New(cfg Config) (*Market, error) {
 	rng := crypto.NewDRBGFromUint64(cfg.Seed, "market")
-	rt := contract.NewRuntime()
-	for name, code := range map[string]contract.Contract{
-		RegistryCodeName:     RegistryContract{},
-		WorkloadCodeName:     WorkloadContract{},
-		token.ERC20CodeName:  token.ERC20{},
-		token.ERC721CodeName: token.ERC721{},
-	} {
-		if err := rt.RegisterCode(name, code); err != nil {
-			return nil, err
-		}
+	rt, err := NewRuntime()
+	if err != nil {
+		return nil, err
 	}
 	authorities := cfg.Authorities
 	if len(authorities) == 0 {
@@ -113,9 +116,10 @@ func New(cfg Config) (*Market, error) {
 		}
 	}
 	chain, err := ledger.NewChain(ledger.ChainConfig{
-		Authorities:  addrs,
-		Applier:      rt,
-		GenesisAlloc: alloc,
+		Authorities:   addrs,
+		BlockGasLimit: cfg.BlockGasLimit,
+		Applier:       rt,
+		GenesisAlloc:  alloc,
 	})
 	if err != nil {
 		return nil, err
@@ -207,6 +211,15 @@ func (m *Market) SealBlockAt(timestamp uint64) (*ledger.Block, error) {
 	height := m.Chain.Height() + 1
 	proposer := m.authorities[(height-1)%uint64(len(m.authorities))]
 	block, err := m.Chain.ProposeBlock(proposer, timestamp, batch)
+	// NextBatch selects by count, not gas: a deep mempool can hand us a
+	// batch whose execution overflows the block gas limit, which rejects
+	// the whole proposal. Halve the batch until it fits — the remainder
+	// stays pooled for the next seal — so a node under sustained load
+	// drains its backlog instead of wedging on every seal attempt.
+	for errors.Is(err, ledger.ErrBlockGasLimit) && len(batch) > 1 {
+		batch = batch[:len(batch)/2]
+		block, err = m.Chain.ProposeBlock(proposer, timestamp, batch)
+	}
 	if err != nil {
 		return nil, err
 	}

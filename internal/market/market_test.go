@@ -1287,3 +1287,49 @@ func TestMarketChainReplayableByAuditor(t *testing.T) {
 		t.Fatal("audit log diverges")
 	}
 }
+
+// TestSealBlockRecoversFromGasOverflow pins the load-shedding behavior
+// of sealing: when the mempool holds more executable gas than one block
+// admits, SealBlock must seal a partial batch and leave the remainder
+// pooled — not reject every proposal and wedge the node (the failure
+// the load harness first exposed).
+func TestSealBlockRecoversFromGasOverflow(t *testing.T) {
+	rng := crypto.NewDRBGFromUint64(77, "seal-gas")
+	const accounts = 12
+	ids := make([]*identity.Identity, accounts)
+	alloc := map[identity.Address]uint64{}
+	for i := range ids {
+		ids[i] = identity.New("acct", rng.Fork("id"))
+		alloc[ids[i].Address()] = 1_000_000
+	}
+	// 200k gas fits nine 21k-gas transfers per block.
+	m, err := New(Config{Seed: 77, GenesisAlloc: alloc, BlockGasLimit: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		for k := 0; k < 3; k++ {
+			if err := m.Submit(m.SignedTx(id, ids[0].Address(), 1, nil)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	total := m.Pool.Len()
+	sealed := 0
+	for i := 0; i < 20 && m.Pool.Len() > 0; i++ {
+		b, err := m.SealBlock()
+		if err != nil {
+			t.Fatalf("seal %d with %d pending: %v", i, m.Pool.Len(), err)
+		}
+		if b.Header.GasUsed > m.Chain.GasLimit() {
+			t.Fatalf("block %d used %d gas over the %d limit", b.Header.Height, b.Header.GasUsed, m.Chain.GasLimit())
+		}
+		sealed += len(b.Txs)
+	}
+	if m.Pool.Len() != 0 {
+		t.Fatalf("backlog not drained: %d transactions still pending", m.Pool.Len())
+	}
+	if sealed != total {
+		t.Fatalf("sealed %d of %d submitted transactions", sealed, total)
+	}
+}

@@ -4,41 +4,37 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 
+	"pds2/internal/chainstore"
 	"pds2/internal/contract"
 	"pds2/internal/crypto"
+	"pds2/internal/faults"
 	"pds2/internal/ledger"
 	"pds2/internal/market"
-	"pds2/internal/token"
 )
 
 // The differential replay oracle: every generated chain is executed
-// three independent ways and any divergence — in acceptance, in height,
+// four independent ways and any divergence — in acceptance, in height,
 // or in final state root — is a correctness failure of the ledger's
 // import pipeline.
 //
-//	import — a fresh replica importing block-by-block (ImportBlock)
-//	audit  — a read-only auditor verifying each block (VerifyBlock)
-//	         before advancing, checking that verification itself is
-//	         side-effect free
-//	replay — the ledger's own export/replay path (ledger.Replay)
+//	import  — a fresh replica importing block-by-block (ImportBlock)
+//	audit   — a read-only auditor verifying each block (VerifyBlock)
+//	          before advancing, checking that verification itself is
+//	          side-effect free
+//	replay  — the ledger's own export/replay path (ledger.Replay)
+//	persist — a durable replica importing through a chainstore, killed
+//	          mid-run (deterministic kill/restart schedule, torn bytes
+//	          appended to the log to simulate a crash mid-write) and
+//	          reopened from snapshot + log tail each time
 
 // MarketRuntime builds a contract runtime with the full marketplace
 // code registry — the applier any replica must run to re-validate a
 // market chain.
 func MarketRuntime() (*contract.Runtime, error) {
-	rt := contract.NewRuntime()
-	for name, code := range map[string]contract.Contract{
-		market.RegistryCodeName: market.RegistryContract{},
-		market.WorkloadCodeName: market.WorkloadContract{},
-		token.ERC20CodeName:     token.ERC20{},
-		token.ERC721CodeName:    token.ERC721{},
-	} {
-		if err := rt.RegisterCode(name, code); err != nil {
-			return nil, err
-		}
-	}
-	return rt, nil
+	return market.NewRuntime()
 }
 
 // ModeResult is the outcome of one replay mode over one exported chain.
@@ -184,12 +180,142 @@ func runReplayMode(data []byte) ModeResult {
 	return res
 }
 
-// RunReplayModes executes an exported chain through all three modes.
+// runPersistMode replays the chain on a durable replica: blocks import
+// through a chain attached to a chainstore in a scratch directory, a
+// snapshot is taken every few blocks, and a deterministic kill/restart
+// schedule (faults.KillRestart) crashes the replica mid-run — torn
+// bytes are appended to the active log segment to simulate dying inside
+// a write, then the store is reopened and the chain rebuilt from
+// snapshot + log tail before importing resumes. The final root must
+// match every other mode: persistence must be invisible to consensus.
+func runPersistMode(data []byte) ModeResult {
+	// Seed the kill schedule from the export content so each generated
+	// chain crashes at different (but reproducible) heights.
+	res, _ := persistReplay(data, faults.KillRestart(uint64(len(data))*2654435761))
+	return res
+}
+
+// persistReplay is the persist oracle with an explicit kill schedule;
+// it also reports how many kill/restart cycles actually fired so
+// harnesses can assert the crash path was exercised.
+func persistReplay(data []byte, sched faults.Schedule) (ModeResult, int) {
+	res := ModeResult{Mode: "persist"}
+	kills := 0
+	exp, err := decodeExport(data)
+	if err != nil {
+		res.Err = err
+		return res, kills
+	}
+	dir, err := os.MkdirTemp("", "pds2-persist-*")
+	if err != nil {
+		res.Err = err
+		return res, kills
+	}
+	defer os.RemoveAll(dir)
+
+	inj := faults.NewInjector(sched)
+
+	const snapshotEvery = 4
+	store, err := chainstore.Open(dir, nil)
+	if err != nil {
+		res.Err = err
+		return res, kills
+	}
+	rt, err := MarketRuntime()
+	if err != nil {
+		res.Err = err
+		return res, kills
+	}
+	chain, err := freshReplica(exp)
+	if err != nil {
+		res.Err = err
+		return res, kills
+	}
+	if err := store.InitChain(chain); err != nil {
+		res.Err = err
+		return res, kills
+	}
+	store.AttachSnapshotting(chain, snapshotEvery)
+
+	for i := 0; i < len(exp.Blocks); {
+		b := exp.Blocks[i]
+		if err := chain.ImportBlock(b); err != nil {
+			res.Err = err
+			res.FailedAt = b.Header.Height
+			res.Height = chain.Height()
+			res.Root = chain.State().Root()
+			store.Close()
+			return res, kills
+		}
+		i++
+		if !inj.ShouldKill() {
+			continue
+		}
+		kills++
+		// Crash: abandon the store without Close, tear the log's tail
+		// (a frame died mid-write), then reopen and rebuild.
+		_ = store.Close() // the fsynced prefix is what survives either way
+		if err := tearActiveSegment(dir); err != nil {
+			res.Err = err
+			return res, kills
+		}
+		store, err = chainstore.Open(dir, nil)
+		if err != nil {
+			res.Err = fmt.Errorf("proptest: reopen after kill: %w", err)
+			return res, kills
+		}
+		chain, err = store.OpenChain(rt)
+		if err != nil {
+			res.Err = fmt.Errorf("proptest: rebuild after kill: %w", err)
+			store.Close()
+			return res, kills
+		}
+		store.AttachSnapshotting(chain, snapshotEvery)
+		// Torn-tail truncation may have dropped the last committed
+		// block; re-import from wherever the durable prefix ends.
+		i = int(chain.Height()) - firstImportOffset(exp)
+	}
+	res.Height = chain.Height()
+	res.Root = chain.State().Root()
+	store.Close()
+	return res, kills
+}
+
+// firstImportOffset maps a chain height back to an index into
+// exp.Blocks (whose first entry is height 1... unless a market sealed
+// setup blocks before the export; the blocks slice always starts at
+// height Blocks[0].Header.Height).
+func firstImportOffset(exp *ledger.ChainExport) int {
+	if len(exp.Blocks) == 0 {
+		return 0
+	}
+	return int(exp.Blocks[0].Header.Height) - 1
+}
+
+// tearActiveSegment appends garbage to the newest log segment,
+// simulating a crash partway through an append: a frame header
+// promising more bytes than were ever written.
+func tearActiveSegment(dir string) error {
+	names, err := filepath.Glob(filepath.Join(dir, "segments", "seg-*.log"))
+	if err != nil || len(names) == 0 {
+		return err
+	}
+	f, err := os.OpenFile(names[len(names)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write([]byte{0x00, 0x01, 0xFF, 0x03, 0xDE, 0xAD})
+	return err
+}
+
+// RunReplayModes executes an exported chain through all four modes.
 func RunReplayModes(data []byte) []ModeResult {
 	return []ModeResult{
 		runImportMode(data),
 		runAuditMode(data),
 		runReplayMode(data),
+		runPersistMode(data),
 	}
 }
 

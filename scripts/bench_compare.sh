@@ -1,0 +1,64 @@
+#!/bin/sh
+# bench_compare.sh — diffs the newest two BENCH_*.json load reports
+# (written by `make load-smoke` / `go run ./cmd/pds2-load`) and fails
+# on a >10% committed-throughput regression. Per-class p99 movement is
+# printed as context but never gates: latency quantiles on shared CI
+# hardware are too noisy to block a merge on.
+#
+# Usage: scripts/bench_compare.sh [dir]   (default: repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+dir="${1:-.}"
+
+# Date-stamped names sort chronologically, so lexical order is age order.
+set -- $(ls "$dir"/BENCH_*.json 2>/dev/null | sort)
+if [ "$#" -lt 2 ]; then
+	echo "bench_compare: found $# report(s) in $dir — need two to compare, nothing to do"
+	exit 0
+fi
+while [ "$#" -gt 2 ]; do shift; done
+old="$1"
+new="$2"
+
+# Pluck a top-level numeric field out of an indented-JSON report.
+field() {
+	sed -n 's/^  "'"$2"'": \([0-9.eE+-]*\),*$/\1/p' "$1" | head -1
+}
+
+schema_old=$(sed -n 's/^  "schema": "\(.*\)",*$/\1/p' "$old" | head -1)
+schema_new=$(sed -n 's/^  "schema": "\(.*\)",*$/\1/p' "$new" | head -1)
+if [ "$schema_old" != "$schema_new" ]; then
+	echo "bench_compare: schema mismatch ($schema_old vs $schema_new) — not comparable"
+	exit 0
+fi
+
+t_old=$(field "$old" committed_tx_per_sec)
+t_new=$(field "$new" committed_tx_per_sec)
+if [ -z "$t_old" ] || [ -z "$t_new" ]; then
+	echo "bench_compare: committed_tx_per_sec missing from a report — not comparable"
+	exit 0
+fi
+
+echo "bench_compare: $old -> $new"
+printf '  committed throughput  %10.1f -> %10.1f tx/s\n' "$t_old" "$t_new"
+
+# Per-class p99, paired by position ("class" line precedes its
+# "p99_seconds" line inside each class object).
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+grep '"class"' "$new" | sed 's/.*: "\(.*\)",*/\1/' >"$tmp/classes"
+grep '"p99_seconds"' "$old" | sed 's/.*: \([0-9.eE+-]*\),*/\1/' >"$tmp/old99"
+grep '"p99_seconds"' "$new" | sed 's/.*: \([0-9.eE+-]*\),*/\1/' >"$tmp/new99"
+if [ -s "$tmp/classes" ] && [ "$(wc -l <"$tmp/old99")" = "$(wc -l <"$tmp/new99")" ]; then
+	paste -d' ' "$tmp/classes" "$tmp/old99" "$tmp/new99" |
+		awk '{ printf "  %-10s p99       %10.2f -> %10.2f ms\n", $1, $2*1000, $3*1000 }'
+fi
+
+ok=$(awk -v o="$t_old" -v n="$t_new" 'BEGIN { print (n >= 0.9 * o) ? "yes" : "no" }')
+if [ "$ok" != "yes" ]; then
+	drop=$(awk -v o="$t_old" -v n="$t_new" 'BEGIN { printf "%.1f", (1 - n / o) * 100 }')
+	echo "bench_compare: REGRESSION — committed throughput dropped ${drop}% (>10% threshold)"
+	exit 1
+fi
+echo "bench_compare: within the 10% regression budget"
