@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench proptest fuzz covgate load-smoke bench-compare ci
+.PHONY: build test race race-core vet bench proptest fuzz covgate load-smoke bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-core runs the race detector over just the packages that exercise
+# the parallel block executor and the seal path — the fast feedback loop
+# while iterating on scheduler or mempool code, and the fail-fast first
+# stage of ci's race coverage.
+race-core:
+	$(GO) test -race ./internal/ledger/... ./internal/market/...
 
 vet:
 	$(GO) vet ./...
@@ -52,10 +59,13 @@ load-smoke:
 bench-compare:
 	./scripts/bench_compare.sh
 
-# ci is the documented pre-PR gate: static checks, the full build, the
-# race-enabled test suite (including the telemetry trace/log/health
-# tests), a single-iteration smoke run of the ledger block-pipeline and
-# structured-log benchmarks, the distributed-tracing self-test — the
+# ci is the documented pre-PR gate: static checks, the full build, a
+# fail-fast race pass over the parallel-executor packages followed by
+# the full race-enabled test suite (including the telemetry
+# trace/log/health tests), a single-iteration smoke run of the ledger
+# block-pipeline, structured-log and parallel-execution benchmarks (the
+# parallel smoke asserts root equality with serial on every
+# configuration), the distributed-tracing self-test — the
 # two-node stitching demo must verify end to end — a seeded chaos
 # smoke (the quick E15 subset drives the full workload lifecycle
 # through fault-injected client and server and must converge), the
@@ -64,8 +74,10 @@ bench-compare:
 # smoke against a self-hosted node (SLO-gated), the BENCH_*.json
 # regression diff, and the coverage ratchet.
 ci: vet build
+	$(MAKE) race-core
 	$(GO) test -race ./...
 	$(GO) test -run NONE -bench 'BenchmarkImportBlock|BenchmarkMempool|BenchmarkLedger|BenchmarkLog' -benchtime=1x .
+	$(GO) test -run NONE -bench BenchmarkParallelExecute -benchtime=1x ./internal/ledger/
 	$(GO) run ./cmd/pds2 trace -self-test
 	$(GO) run ./cmd/pds2-experiments -quick -telemetry=false -run E15
 	$(MAKE) proptest

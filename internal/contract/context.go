@@ -47,7 +47,7 @@ func Revertf(format string, args ...any) error {
 // the call it was created for.
 type Context struct {
 	rt      *Runtime
-	st      *ledger.State
+	st      ledger.StateAccessor
 	Self    identity.Address // the executing contract
 	Caller  identity.Address // immediate caller (account or contract)
 	Origin  identity.Address // externally-owned account that sent the tx

@@ -17,6 +17,7 @@ var (
 	mPoolAdmitted = telemetry.C("ledger.mempool.admitted_total")
 	mPoolRejected = telemetry.C("ledger.mempool.rejected_total")
 	mPoolEvicted  = telemetry.C("ledger.mempool.evicted_total")
+	mPoolOvergas  = telemetry.C("ledger.mempool.evicted_overgas_total")
 	mPoolReplaced = telemetry.C("ledger.mempool.replaced_total")
 	logPool       = telemetry.L("ledger")
 )
@@ -218,11 +219,30 @@ func (m *Mempool) sendersLocked() []identity.Address {
 // the way are evicted, so the routine seal cadence keeps the pool
 // self-pruning. The returned transactions remain in the pool until
 // Remove is called — typically after block inclusion.
-func (m *Mempool) NextBatch(st *State, max int) []*Transaction {
+//
+// Selection is gas-aware: each transaction's intrinsic gas — the
+// guaranteed floor of what execution will consume, and its exact cost
+// for plain transfers — accumulates against gasBudget, and a sender's
+// chain is cut at the first transaction that no longer fits the
+// remaining budget. Declared gas (tx.GasLimit) is useless as a packing
+// signal on this fee-less chain: wallets default it far above the block
+// gas limit, so packing by declaration would turn every batch into one
+// transaction. With intrinsic packing a transfer-dominated backlog
+// drains in exactly-full blocks and the seal path's halving loop
+// becomes a fallback for contract calls that burn past their floor.
+// gasBudget 0 means unlimited.
+//
+// A transaction whose intrinsic gas alone exceeds gasBudget can never
+// be sealed — actual consumption only grows from there. Leaving it
+// pending would wedge its sender's lane forever (the poison-tx bug this
+// replaces), so such transactions are evicted on sight and counted in
+// ledger.mempool.evicted_overgas_total.
+func (m *Mempool) NextBatch(st *State, max int, gasBudget uint64) []*Transaction {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var batch []*Transaction
-	evicted := 0
+	var gas uint64
+	evicted, overgas := 0, 0
 	for _, sender := range m.sendersLocked() {
 		next := st.Nonce(sender)
 		evicted += m.evictStaleLocked(sender, next)
@@ -233,19 +253,78 @@ func (m *Mempool) NextBatch(st *State, max int) []*Transaction {
 			if tx.Nonce != next {
 				break // gap: later nonces are not yet executable
 			}
+			floor := tx.IntrinsicGas()
+			if gasBudget > 0 && floor > gasBudget {
+				// Poison transaction: it can never fit any block. Evict
+				// it; its successors are now gapped and wait for the
+				// sender to resubmit the nonce.
+				m.dropLocked(tx)
+				overgas++
+				break
+			}
+			if gasBudget > 0 && gas+floor > gasBudget {
+				break // sender's chain is cut; try remaining senders
+			}
 			batch = append(batch, tx)
+			gas += floor
 			next++
 		}
 		if len(batch) >= max {
 			break
 		}
 	}
-	if evicted > 0 {
+	if overgas > 0 {
+		mPoolOvergas.Add(uint64(overgas))
+		logPool.Warn("mempool evicted transactions exceeding the block gas limit",
+			telemetry.Int("evicted", overgas), telemetry.U64("gas_limit", gasBudget))
+	}
+	if evicted > 0 || overgas > 0 {
 		mPoolDepth.Set(float64(len(m.byHash)))
 		logPool.Debug("mempool evicted stale transactions in batch build",
 			telemetry.Int("evicted", evicted), telemetry.Int("batch", len(batch)))
 	}
 	return batch
+}
+
+// dropLocked removes one transaction from both indexes. Callers hold
+// m.mu and own depth-gauge/counter updates.
+func (m *Mempool) dropLocked(tx *Transaction) bool {
+	h := tx.Hash()
+	if _, ok := m.byHash[h]; !ok {
+		return false
+	}
+	delete(m.byHash, h)
+	list := m.bySender[tx.From]
+	for i, pending := range list {
+		if pending.Hash() == h {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(m.bySender, tx.From)
+	} else {
+		m.bySender[tx.From] = list
+	}
+	return true
+}
+
+// EvictOvergas removes a transaction that proved unsealable because its
+// gas demand exceeds the block gas limit, counting it in
+// ledger.mempool.evicted_overgas_total. The seal path calls this as
+// defense in depth when a single-transaction block still overflows —
+// normally NextBatch has already screened such transactions out.
+func (m *Mempool) EvictOvergas(tx *Transaction) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dropLocked(tx) {
+		return false
+	}
+	mPoolOvergas.Inc()
+	mPoolDepth.Set(float64(len(m.byHash)))
+	logPool.Warn("evicted transaction exceeding the block gas limit",
+		telemetry.U64("declared_gas", tx.GasLimit))
+	return true
 }
 
 // Remove deletes the given transactions from the pool, typically after

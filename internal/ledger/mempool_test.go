@@ -23,7 +23,7 @@ func TestMempoolAddAndBatch(t *testing.T) {
 	if err := pool.Add(tx0); err != nil {
 		t.Fatal(err)
 	}
-	batch := pool.NextBatch(st, 10)
+	batch := pool.NextBatch(st, 10, 0)
 	if len(batch) != 2 || batch[0].Nonce != 0 || batch[1].Nonce != 1 {
 		t.Fatalf("batch = %+v", batch)
 	}
@@ -36,7 +36,7 @@ func TestMempoolNonceGapBlocksLaterTxs(t *testing.T) {
 	// Nonces 0 and 2: only nonce 0 is executable.
 	pool.Add(SignTx(alice, testIdentity(2).Address(), 1, 0, 50_000, nil))
 	pool.Add(SignTx(alice, testIdentity(2).Address(), 1, 2, 50_000, nil))
-	batch := pool.NextBatch(st, 10)
+	batch := pool.NextBatch(st, 10, 0)
 	if len(batch) != 1 || batch[0].Nonce != 0 {
 		t.Fatalf("batch = %+v", batch)
 	}
@@ -49,7 +49,7 @@ func TestMempoolRespectsStateNonce(t *testing.T) {
 	st.BumpNonce(alice.Address()) // account nonce is now 1
 	pool.Add(SignTx(alice, testIdentity(2).Address(), 1, 0, 50_000, nil))
 	pool.Add(SignTx(alice, testIdentity(2).Address(), 1, 1, 50_000, nil))
-	batch := pool.NextBatch(st, 10)
+	batch := pool.NextBatch(st, 10, 0)
 	if len(batch) != 1 || batch[0].Nonce != 1 {
 		t.Fatalf("batch = %+v", batch)
 	}
@@ -86,7 +86,7 @@ func TestMempoolSameNonceReplaces(t *testing.T) {
 	if pool.Contains(old.Hash()) || !pool.Contains(repl.Hash()) {
 		t.Fatal("replacement did not swap the pending tx")
 	}
-	batch := pool.NextBatch(st, 10)
+	batch := pool.NextBatch(st, 10, 0)
 	if len(batch) != 1 || batch[0].Hash() != repl.Hash() {
 		t.Fatalf("batch = %+v", batch)
 	}
@@ -154,7 +154,7 @@ func TestMempoolNextBatchEvictsStale(t *testing.T) {
 	pool.Add(tx0)
 	pool.Add(tx1)
 	st.BumpNonce(alice.Address()) // nonce 0 executed elsewhere
-	batch := pool.NextBatch(st, 10)
+	batch := pool.NextBatch(st, 10, 0)
 	if len(batch) != 1 || batch[0].Nonce != 1 {
 		t.Fatalf("batch = %+v", batch)
 	}
@@ -222,7 +222,7 @@ func TestMempoolConcurrentStress(t *testing.T) {
 		defer wg.Done()
 		local := NewState()
 		for i := 0; i < 200; i++ {
-			pool.NextBatch(local, 64)
+			pool.NextBatch(local, 64, 0)
 			pool.Prune(local)
 		}
 	}()
@@ -230,7 +230,7 @@ func TestMempoolConcurrentStress(t *testing.T) {
 	if pool.Len() == 0 {
 		t.Fatal("stress left an empty pool; expected pending txs")
 	}
-	batch := pool.NextBatch(st, 1<<20)
+	batch := pool.NextBatch(st, 1<<20, 0)
 	if len(batch) == 0 {
 		t.Fatal("no executable txs after stress")
 	}
@@ -266,7 +266,7 @@ func TestMempoolRemove(t *testing.T) {
 		t.Fatal("removed tx still present")
 	}
 	st.BumpNonce(alice.Address())
-	batch := pool.NextBatch(st, 10)
+	batch := pool.NextBatch(st, 10, 0)
 	if len(batch) != 1 || batch[0].Nonce != 1 {
 		t.Fatalf("batch = %+v", batch)
 	}
@@ -294,7 +294,7 @@ func TestMempoolBatchLimit(t *testing.T) {
 	for n := uint64(0); n < 5; n++ {
 		pool.Add(SignTx(alice, testIdentity(2).Address(), 1, n, 50_000, nil))
 	}
-	if got := len(pool.NextBatch(st, 3)); got != 3 {
+	if got := len(pool.NextBatch(st, 3, 0)); got != 3 {
 		t.Fatalf("batch size = %d, want 3", got)
 	}
 }

@@ -1,0 +1,224 @@
+package ledger
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pds2/internal/identity"
+	"pds2/internal/telemetry"
+)
+
+// Parallel execution instrumentation: blocks and transactions routed
+// through the optimistic scheduler, validation conflicts, and serial
+// re-executions (conflicts plus speculation failures).
+var (
+	mParBlocks    = telemetry.C("ledger.parallel.blocks_total")
+	mParTxs       = telemetry.C("ledger.parallel.txs_total")
+	mParConflicts = telemetry.C("ledger.parallel.conflicts_total")
+	mParReexec    = telemetry.C("ledger.parallel.reexec_total")
+)
+
+// defaultParallelMinBatch is the block size below which parallel
+// execution is not worth the scheduling overhead and blocks execute
+// serially. Tests set ChainConfig.ParallelMinBatch to 1 to force the
+// parallel path on tiny blocks.
+const defaultParallelMinBatch = 32
+
+// execWorkers resolves the configured execution worker count: zero
+// selects GOMAXPROCS, one forces serial execution.
+func (c *Chain) execWorkers() int {
+	if c.cfg.ExecWorkers > 0 {
+		return c.cfg.ExecWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c *Chain) parallelMinBatch() int {
+	if c.cfg.ParallelMinBatch > 0 {
+		return c.cfg.ParallelMinBatch
+	}
+	return defaultParallelMinBatch
+}
+
+// specResult is one transaction's speculative outcome. ok is false when
+// speculation hit an error or panicked (possible under torn reads of
+// in-flight commits); such transactions always re-execute serially so
+// their receipts and error text match serial execution exactly.
+type specResult struct {
+	view *txView
+	rcpt *Receipt
+	ok   bool
+}
+
+// applyTxsParallel executes a block with optimistic concurrency,
+// producing receipts, gas usage and final state bit-identical to
+// applyTxsSerial:
+//
+//  1. Workers claim transaction indices from an atomic cursor and
+//     speculate each against a txView layered over the live state.
+//     Same-sender chains are "lanes": a transaction with an earlier
+//     same-sender predecessor waits for it and additionally reads the
+//     lane's accumulated writes, so chained nonces don't conflict.
+//  2. The calling goroutine commits in transaction-index order: it
+//     validates each speculation's read set against the committed
+//     state (which now includes all earlier transactions) and either
+//     adopts the write set and receipt verbatim, or — on conflict,
+//     speculation error or panic — re-executes the transaction
+//     serially against the committed state.
+//
+// Validation is sound because execution is a deterministic function of
+// the values read: if every recorded read still holds at commit time,
+// the speculative outcome is what serial execution would have produced
+// at that index. All commits flow through the state's journaled
+// setters, so the caller's block-level snapshot/revert still works.
+//
+// On abort the scheduler stops the workers and waits for them to exit
+// before returning, so the caller may revert the state immediately.
+func (c *Chain) applyTxsParallel(txs []*Transaction, height uint64) ([]*Receipt, uint64, error) {
+	n := len(txs)
+	workers := c.execWorkers()
+	if workers > n {
+		workers = n
+	}
+	mParBlocks.Inc()
+	mParTxs.Add(uint64(n))
+
+	// Dependency plan: deps[i] is the index of the previous transaction
+	// from the same sender (-1 if none); senders with multiple
+	// transactions share a lane accumulating their write sets.
+	deps := make([]int, n)
+	laneOf := make([]*laneState, n)
+	senderTxs := make(map[identity.Address]int, n)
+	for _, tx := range txs {
+		senderTxs[tx.From]++
+	}
+	last := make(map[identity.Address]int, len(senderTxs))
+	var lanes map[identity.Address]*laneState
+	for i, tx := range txs {
+		if j, seen := last[tx.From]; seen {
+			deps[i] = j
+		} else {
+			deps[i] = -1
+		}
+		last[tx.From] = i
+		if senderTxs[tx.From] > 1 {
+			if lanes == nil {
+				lanes = make(map[identity.Address]*laneState)
+			}
+			ln := lanes[tx.From]
+			if ln == nil {
+				ln = newLaneState()
+				lanes[tx.From] = ln
+			}
+			laneOf[i] = ln
+		}
+	}
+
+	results := make([]specResult, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var cursor atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if stop.Load() {
+					close(done[i])
+					continue
+				}
+				// Workers claim indices in cursor order, so deps[i] was
+				// claimed before i and its channel will be closed even
+				// under stop — this wait cannot deadlock.
+				if d := deps[i]; d >= 0 {
+					<-done[d]
+				}
+				if stop.Load() {
+					close(done[i])
+					continue
+				}
+				view := newTxView(c.state, laneOf[i])
+				rcpt, ok := c.speculate(view, txs[i], height)
+				results[i] = specResult{view: view, rcpt: rcpt, ok: ok}
+				if laneOf[i] != nil {
+					laneOf[i].absorb(view)
+				}
+				close(done[i])
+			}
+		}()
+	}
+
+	abort := func(err error) ([]*Receipt, uint64, error) {
+		stop.Store(true)
+		cursor.Store(int64(n))
+		wg.Wait()
+		return nil, 0, err
+	}
+
+	var gasUsed uint64
+	receipts := make([]*Receipt, 0, n)
+	for i := 0; i < n; i++ {
+		<-done[i]
+		res := &results[i]
+		adopted := false
+		if res.ok {
+			if res.view.validate(c.state) {
+				res.view.commitTo(c.state)
+				receipts = append(receipts, res.rcpt)
+				adopted = true
+			} else {
+				mParConflicts.Inc()
+			}
+		}
+		if !adopted {
+			mParReexec.Inc()
+			tx := txs[i]
+			if want := c.state.Nonce(tx.From); tx.Nonce != want {
+				return abort(fmt.Errorf("ledger: tx %d nonce %d, want %d for %s", i, tx.Nonce, want, tx.From.Short()))
+			}
+			rcpt, err := c.cfg.Applier.Apply(c.state, tx, height)
+			if err != nil {
+				return abort(fmt.Errorf("ledger: tx %d apply: %w", i, err))
+			}
+			receipts = append(receipts, rcpt)
+		}
+		gasUsed += receipts[i].GasUsed
+		if gasUsed > c.cfg.BlockGasLimit {
+			return abort(fmt.Errorf("%w: %d > %d", ErrBlockGasLimit, gasUsed, c.cfg.BlockGasLimit))
+		}
+	}
+	wg.Wait()
+	return receipts, gasUsed, nil
+}
+
+// speculate runs one transaction against its view. Any error — nonce
+// mismatch, applier error, or a panic from executing over a torn read
+// of an in-flight commit — marks the result not-ok; the committer then
+// re-executes serially, which regenerates the serial outcome (including
+// exact error text) or discovers the error was an artifact of stale
+// reads.
+func (c *Chain) speculate(view *txView, tx *Transaction, height uint64) (rcpt *Receipt, ok bool) {
+	defer func() {
+		if recover() != nil {
+			rcpt, ok = nil, false
+		}
+	}()
+	if want := view.Nonce(tx.From); tx.Nonce != want {
+		return nil, false
+	}
+	r, err := c.cfg.Applier.Apply(view, tx, height)
+	if err != nil {
+		return nil, false
+	}
+	return r, true
+}

@@ -1,0 +1,362 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pds2/internal/identity"
+)
+
+// storageApplier is a deliberately conflict-prone test applier: every
+// transaction bumps the sender's nonce, moves value, and additionally
+// increments a shared per-recipient counter slot plus a global total
+// slot under a fixed "contract" address — so transactions to the same
+// recipient, and in fact all transactions, carry read/write conflicts
+// through storage.
+type storageApplier struct{ contract identity.Address }
+
+func (a storageApplier) Apply(st StateAccessor, tx *Transaction, height uint64) (*Receipt, error) {
+	rcpt := &Receipt{TxHash: tx.Hash(), GasUsed: tx.IntrinsicGas(), Height: height}
+	snap := st.Snapshot()
+	st.BumpNonce(tx.From)
+	if err := st.SubBalance(tx.From, tx.Value); err != nil {
+		st.RevertTo(snap)
+		st.BumpNonce(tx.From)
+		rcpt.Status = StatusFailed
+		rcpt.Err = err.Error()
+		return rcpt, nil
+	}
+	if err := st.AddBalance(tx.To, tx.Value); err != nil {
+		st.RevertTo(snap)
+		st.BumpNonce(tx.From)
+		rcpt.Status = StatusFailed
+		rcpt.Err = err.Error()
+		return rcpt, nil
+	}
+	bumpSlot := func(key string) {
+		var n uint64
+		if b := st.GetStorage(a.contract, key); len(b) == 8 {
+			n = binary.BigEndian.Uint64(b)
+		}
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], n+tx.Value)
+		st.SetStorage(a.contract, key, buf[:])
+	}
+	bumpSlot("recv/" + tx.To.Short())
+	bumpSlot("total")
+	// Exercise the prefix-read validation path too.
+	keys := st.StorageKeys(a.contract, "recv/")
+	rcpt.Events = append(rcpt.Events, Event{
+		Contract: a.contract,
+		Topic:    "moved",
+		Data:     []byte(fmt.Sprintf("%s->%s:%d recv=%d", tx.From.Short(), tx.To.Short(), tx.Value, len(keys))),
+	})
+	rcpt.Status = StatusOK
+	return rcpt, nil
+}
+
+// parallelFixture builds a serial chain and a parallel chain with
+// identical genesis and applier; parallel executes every block through
+// the optimistic scheduler regardless of size.
+func parallelFixture(t *testing.T, applier TxApplier, alloc map[identity.Address]uint64, authority *identity.Identity, shards int) (serial, parallel *Chain) {
+	t.Helper()
+	base := ChainConfig{
+		Authorities:  []identity.Address{authority.Address()},
+		Applier:      applier,
+		GenesisAlloc: alloc,
+		ExecWorkers:  1,
+	}
+	var err error
+	if serial, err = NewChain(base); err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.ExecWorkers = 8
+	par.ParallelMinBatch = 1
+	par.StateShards = shards
+	if parallel, err = NewChain(par); err != nil {
+		t.Fatal(err)
+	}
+	return serial, parallel
+}
+
+// checkEquivalence seals txs on the serial chain and imports the sealed
+// block on the parallel chain — import re-executes the block through
+// the parallel scheduler and independently checks gas and state root
+// against the header, so a scheduler divergence fails the import. It
+// then compares receipts and the event log entry by entry.
+func checkEquivalence(t *testing.T, serial, parallel *Chain, authority *identity.Identity, txs []*Transaction) {
+	t.Helper()
+	block, err := serial.ProposeBlock(authority, serial.Head().Header.Timestamp+1, txs)
+	if err != nil {
+		t.Fatalf("serial seal: %v", err)
+	}
+	if err := parallel.ImportBlock(block); err != nil {
+		t.Fatalf("parallel import: %v", err)
+	}
+	if sr, pr := serial.State().Root(), parallel.State().Root(); sr != pr {
+		t.Fatalf("state roots diverge: serial %s parallel %s", sr.Short(), pr.Short())
+	}
+	for i, tx := range txs {
+		sr, _ := serial.Receipt(tx.Hash())
+		pr, ok := parallel.Receipt(tx.Hash())
+		if !ok {
+			t.Fatalf("tx %d: no parallel receipt", i)
+		}
+		if !reflect.DeepEqual(sr, pr) {
+			t.Fatalf("tx %d receipts diverge:\nserial   %+v\nparallel %+v", i, sr, pr)
+		}
+	}
+	if se, pe := serial.Events(""), parallel.Events(""); !reflect.DeepEqual(se, pe) {
+		t.Fatalf("event logs diverge: serial %d events, parallel %d events", len(se), len(pe))
+	}
+}
+
+// TestParallelExecuteMatchesSerialTransfers covers the sparse case:
+// distinct senders paying distinct recipients, near-zero conflicts, so
+// almost every speculation is adopted verbatim.
+func TestParallelExecuteMatchesSerialTransfers(t *testing.T) {
+	authority := testIdentity(1000)
+	const n = 64
+	ids := make([]*identity.Identity, n)
+	alloc := make(map[identity.Address]uint64, n)
+	for i := range ids {
+		ids[i] = testIdentity(uint64(i))
+		alloc[ids[i].Address()] = 1_000_000
+	}
+	serial, parallel := parallelFixture(t, TransferApplier{}, alloc, authority, 0)
+	var txs []*Transaction
+	for i, id := range ids {
+		txs = append(txs, SignTx(id, ids[(i+1)%n].Address(), uint64(i+1), 0, 100_000, nil))
+	}
+	checkEquivalence(t, serial, parallel, authority, txs)
+}
+
+// TestParallelExecuteMatchesSerialHotAccount drives every transfer at
+// one hot recipient, so each transaction's speculative read of the hot
+// balance goes stale the moment its predecessor commits — the
+// maximum-conflict workload. Correctness must not depend on the
+// conflict rate.
+func TestParallelExecuteMatchesSerialHotAccount(t *testing.T) {
+	authority := testIdentity(1000)
+	hot := testIdentity(999)
+	const n = 64
+	ids := make([]*identity.Identity, n)
+	alloc := map[identity.Address]uint64{hot.Address(): 5}
+	for i := range ids {
+		ids[i] = testIdentity(uint64(i))
+		alloc[ids[i].Address()] = 1_000_000
+	}
+	serial, parallel := parallelFixture(t, TransferApplier{}, alloc, authority, 0)
+	var txs []*Transaction
+	for i, id := range ids {
+		txs = append(txs, SignTx(id, hot.Address(), uint64(i+1), 0, 100_000, nil))
+	}
+	checkEquivalence(t, serial, parallel, authority, txs)
+}
+
+// TestParallelExecuteMatchesSerialLanes chains many transactions per
+// sender (consecutive nonces), exercising the lane mechanism: a
+// sender's later transactions speculate against its earlier ones'
+// accumulated writes instead of conflicting on every nonce.
+func TestParallelExecuteMatchesSerialLanes(t *testing.T) {
+	authority := testIdentity(1000)
+	const senders, chain = 8, 12
+	ids := make([]*identity.Identity, senders)
+	alloc := make(map[identity.Address]uint64, senders)
+	for i := range ids {
+		ids[i] = testIdentity(uint64(i))
+		alloc[ids[i].Address()] = 1_000_000
+	}
+	serial, parallel := parallelFixture(t, TransferApplier{}, alloc, authority, 0)
+	var txs []*Transaction
+	for k := 0; k < chain; k++ {
+		for i, id := range ids {
+			txs = append(txs, SignTx(id, ids[(i+1)%senders].Address(), 1, uint64(k), 100_000, nil))
+		}
+	}
+	checkEquivalence(t, serial, parallel, authority, txs)
+}
+
+// TestParallelExecuteMatchesSerialStorage runs the storage applier:
+// every transaction collides on the shared "total" slot and the prefix
+// enumeration, plus failed receipts from overdrawn senders — receipts,
+// events, and roots must still match serial bit for bit.
+func TestParallelExecuteMatchesSerialStorage(t *testing.T) {
+	authority := testIdentity(1000)
+	var contractAddr identity.Address
+	contractAddr[0] = 0xCC
+	applier := storageApplier{contract: contractAddr}
+	const n = 48
+	ids := make([]*identity.Identity, n)
+	alloc := make(map[identity.Address]uint64, n)
+	for i := range ids {
+		ids[i] = testIdentity(uint64(i))
+		bal := uint64(1_000)
+		if i%5 == 0 {
+			bal = 1 // most of this sender's transfers fail: insufficient balance
+		}
+		alloc[ids[i].Address()] = bal
+	}
+	for _, shards := range []int{1, 16} {
+		serial, parallel := parallelFixture(t, applier, alloc, authority, shards)
+		var txs []*Transaction
+		for i, id := range ids {
+			txs = append(txs, SignTx(id, ids[(i+3)%n].Address(), uint64(10+i), 0, 100_000, nil))
+		}
+		checkEquivalence(t, serial, parallel, authority, txs)
+	}
+}
+
+// TestParallelExecuteErrorParity pins that a block invalid under serial
+// execution fails identically under parallel execution — same error
+// text — and leaves no state residue behind.
+func TestParallelExecuteErrorParity(t *testing.T) {
+	authority := testIdentity(1000)
+	alice, bob := testIdentity(1), testIdentity(2)
+	alloc := map[identity.Address]uint64{alice.Address(): 1_000_000, bob.Address(): 1_000_000}
+
+	serial, parallel := parallelFixture(t, TransferApplier{}, alloc, authority, 0)
+	txs := []*Transaction{
+		SignTx(alice, bob.Address(), 1, 0, 100_000, nil),
+		SignTx(bob, alice.Address(), 1, 7, 100_000, nil), // nonce gap: invalid mid-block
+	}
+	ts := serial.Head().Header.Timestamp + 1
+	_, serr := serial.ProposeBlock(authority, ts, txs)
+	if serr == nil || !strings.Contains(serr.Error(), "nonce") {
+		t.Fatalf("serial proposal should fail on the nonce gap, got %v", serr)
+	}
+	rootBefore := parallel.State().Root()
+	_, perr := parallel.ProposeBlock(authority, ts, txs)
+	if perr == nil {
+		t.Fatal("parallel proposal should fail on the nonce gap")
+	}
+	if serr.Error() != perr.Error() {
+		t.Fatalf("error text diverges:\nserial   %q\nparallel %q", serr, perr)
+	}
+	if got := parallel.State().Root(); got != rootBefore {
+		t.Fatal("failed parallel proposal left state residue")
+	}
+	if parallel.State().JournalLen() != 0 {
+		t.Fatal("failed parallel proposal left journal entries")
+	}
+}
+
+// TestParallelExecuteMultiBlock seals a sequence of blocks through the
+// parallel path directly (ProposeBlock on the parallel chain) and
+// cross-imports them into a serial replica, proving sealed headers are
+// byte-compatible in both directions.
+func TestParallelExecuteMultiBlock(t *testing.T) {
+	authority := testIdentity(1000)
+	const n = 32
+	ids := make([]*identity.Identity, n)
+	alloc := make(map[identity.Address]uint64, n)
+	for i := range ids {
+		ids[i] = testIdentity(uint64(i))
+		alloc[ids[i].Address()] = 1_000_000
+	}
+	serial, parallel := parallelFixture(t, TransferApplier{}, alloc, authority, 0)
+	for block := 0; block < 5; block++ {
+		var txs []*Transaction
+		for i, id := range ids {
+			txs = append(txs, SignTx(id, ids[(i+block+1)%n].Address(), 1, uint64(block), 100_000, nil))
+		}
+		b, err := parallel.ProposeBlock(authority, parallel.Head().Header.Timestamp+1, txs)
+		if err != nil {
+			t.Fatalf("parallel seal %d: %v", block, err)
+		}
+		if err := serial.ImportBlock(b); err != nil {
+			t.Fatalf("serial import %d: %v", block, err)
+		}
+	}
+	if sr, pr := serial.State().Root(), parallel.State().Root(); sr != pr {
+		t.Fatalf("state roots diverge after 5 blocks: %s vs %s", sr.Short(), pr.Short())
+	}
+}
+
+// TestMempoolNextBatchEvictsOvergasPoison pins the poison-tx fix at the
+// mempool layer: a transaction whose intrinsic gas exceeds the block
+// budget is evicted during batch building instead of wedging selection.
+func TestMempoolNextBatchEvictsOvergasPoison(t *testing.T) {
+	st := NewState()
+	pool := NewMempool(0)
+	alice, bob := testIdentity(1), testIdentity(2)
+	st.SetBalance(alice.Address(), 1_000_000)
+	st.SetBalance(bob.Address(), 1_000_000)
+	st.Commit()
+
+	// 2kB payload: intrinsic gas 21000 + 16*2048 = 53768 > 50k budget.
+	poison := SignTx(alice, bob.Address(), 1, 0, 100_000, make([]byte, 2048))
+	follow := SignTx(alice, bob.Address(), 1, 1, 100_000, nil)
+	ok := SignTx(bob, alice.Address(), 1, 0, 100_000, nil)
+	for _, tx := range []*Transaction{poison, follow, ok} {
+		if err := pool.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := pool.NextBatch(st, 100, 50_000)
+	if len(batch) != 1 || batch[0].Hash() != ok.Hash() {
+		t.Fatalf("batch should hold only the healthy tx, got %d txs", len(batch))
+	}
+	if pool.Contains(poison.Hash()) {
+		t.Fatal("poison tx survived NextBatch")
+	}
+	if !pool.Contains(follow.Hash()) {
+		t.Fatal("poison eviction must not drop the sender's later (gapped) tx")
+	}
+}
+
+// TestMempoolNextBatchGasAware pins declared-floor packing: batches cut
+// at the gas budget, remainder stays pooled, and packing never splits a
+// sender's nonce chain in a way that strands executable transactions.
+func TestMempoolNextBatchGasAware(t *testing.T) {
+	st := NewState()
+	pool := NewMempool(0)
+	const n = 10
+	ids := make([]*identity.Identity, n)
+	for i := range ids {
+		ids[i] = testIdentity(uint64(i))
+		st.SetBalance(ids[i].Address(), 1_000_000)
+	}
+	st.Commit()
+	for _, id := range ids {
+		if err := pool.Add(SignTx(id, ids[0].Address(), 1, 0, 100_000, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Budget for exactly four 21k-intrinsic transfers.
+	batch := pool.NextBatch(st, 100, 4*21_000)
+	if len(batch) != 4 {
+		t.Fatalf("gas-aware batch took %d txs, want 4", len(batch))
+	}
+	if pool.Len() != n {
+		t.Fatalf("selection must not evict fitting txs: pool has %d of %d", pool.Len(), n)
+	}
+	// Unlimited budget takes everything.
+	if got := len(pool.NextBatch(st, 100, 0)); got != n {
+		t.Fatalf("unlimited budget took %d txs, want %d", got, n)
+	}
+}
+
+// TestEvictOvergas pins the seal path's defense-in-depth hook.
+func TestEvictOvergas(t *testing.T) {
+	pool := NewMempool(0)
+	alice := testIdentity(1)
+	var to identity.Address
+	tx := SignTx(alice, to, 1, 0, 100_000, nil)
+	if err := pool.Add(tx); err != nil {
+		t.Fatal(err)
+	}
+	if !pool.EvictOvergas(tx) {
+		t.Fatal("EvictOvergas should report the eviction")
+	}
+	if pool.Contains(tx.Hash()) || pool.Len() != 0 {
+		t.Fatal("tx survived EvictOvergas")
+	}
+	if pool.EvictOvergas(tx) {
+		t.Fatal("second eviction should report false")
+	}
+}

@@ -58,9 +58,9 @@ func (c *Chain) ExportSnapshot() *StateSnapshot {
 		Authorities:   append([]identity.Address(nil), c.cfg.Authorities...),
 		BlockGasLimit: c.cfg.BlockGasLimit,
 		Head:          c.Head(),
-		Balances:      make(map[identity.Address]uint64, len(st.balances)),
-		Nonces:        make(map[identity.Address]uint64, len(st.nonces)),
-		Storage:       make(map[identity.Address]map[string][]byte, len(st.storage)),
+		Balances:      make(map[identity.Address]uint64),
+		Nonces:        make(map[identity.Address]uint64),
+		Storage:       make(map[identity.Address]map[string][]byte),
 	}
 	if len(c.cfg.GenesisAlloc) > 0 {
 		snap.GenesisAlloc = make(map[identity.Address]uint64, len(c.cfg.GenesisAlloc))
@@ -68,26 +68,26 @@ func (c *Chain) ExportSnapshot() *StateSnapshot {
 			snap.GenesisAlloc[a] = v
 		}
 	}
-	for a, v := range st.balances {
+	st.forEachBalance(func(a identity.Address, v uint64) {
 		if v != 0 {
 			snap.Balances[a] = v
 		}
-	}
-	for a, v := range st.nonces {
+	})
+	st.forEachNonce(func(a identity.Address, v uint64) {
 		if v != 0 {
 			snap.Nonces[a] = v
 		}
-	}
-	for a, slot := range st.storage {
+	})
+	st.forEachStorage(func(a identity.Address, slot map[string][]byte) {
 		if len(slot) == 0 {
-			continue
+			return
 		}
 		cp := make(map[string][]byte, len(slot))
 		for k, v := range slot {
 			cp[k] = append([]byte(nil), v...)
 		}
 		snap.Storage[a] = cp
-	}
+	})
 	return snap
 }
 

@@ -1,0 +1,424 @@
+package ledger
+
+import (
+	"strings"
+
+	"pds2/internal/identity"
+)
+
+// txView is the speculative execution surface for one transaction under
+// optimistic concurrency (parallel.go). It implements StateAccessor over
+// three layers:
+//
+//	own writes  — buffered locally, never visible outside the view
+//	lane        — accumulated writes of earlier same-sender transactions
+//	              in the block (executed before this one, see laneState)
+//	base        — the committed chain state, read-only from here
+//
+// Every value observed from the lane or the base is recorded in the
+// view's read set together with the value seen. At commit time the
+// committer re-reads each recorded location from the (by then advanced)
+// committed state: if every location still holds the recorded value, the
+// speculative execution was equivalent to a serial execution at its
+// transaction index — its receipt and write set are adopted verbatim.
+// Any mismatch is a conflict and the transaction re-executes serially.
+//
+// Recording lane reads against the *base* is what makes lane chaining
+// sound without extra machinery: if the predecessor committed exactly
+// the writes this view observed, the base holds those values at commit
+// time and validation passes; if the predecessor conflicted and
+// re-executed differently, validation fails and this transaction
+// re-executes too.
+type txView struct {
+	base *State
+	lane *laneState
+
+	// Speculative writes. A nil storage value is a tombstone (deletion).
+	// All maps allocate lazily — reads of nil maps are safe and most
+	// transactions touch only a couple of locations, so eager allocation
+	// would dominate the per-transaction speculation cost.
+	balances map[identity.Address]uint64
+	nonces   map[identity.Address]uint64
+	storage  map[storageSlot][]byte
+
+	// Read sets: the first value observed for each location not already
+	// written locally. Doubles as a read-through cache.
+	readBal   map[identity.Address]uint64
+	readNonce map[identity.Address]uint64
+	readStore map[storageSlot][]byte
+	prefixes  []prefixRead
+
+	journal []viewEntry
+}
+
+// storageSlot addresses one contract storage cell.
+type storageSlot struct {
+	addr identity.Address
+	key  string
+}
+
+// prefixRead records one StorageKeys enumeration: the merged base+lane
+// key list returned (before this view's own writes were overlaid).
+// Validation recomputes the enumeration on the committed state and
+// compares — a key appearing or disappearing under the prefix is a
+// conflict even if no recorded point read changed.
+type prefixRead struct {
+	contract identity.Address
+	prefix   string
+	keys     []string
+}
+
+// viewEntry is the undo record for one speculative write: it restores
+// the *local* layer (value and presence), never the base.
+type viewEntry struct {
+	kind     journalKind
+	addr     identity.Address
+	key      string
+	prevU64  uint64
+	prevBlob []byte
+	existed  bool
+}
+
+// laneState accumulates the write sets of a sender's transactions as
+// they speculate in block order, so the sender's next transaction sees
+// its predecessors' effects (nonce bumps, balance debits) instead of
+// conflicting on every chained nonce. Lanes are written by exactly one
+// speculating worker at a time — the scheduler orders a lane's
+// transactions by dependency — so they need no locking.
+type laneState struct {
+	balances map[identity.Address]uint64
+	nonces   map[identity.Address]uint64
+	storage  map[storageSlot][]byte
+}
+
+func newLaneState() *laneState {
+	return &laneState{
+		balances: make(map[identity.Address]uint64),
+		nonces:   make(map[identity.Address]uint64),
+		storage:  make(map[storageSlot][]byte),
+	}
+}
+
+// absorb merges a completed view's write set into the lane, making it
+// visible to the sender's next transaction.
+func (l *laneState) absorb(v *txView) {
+	for a, val := range v.balances {
+		l.balances[a] = val
+	}
+	for a, val := range v.nonces {
+		l.nonces[a] = val
+	}
+	for s, val := range v.storage {
+		l.storage[s] = val
+	}
+}
+
+func newTxView(base *State, lane *laneState) *txView {
+	return &txView{base: base, lane: lane}
+}
+
+// Balance implements StateAccessor.
+func (v *txView) Balance(addr identity.Address) uint64 {
+	if val, ok := v.balances[addr]; ok {
+		return val
+	}
+	if val, ok := v.readBal[addr]; ok {
+		return val
+	}
+	val, fromLane := uint64(0), false
+	if v.lane != nil {
+		val, fromLane = v.lane.balances[addr]
+	}
+	if !fromLane {
+		val = v.base.Balance(addr)
+	}
+	if v.readBal == nil {
+		v.readBal = make(map[identity.Address]uint64, 4)
+	}
+	v.readBal[addr] = val
+	return val
+}
+
+// SetBalance implements StateAccessor.
+func (v *txView) SetBalance(addr identity.Address, val uint64) {
+	prev, existed := v.balances[addr]
+	v.journal = append(v.journal, viewEntry{kind: jBalance, addr: addr, prevU64: prev, existed: existed})
+	if v.balances == nil {
+		v.balances = make(map[identity.Address]uint64, 4)
+	}
+	v.balances[addr] = val
+}
+
+// AddBalance implements StateAccessor.
+func (v *txView) AddBalance(addr identity.Address, val uint64) error {
+	return addBalanceTo(v, addr, val)
+}
+
+// SubBalance implements StateAccessor.
+func (v *txView) SubBalance(addr identity.Address, val uint64) error {
+	return subBalanceTo(v, addr, val)
+}
+
+// Nonce implements StateAccessor.
+func (v *txView) Nonce(addr identity.Address) uint64 {
+	if val, ok := v.nonces[addr]; ok {
+		return val
+	}
+	if val, ok := v.readNonce[addr]; ok {
+		return val
+	}
+	val, fromLane := uint64(0), false
+	if v.lane != nil {
+		val, fromLane = v.lane.nonces[addr]
+	}
+	if !fromLane {
+		val = v.base.Nonce(addr)
+	}
+	if v.readNonce == nil {
+		v.readNonce = make(map[identity.Address]uint64, 2)
+	}
+	v.readNonce[addr] = val
+	return val
+}
+
+// SetNonce implements StateAccessor.
+func (v *txView) SetNonce(addr identity.Address, val uint64) {
+	prev, existed := v.nonces[addr]
+	v.journal = append(v.journal, viewEntry{kind: jNonce, addr: addr, prevU64: prev, existed: existed})
+	if v.nonces == nil {
+		v.nonces = make(map[identity.Address]uint64, 2)
+	}
+	v.nonces[addr] = val
+}
+
+// BumpNonce implements StateAccessor.
+func (v *txView) BumpNonce(addr identity.Address) {
+	v.SetNonce(addr, v.Nonce(addr)+1)
+}
+
+// storageRead returns the value visible at slot without the own-write
+// layer applied, recording the observation.
+func (v *txView) storageRead(s storageSlot) []byte {
+	if val, ok := v.readStore[s]; ok {
+		return val
+	}
+	val, fromLane := []byte(nil), false
+	if v.lane != nil {
+		val, fromLane = v.lane.storage[s]
+	}
+	if !fromLane {
+		val = v.base.storageRef(s.addr, s.key)
+	}
+	if v.readStore == nil {
+		v.readStore = make(map[storageSlot][]byte, 8)
+	}
+	v.readStore[s] = val
+	return val
+}
+
+// GetStorage implements StateAccessor.
+func (v *txView) GetStorage(contract identity.Address, key string) []byte {
+	s := storageSlot{contract, key}
+	if val, ok := v.storage[s]; ok {
+		if val == nil {
+			return nil
+		}
+		return append([]byte(nil), val...)
+	}
+	val := v.storageRead(s)
+	if val == nil {
+		return nil
+	}
+	return append([]byte(nil), val...)
+}
+
+// SetStorage implements StateAccessor.
+func (v *txView) SetStorage(contract identity.Address, key string, value []byte) {
+	s := storageSlot{contract, key}
+	prev, existed := v.storage[s]
+	v.journal = append(v.journal, viewEntry{kind: jStorage, addr: contract, key: key, prevBlob: prev, existed: existed})
+	if v.storage == nil {
+		v.storage = make(map[storageSlot][]byte, 8)
+	}
+	if len(value) == 0 {
+		v.storage[s] = nil // tombstone
+		return
+	}
+	v.storage[s] = append([]byte(nil), value...)
+}
+
+// StorageKeys implements StateAccessor: the base enumeration (recorded
+// as a prefix read), overlaid with lane deltas (each recorded as a point
+// read so a diverging predecessor is caught) and this view's own writes.
+func (v *txView) StorageKeys(contract identity.Address, prefix string) []string {
+	listed := v.prefixKeys(contract, prefix)
+	merged := make(map[string]bool, len(listed)+4)
+	for _, k := range listed {
+		merged[k] = true
+	}
+	for s, val := range v.storage {
+		if s.addr != contract || !strings.HasPrefix(s.key, prefix) {
+			continue
+		}
+		if val == nil {
+			delete(merged, s.key)
+		} else {
+			merged[s.key] = true
+		}
+	}
+	out := make([]string, 0, len(merged))
+	for k := range merged {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+// prefixKeys returns (and records) the base+lane key enumeration for a
+// prefix, deduplicating repeated enumerations of the same prefix.
+func (v *txView) prefixKeys(contract identity.Address, prefix string) []string {
+	for i := range v.prefixes {
+		if v.prefixes[i].contract == contract && v.prefixes[i].prefix == prefix {
+			return v.prefixes[i].keys
+		}
+	}
+	keys := v.base.StorageKeys(contract, prefix)
+	if v.lane != nil {
+		merged := make(map[string]bool, len(keys)+4)
+		for _, k := range keys {
+			merged[k] = true
+		}
+		for s, val := range v.lane.storage {
+			if s.addr != contract || !strings.HasPrefix(s.key, prefix) {
+				continue
+			}
+			// Pin the lane delta as a point read: if the predecessor
+			// commits a different value (or no value), validation fails.
+			if v.readStore == nil {
+				v.readStore = make(map[storageSlot][]byte, 8)
+			}
+			v.readStore[s] = val
+			if val == nil {
+				delete(merged, s.key)
+			} else {
+				merged[s.key] = true
+			}
+		}
+		keys = make([]string, 0, len(merged))
+		for k := range merged {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+	}
+	v.prefixes = append(v.prefixes, prefixRead{contract: contract, prefix: prefix, keys: keys})
+	return keys
+}
+
+// Snapshot implements StateAccessor over the view's local journal.
+func (v *txView) Snapshot() int { return len(v.journal) }
+
+// RevertTo implements StateAccessor: it restores the local write layer
+// (value and presence). Read records survive reverts — validating reads
+// from reverted branches is conservative (it can only add conflicts,
+// never admit a wrong result).
+func (v *txView) RevertTo(snap int) {
+	for i := len(v.journal) - 1; i >= snap; i-- {
+		e := v.journal[i]
+		switch e.kind {
+		case jBalance:
+			if e.existed {
+				v.balances[e.addr] = e.prevU64
+			} else {
+				delete(v.balances, e.addr)
+			}
+		case jNonce:
+			if e.existed {
+				v.nonces[e.addr] = e.prevU64
+			} else {
+				delete(v.nonces, e.addr)
+			}
+		case jStorage:
+			s := storageSlot{e.addr, e.key}
+			if e.existed {
+				v.storage[s] = e.prevBlob
+			} else {
+				delete(v.storage, s)
+			}
+		}
+	}
+	v.journal = v.journal[:snap]
+}
+
+// validate re-reads every recorded location from the committed state.
+// It returns true iff all observations still hold, i.e. the speculative
+// execution is equivalent to a serial execution at this point.
+func (v *txView) validate(base *State) bool {
+	for a, val := range v.readBal {
+		if base.Balance(a) != val {
+			return false
+		}
+	}
+	for a, val := range v.readNonce {
+		if base.Nonce(a) != val {
+			return false
+		}
+	}
+	for s, val := range v.readStore {
+		if !bytesEqual(base.storageRef(s.addr, s.key), val) {
+			return false
+		}
+	}
+	for i := range v.prefixes {
+		pr := &v.prefixes[i]
+		if !stringsEqual(base.StorageKeys(pr.contract, pr.prefix), pr.keys) {
+			return false
+		}
+	}
+	return true
+}
+
+// commitTo applies the view's write set to the committed state through
+// the journaled setters, so a later block-level revert still unwinds it.
+func (v *txView) commitTo(base *State) {
+	for a, val := range v.balances {
+		base.SetBalance(a, val)
+	}
+	for a, val := range v.nonces {
+		base.SetNonce(a, val)
+	}
+	for s, val := range v.storage {
+		base.SetStorage(s.addr, s.key, val)
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func stringsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

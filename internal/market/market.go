@@ -54,6 +54,14 @@ type Config struct {
 	// selects ledger.DefaultBlockGasLimit. Load rigs raise it so
 	// block packing, not an artificial gas ceiling, bounds throughput.
 	BlockGasLimit uint64
+
+	// ExecWorkers bounds the ledger's optimistic parallel-execution
+	// worker pool; 0 selects GOMAXPROCS, 1 forces serial execution.
+	ExecWorkers int
+
+	// ParallelMinBatch is the smallest block routed through the
+	// parallel executor; 0 selects the ledger default.
+	ParallelMinBatch int
 }
 
 // Market is one deployment of the PDS² governance layer: a
@@ -116,10 +124,12 @@ func New(cfg Config) (*Market, error) {
 		}
 	}
 	chain, err := ledger.NewChain(ledger.ChainConfig{
-		Authorities:   addrs,
-		BlockGasLimit: cfg.BlockGasLimit,
-		Applier:       rt,
-		GenesisAlloc:  alloc,
+		Authorities:      addrs,
+		BlockGasLimit:    cfg.BlockGasLimit,
+		Applier:          rt,
+		GenesisAlloc:     alloc,
+		ExecWorkers:      cfg.ExecWorkers,
+		ParallelMinBatch: cfg.ParallelMinBatch,
 	})
 	if err != nil {
 		return nil, err
@@ -207,27 +217,38 @@ func (m *Market) SealBlock() (*ledger.Block, error) {
 // timestamp fails without consuming the batch; a seal ahead succeeds
 // and advances the market's logical clock to the given value.
 func (m *Market) SealBlockAt(timestamp uint64) (*ledger.Block, error) {
-	batch := m.Pool.NextBatch(m.Chain.State(), 10_000)
 	height := m.Chain.Height() + 1
 	proposer := m.authorities[(height-1)%uint64(len(m.authorities))]
-	block, err := m.Chain.ProposeBlock(proposer, timestamp, batch)
-	// NextBatch selects by count, not gas: a deep mempool can hand us a
-	// batch whose execution overflows the block gas limit, which rejects
-	// the whole proposal. Halve the batch until it fits — the remainder
-	// stays pooled for the next seal — so a node under sustained load
-	// drains its backlog instead of wedging on every seal attempt.
-	for errors.Is(err, ledger.ErrBlockGasLimit) && len(batch) > 1 {
-		batch = batch[:len(batch)/2]
-		block, err = m.Chain.ProposeBlock(proposer, timestamp, batch)
+	for {
+		batch := m.Pool.NextBatch(m.Chain.State(), 10_000, m.Chain.GasLimit())
+		block, err := m.Chain.ProposeBlock(proposer, timestamp, batch)
+		// NextBatch already packs by declared gas, so overflow here means
+		// some transaction consumed more than it declared (a misbehaving
+		// applier). Halve the batch until it fits — the remainder stays
+		// pooled for the next seal — so a node under sustained load drains
+		// its backlog instead of wedging on every seal attempt.
+		for errors.Is(err, ledger.ErrBlockGasLimit) && len(batch) > 1 {
+			batch = batch[:len(batch)/2]
+			block, err = m.Chain.ProposeBlock(proposer, timestamp, batch)
+		}
+		if errors.Is(err, ledger.ErrBlockGasLimit) && len(batch) == 1 {
+			// A single transaction that cannot fit any block would wedge
+			// sealing forever: every future batch starts with it and fails
+			// the same way. Evict it and rebuild the batch.
+			if m.Pool.EvictOvergas(batch[0]) {
+				continue
+			}
+			return nil, err
+		}
+		if err != nil {
+			return nil, err
+		}
+		if timestamp > m.timestamp {
+			m.timestamp = timestamp
+		}
+		m.Pool.Remove(batch)
+		return block, nil
 	}
-	if err != nil {
-		return nil, err
-	}
-	if timestamp > m.timestamp {
-		m.timestamp = timestamp
-	}
-	m.Pool.Remove(batch)
-	return block, nil
 }
 
 // Timestamp returns the market's current logical clock (the timestamp

@@ -6,6 +6,12 @@
 # hardware are too noisy to block a merge on.
 #
 # Usage: scripts/bench_compare.sh [dir]   (default: repo root)
+#
+# PDS2_BENCH_BASELINE pins the comparison baseline: set it to a
+# BENCH_<date>.json path (absolute, or relative to the repo root) and
+# the newest report is diffed against that file instead of against its
+# immediate predecessor. Use it to hold the line against a known-good
+# release report across several intermediate runs.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,13 +19,31 @@ dir="${1:-.}"
 
 # Date-stamped names sort chronologically, so lexical order is age order.
 set -- $(ls "$dir"/BENCH_*.json 2>/dev/null | sort)
-if [ "$#" -lt 2 ]; then
-	echo "bench_compare: found $# report(s) in $dir — need two to compare, nothing to do"
-	exit 0
+if [ -n "${PDS2_BENCH_BASELINE:-}" ]; then
+	if [ ! -f "$PDS2_BENCH_BASELINE" ]; then
+		echo "bench_compare: PDS2_BENCH_BASELINE=$PDS2_BENCH_BASELINE does not exist" >&2
+		exit 1
+	fi
+	if [ "$#" -lt 1 ]; then
+		echo "bench_compare: no BENCH_*.json report in $dir to compare against the pinned baseline"
+		exit 0
+	fi
+	while [ "$#" -gt 1 ]; do shift; done
+	old="$PDS2_BENCH_BASELINE"
+	new="$1"
+	if [ "$(basename "$old")" = "$(basename "$new")" ]; then
+		echo "bench_compare: newest report is the pinned baseline itself — nothing to compare"
+		exit 0
+	fi
+else
+	if [ "$#" -lt 2 ]; then
+		echo "bench_compare: found $# report(s) in $dir — need two to compare, nothing to do"
+		exit 0
+	fi
+	while [ "$#" -gt 2 ]; do shift; done
+	old="$1"
+	new="$2"
 fi
-while [ "$#" -gt 2 ]; do shift; done
-old="$1"
-new="$2"
 
 # Pluck a top-level numeric field out of an indented-JSON report.
 field() {
