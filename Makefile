@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-core vet bench proptest fuzz covgate load-smoke bench-compare ci
+.PHONY: build test race race-core vet bench proptest fuzz covgate load-smoke bench-compare diag-selftest pprof-smoke ci
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,21 @@ load-smoke:
 bench-compare:
 	./scripts/bench_compare.sh
 
+# diag-selftest spins up a node with pprof, metrics history and the
+# runtime sampler enabled, drives parallel-execution traffic, captures
+# a flight-recorder bundle over the real HTTP API and asserts it is
+# complete: every artifact present and parseable, a dense
+# mempool-depth history series, and CPU samples labeled by component.
+diag-selftest:
+	$(GO) run ./cmd/pds2 diag -self-test
+
+# pprof-smoke exercises the profiling and history endpoints (guard
+# behaviour, gzip integrity, history windowing) and the diag bundle
+# capture/verify paths under the race detector.
+pprof-smoke:
+	$(GO) test -race -count=1 ./internal/api/ -run 'TestPprof|TestMetricsHistory|TestMetricsAndTraceDisabled'
+	$(GO) test -race -count=1 ./internal/diag/
+
 # ci is the documented pre-PR gate: static checks, the full build, a
 # fail-fast race pass over the parallel-executor packages followed by
 # the full race-enabled test suite (including the telemetry
@@ -70,9 +85,12 @@ bench-compare:
 # smoke (the quick E15 subset drives the full workload lifecycle
 # through fault-injected client and server and must converge), the
 # fixed-seed property-harness smoke with differential replay, a short
-# randomized pass over each fuzz target, a 30-second open-loop load
-# smoke against a self-hosted node (SLO-gated), the BENCH_*.json
-# regression diff, and the coverage ratchet.
+# randomized pass over each fuzz target, the pprof/history endpoint
+# smoke under -race, the diag flight-recorder self-test (capture a
+# bundle from a live node and assert every artifact is present,
+# parseable and component-labeled), a 30-second open-loop load smoke
+# against a self-hosted node (SLO-gated), the BENCH_*.json regression
+# diff, and the coverage ratchet.
 ci: vet build
 	$(MAKE) race-core
 	$(GO) test -race ./...
@@ -82,6 +100,8 @@ ci: vet build
 	$(GO) run ./cmd/pds2-experiments -quick -telemetry=false -run E15
 	$(MAKE) proptest
 	$(MAKE) fuzz
+	$(MAKE) pprof-smoke
+	$(MAKE) diag-selftest
 	$(MAKE) load-smoke
 	$(MAKE) bench-compare
 	$(MAKE) covgate

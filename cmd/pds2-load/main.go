@@ -126,6 +126,14 @@ func main() {
 		fmt.Printf("  %-10s %6d ops  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  max %7.2fms\n",
 			c.Class, c.Ops, c.P50*1e3, c.P95*1e3, c.P99*1e3, c.Max*1e3)
 	}
+	if rep.Runtime.HeapInusePeakBytes > 0 {
+		fmt.Printf("  runtime     (%s) gc pause p99 %.2fms, peak heap %.1f MiB, peak goroutines %d\n",
+			rep.Runtime.Source, rep.Runtime.GCPauseP99Seconds*1e3,
+			float64(rep.Runtime.HeapInusePeakBytes)/(1<<20), rep.Runtime.GoroutinesPeak)
+	}
+	if rep.Build.GitCommit != "" {
+		fmt.Printf("  commit      %s\n", rep.Build.GitCommit)
+	}
 	fmt.Printf("  report      %s\n", path)
 
 	if len(rep.Breaches) > 0 {

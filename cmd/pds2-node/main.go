@@ -9,6 +9,18 @@
 //	          [-log-level info,ledger=debug] [-node-id node-0] [-drain-ms 500]
 //	          [-data-dir /var/lib/pds2] [-snapshot-every 1000]
 //	          [-load-accounts 100000] [-load-seed 1] [-load-fund 1000000] [-block-gas 0]
+//	          [-pprof] [-mutex-profile-fraction 0] [-block-profile-rate-ns 0]
+//	          [-history-ms 250] [-history-cap 1200]
+//
+// Observability: with -telemetry (the default) the node additionally
+// runs the Go runtime sampler (heap, GC pauses, goroutines, scheduler
+// latency gauges) and a bounded metrics-history ring sampled every
+// -history-ms, served at GET /metrics/history?window=30s. -pprof
+// mounts net/http/pprof at /debug/pprof/ — off by default because
+// profile endpoints leak internals; `pds2 diag -target <url>` captures
+// a full flight-recorder bundle from these endpoints in one shot.
+// -mutex-profile-fraction and -block-profile-rate-ns enable the
+// contention profiles (both off by default; they tax hot paths).
 //
 // -load-accounts funds the deterministic pds2-load population at
 // genesis (same seed and count on both sides, no key material crosses
@@ -77,6 +89,11 @@ func main() {
 		loadSeed  = flag.Uint64("load-seed", 1, "seed of the pds2-load population funded by -load-accounts")
 		loadFund  = flag.Uint64("load-fund", 1_000_000, "genesis balance per -load-accounts account")
 		blockGas  = flag.Uint64("block-gas", 0, "per-block gas limit (0 selects the chain default)")
+		pprofOn   = flag.Bool("pprof", false, "serve runtime profiles at /debug/pprof/ (goroutine, heap, mutex, block, cpu)")
+		mutexFrac = flag.Int("mutex-profile-fraction", 0, "mutex contention sampling rate 1/n (0 disables, 1 records all)")
+		blockRate = flag.Int("block-profile-rate-ns", 0, "block profile threshold in nanoseconds (0 disables, 1 records all)")
+		histMS    = flag.Int("history-ms", 250, "metrics history sampling interval in milliseconds (0 disables /metrics/history)")
+		histCap   = flag.Int("history-cap", telemetry.DefaultHistoryCapacity, "metrics history ring capacity in samples")
 	)
 	flag.Parse()
 	if *tel {
@@ -90,6 +107,15 @@ func main() {
 		*nodeID = listenHost(*listen)
 	}
 	telemetry.SetNode(*nodeID)
+	telemetry.SetProfileRates(*mutexFrac, *blockRate)
+	if *tel {
+		if *histMS > 0 {
+			telemetry.EnableHistory(time.Duration(*histMS)*time.Millisecond, *histCap)
+			defer telemetry.DisableHistory()
+		}
+		sampler := telemetry.StartRuntimeSampler(telemetry.Default(), 0)
+		defer sampler.Stop()
+	}
 
 	alloc := map[identity.Address]uint64{}
 	if *fund != "" {
@@ -137,6 +163,7 @@ func main() {
 		store.AttachSnapshotting(m.Chain, *snapEvery)
 	}
 	srv := api.NewServer(m, true)
+	srv.SetPprof(*pprofOn)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -162,11 +189,18 @@ func main() {
 		}()
 	}
 
+	// The write timeout caps how long a timed CPU profile can run
+	// (/debug/pprof/profile?seconds=N streams after N seconds), so give
+	// pprof-enabled nodes room for meaningful captures.
+	writeTimeout := 30 * time.Second
+	if *pprofOn {
+		writeTimeout = 2 * time.Minute
+	}
 	hs := &http.Server{
 		Addr:         *listen,
 		Handler:      srv,
 		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 30 * time.Second,
+		WriteTimeout: writeTimeout,
 		IdleTimeout:  2 * time.Minute,
 	}
 	errCh := make(chan error, 1)

@@ -9,6 +9,8 @@
 //	pds2 -scenario scenario.json
 //	pds2 metrics [-json] [-trace] [scenario flags]
 //	pds2 trace [-json] [-chrome file] [-self-test] [scenario flags]
+//	pds2 diag -target URL [-out DIR] [-cpu-seconds N] [-window D] [-component X] [-json]
+//	pds2 diag -self-test [-out DIR]
 //
 // The metrics subcommand runs the same scenario with telemetry enabled
 // and reports the collected metrics (and, with -trace, the span tree)
@@ -17,7 +19,12 @@
 // span JSON, or Chrome trace-event JSON loadable in chrome://tracing or
 // Perfetto; -self-test instead runs the two-node distributed-tracing
 // demo and verifies the stitching invariants, exiting non-zero on
-// failure.
+// failure. The diag subcommand captures a flight-recorder diagnostics
+// bundle from a running node's HTTP API — metrics snapshot and
+// history, logs, traces, runtime profiles, health and build identity,
+// indexed by a checksummed manifest — and verifies it; its -self-test
+// hosts a node in-process, drives parallel-execution traffic and
+// asserts the captured bundle proves the observability contract.
 package main
 
 import (
@@ -38,6 +45,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		runTrace(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "diag" {
+		runDiag(os.Args[2:])
 		return
 	}
 	var (

@@ -550,6 +550,52 @@ func (c *Client) Metrics(ctx context.Context) (telemetry.Snapshot, error) {
 	return out, err
 }
 
+// BuildInfo fetches the node's build identity (GET /v1/buildinfo).
+func (c *Client) BuildInfo(ctx context.Context) (telemetry.BuildInfo, error) {
+	var out telemetry.BuildInfo
+	err := c.get(ctx, "/v1/buildinfo", &out)
+	return out, err
+}
+
+// Trace fetches the node's finished-span ring (GET /trace), oldest
+// first. The Collector merges traces from many nodes into one set.
+func (c *Client) Trace(ctx context.Context) (telemetry.Trace, error) {
+	var out telemetry.Trace
+	err := c.get(ctx, "/trace", &out)
+	return out, err
+}
+
+// MetricsHistory fetches the node's metrics-history ring (GET
+// /metrics/history) — periodic registry snapshots turning every metric
+// into a time series. window trims to the trailing window (0 fetches
+// the whole ring). A node with history disabled answers a non-retryable
+// "disabled" APIError.
+func (c *Client) MetricsHistory(ctx context.Context, window time.Duration) (telemetry.HistoryDump, error) {
+	var out telemetry.HistoryDump
+	path := "/metrics/history"
+	if window > 0 {
+		path += "?window=" + window.String()
+	}
+	err := c.get(ctx, path, &out)
+	return out, err
+}
+
+// Pprof fetches a profile from the node's /debug/pprof/ surface in raw
+// pprof (gzipped protobuf) form — e.g. "goroutine", "heap", "mutex",
+// "block", or "profile" with seconds > 0 for a timed CPU profile.
+// Profile collection is not idempotent work worth duplicating, so the
+// call runs without retries; long CPU captures rely on the server's
+// deadline exemption for pprof paths.
+func (c *Client) Pprof(ctx context.Context, profile string, seconds int) ([]byte, error) {
+	path := "/debug/pprof/" + profile
+	if seconds > 0 {
+		path += "?seconds=" + strconv.Itoa(seconds)
+	}
+	mClientCalls.Inc()
+	data, _, err := c.once(ctx, http.MethodGet, path, nil, nil, nil)
+	return data, err
+}
+
 // SubmitTx queues a signed transaction and returns its hash. The
 // request carries the transaction hash as an idempotency key, so
 // retrying after a lost response can never double-spend the nonce: the

@@ -38,9 +38,16 @@ const (
 	// Retry after the Retry-After hint.
 	CodeOverloaded = "overloaded"
 
-	// CodeUnavailable: the node cannot serve right now (disabled
-	// subsystem, draining). Retryable — possibly against another node.
+	// CodeUnavailable: the node cannot serve right now (draining,
+	// transient pressure). Retryable — possibly against another node.
 	CodeUnavailable = "unavailable"
+
+	// CodeDisabled: the subsystem is switched off by node configuration
+	// (telemetry, metrics history, pprof). Deliberately NOT retryable:
+	// unlike a draining node, a disabled feature does not come back on
+	// its own, so a well-behaved client must stop asking instead of
+	// burning its retry budget. No Retry-After hint is ever attached.
+	CodeDisabled = "disabled"
 
 	// CodeTimeout: the per-request deadline expired server-side.
 	CodeTimeout = "timeout"

@@ -19,12 +19,15 @@ import (
 )
 
 // TestMetricsAndTraceDisabled pins the disabled-telemetry contract:
-// /metrics and /trace answer 503 with the uniform JSON error body and
-// an explicit JSON content type, never an empty-but-200 snapshot.
+// /metrics, /metrics/history and /trace answer 503 with the uniform
+// JSON error envelope carrying the non-retryable "disabled" code and no
+// Retry-After hint — a configured-off subsystem never comes back on its
+// own, so clients must not burn retry budget on it — and never an
+// empty-but-200 snapshot.
 func TestMetricsAndTraceDisabled(t *testing.T) {
 	telemetry.Disable()
 	srv, _, _ := testServer(t, false)
-	for _, path := range []string{"/metrics", "/trace"} {
+	for _, path := range []string{"/metrics", "/metrics/history", "/trace"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -37,9 +40,15 @@ func TestMetricsAndTraceDisabled(t *testing.T) {
 		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 			t.Fatalf("GET %s: Content-Type %q", path, ct)
 		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			t.Fatalf("GET %s: Retry-After %q on a permanently disabled subsystem", path, ra)
+		}
 		var e apiError
-		if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != CodeUnavailable {
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != CodeDisabled {
 			t.Fatalf("GET %s: body %q is not the JSON error envelope", path, body)
+		}
+		if e.Error.Retryable {
+			t.Fatalf("GET %s: disabled subsystem marked retryable", path)
 		}
 	}
 }

@@ -17,8 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,6 +77,12 @@ type Server struct {
 	// the next seal — the fault-injection hook for clock-skew chaos.
 	sealSkew func() int64
 
+	// pprofOn gates the /debug/pprof/ routes. They are always mounted
+	// (ServeMux cannot unregister) but answer a machine-readable 503
+	// until SetPprof(true) — profiling stays an explicit operator
+	// decision, never an accidental default on a public gateway.
+	pprofOn atomic.Bool
+
 	// lastHeight tracks chain progress between health evaluations for
 	// the ledger.chain check. Guarded by s.mu.
 	lastHeight uint64
@@ -105,11 +113,39 @@ func NewServer(m *market.Market, allowSeal bool) *Server {
 	s.mux.HandleFunc("POST /v1/views", s.handleView)
 	s.mux.HandleFunc("POST /v1/blocks/seal", s.handleSeal)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics/history", s.handleMetricsHistory)
 	s.mux.HandleFunc("GET /trace", s.handleTrace)
 	s.mux.HandleFunc("GET /logs", s.handleLogs)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/buildinfo", s.handleBuildInfo)
+	// Standard pprof surface, gated by pprofOn (see pprofGuard). The
+	// explicit non-index routes are required because the Index handler
+	// only dispatches to named profiles, not cmdline/profile/symbol/trace.
+	s.mux.HandleFunc("/debug/pprof/", s.pprofGuard(pprof.Index))
+	s.mux.HandleFunc("/debug/pprof/cmdline", s.pprofGuard(pprof.Cmdline))
+	s.mux.HandleFunc("/debug/pprof/profile", s.pprofGuard(pprof.Profile))
+	s.mux.HandleFunc("/debug/pprof/symbol", s.pprofGuard(pprof.Symbol))
+	s.mux.HandleFunc("/debug/pprof/trace", s.pprofGuard(pprof.Trace))
 	return s
+}
+
+// SetPprof enables or disables the /debug/pprof/ routes at runtime.
+func (s *Server) SetPprof(on bool) { s.pprofOn.Store(on) }
+
+// PprofEnabled reports whether the pprof routes are live.
+func (s *Server) PprofEnabled() bool { return s.pprofOn.Load() }
+
+// pprofGuard wraps a pprof handler so it answers the standard disabled
+// envelope until the operator turns profiling on.
+func (s *Server) pprofGuard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.pprofOn.Load() {
+			writeErr(w, http.StatusServiceUnavailable, CodeDisabled, "pprof disabled on this node (enable with -pprof)")
+			return
+		}
+		h(w, r)
+	}
 }
 
 // Health exposes the server's health aggregator so deployments can
@@ -153,7 +189,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		defer span.End()
 	}
 	logAPI.Debug("request", telemetry.Str("method", r.Method), telemetry.Str("path", r.URL.Path))
-	if s.reqTimeout > 0 {
+	// pprof collection endpoints run for caller-chosen durations
+	// (?seconds=30 CPU profiles, delta mutex profiles), so they are
+	// exempt from the per-request deadline that protects market handlers.
+	if s.reqTimeout > 0 && !strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
 		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
@@ -641,10 +680,37 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 // answers 503 with a stable JSON error instead.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if !telemetry.Default().Enabled() {
-		writeErr(w, http.StatusServiceUnavailable, CodeUnavailable, "telemetry disabled on this node")
+		writeErr(w, http.StatusServiceUnavailable, CodeDisabled, "telemetry disabled on this node")
 		return
 	}
 	writeJSON(w, http.StatusOK, telemetry.Default().Snapshot())
+}
+
+// handleMetricsHistory serves GET /metrics/history: the node's bounded
+// ring of periodic registry snapshots, turning every metric into a time
+// series. ?window=5s trims to the trailing window (a Go duration; omit
+// or 0 for the whole ring). Nodes that never enabled history answer the
+// same non-retryable disabled envelope as a disabled registry.
+func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	if !telemetry.Default().Enabled() {
+		writeErr(w, http.StatusServiceUnavailable, CodeDisabled, "telemetry disabled on this node")
+		return
+	}
+	h := telemetry.DefaultHistory()
+	if h == nil {
+		writeErr(w, http.StatusServiceUnavailable, CodeDisabled, "metrics history disabled on this node (enable with -history-ms)")
+		return
+	}
+	var window time.Duration
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		var err error
+		window, err = time.ParseDuration(raw)
+		if err != nil || window < 0 {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad window %q: want a duration like 5s", raw)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, h.Dump(window))
 }
 
 // handleTrace serves GET /trace: the finished spans currently held in the
@@ -652,7 +718,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // /metrics it answers 503 while telemetry is disabled.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if !telemetry.Default().Enabled() {
-		writeErr(w, http.StatusServiceUnavailable, CodeUnavailable, "telemetry disabled on this node")
+		writeErr(w, http.StatusServiceUnavailable, CodeDisabled, "telemetry disabled on this node")
 		return
 	}
 	writeJSON(w, http.StatusOK, telemetry.Default().Tracer().Export())
@@ -702,6 +768,15 @@ func (s *Server) handleLogs(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Events = filtered
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBuildInfo serves GET /v1/buildinfo: the node's Go version, git
+// revision, host and CPU shape — the attribution block diag bundles and
+// bench reports need to compare numbers across machines and commits. It
+// is served even with telemetry disabled; build identity is not a
+// metric.
+func (s *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, telemetry.CollectBuildInfo())
 }
 
 // checkChain verifies the chain exists and reports whether it advanced

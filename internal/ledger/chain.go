@@ -234,7 +234,16 @@ func (c *Chain) expectedProposer(h uint64) identity.Address {
 // receipts recorded. Transactions that fail stateless verification cause
 // the whole proposal to be rejected — a correct proposer never includes
 // them.
-func (c *Chain) ProposeBlock(proposer *identity.Identity, timestamp uint64, txs []*Transaction) (*Block, error) {
+func (c *Chain) ProposeBlock(proposer *identity.Identity, timestamp uint64, txs []*Transaction) (block *Block, err error) {
+	// The component label makes seal cost (and everything it calls —
+	// execution, root hashing, commit) attributable in CPU profiles.
+	telemetry.WithComponent("ledger.seal", func() {
+		block, err = c.proposeBlock(proposer, timestamp, txs)
+	})
+	return block, err
+}
+
+func (c *Chain) proposeBlock(proposer *identity.Identity, timestamp uint64, txs []*Transaction) (*Block, error) {
 	timer := mSealSeconds.Time()
 	height := c.Height() + 1
 	if c.expectedProposer(height) != proposer.Address() {
@@ -428,7 +437,12 @@ func (c *Chain) VerifyBlock(block *Block) error {
 // executed once against a snapshot whose gas total and state root are
 // compared with the header before that same snapshot is committed. Any
 // mismatch reverts the state and leaves the chain untouched.
-func (c *Chain) ImportBlock(block *Block) error {
+func (c *Chain) ImportBlock(block *Block) (err error) {
+	telemetry.WithComponent("ledger.import", func() { err = c.importBlock(block) })
+	return err
+}
+
+func (c *Chain) importBlock(block *Block) error {
 	timer := mImportSeconds.Time()
 	defer timer.Stop()
 	if err := c.verifyHeader(block); err != nil {

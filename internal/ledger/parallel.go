@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pds2/internal/identity"
 	"pds2/internal/telemetry"
@@ -12,13 +13,36 @@ import (
 
 // Parallel execution instrumentation: blocks and transactions routed
 // through the optimistic scheduler, validation conflicts, and serial
-// re-executions (conflicts plus speculation failures).
+// re-executions (conflicts plus speculation failures); plus the
+// scheduler-shape histograms — lane depth (same-sender chain length)
+// and commit stall (how long the in-order committer waits for a
+// speculation that isn't done yet) — that turn "where does the parallel
+// overhead go" into a /metrics/history query.
 var (
-	mParBlocks    = telemetry.C("ledger.parallel.blocks_total")
-	mParTxs       = telemetry.C("ledger.parallel.txs_total")
-	mParConflicts = telemetry.C("ledger.parallel.conflicts_total")
-	mParReexec    = telemetry.C("ledger.parallel.reexec_total")
+	mParBlocks      = telemetry.C("ledger.parallel.blocks_total")
+	mParTxs         = telemetry.C("ledger.parallel.txs_total")
+	mParConflicts   = telemetry.C("ledger.parallel.conflicts_total")
+	mParReexec      = telemetry.C("ledger.parallel.reexec_total")
+	mParLaneDepth   = telemetry.H("ledger.parallel.lane_depth", telemetry.CountBuckets)
+	mParCommitStall = telemetry.H("ledger.parallel.commit_stall_seconds", telemetry.TimeBuckets)
 )
+
+// parWorkerComponent labels worker goroutines in CPU and goroutine
+// profiles, so a profile of a busy sealer attributes speculation cost
+// separately from the commit loop (componentCommit) and the rest of the
+// import path.
+const (
+	parWorkerComponent = "ledger.parallel.worker"
+	parCommitComponent = "ledger.parallel.commit"
+)
+
+// conflictShardCounter attributes a validation conflict to the state
+// shard of the conflicted sender. Counters are looked up per conflict —
+// conflicts are rare, so the registry lookup is noise — and named with
+// a stable two-digit index so the family sorts in dumps.
+func conflictShardCounter(shard int) *telemetry.Counter {
+	return telemetry.C(fmt.Sprintf("ledger.parallel.conflicts_shard_%02d_total", shard))
+}
 
 // defaultParallelMinBatch is the block size below which parallel
 // execution is not worth the scheduling overhead and blocks execute
@@ -115,6 +139,14 @@ func (c *Chain) applyTxsParallel(txs []*Transaction, height uint64) ([]*Receipt,
 			laneOf[i] = ln
 		}
 	}
+	// One lane-depth observation per sender: depth 1 for independent
+	// transactions, the chain length for multi-tx senders. The deepest
+	// lane is the block's critical path — a block dominated by one long
+	// same-sender chain cannot parallelize no matter the worker count,
+	// and that shows up here as a high lane-depth max.
+	for _, depth := range senderTxs {
+		mParLaneDepth.Observe(float64(depth))
+	}
 
 	results := make([]specResult, n)
 	done := make([]chan struct{}, n)
@@ -126,7 +158,10 @@ func (c *Chain) applyTxsParallel(txs []*Transaction, height uint64) ([]*Receipt,
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		// The component label costs one goroutine-local store per worker
+		// (not per tx) and makes speculation cost attributable in CPU
+		// profiles of a busy sealer.
+		go telemetry.WithComponent(parWorkerComponent, func() {
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1)) - 1
@@ -155,7 +190,7 @@ func (c *Chain) applyTxsParallel(txs []*Transaction, height uint64) ([]*Receipt,
 				}
 				close(done[i])
 			}
-		}()
+		})
 	}
 
 	abort := func(err error) ([]*Receipt, uint64, error) {
@@ -166,36 +201,57 @@ func (c *Chain) applyTxsParallel(txs []*Transaction, height uint64) ([]*Receipt,
 	}
 
 	var gasUsed uint64
+	var commitErr error
 	receipts := make([]*Receipt, 0, n)
-	for i := 0; i < n; i++ {
-		<-done[i]
-		res := &results[i]
-		adopted := false
-		if res.ok {
-			if res.view.validate(c.state) {
-				res.view.commitTo(c.state)
-				receipts = append(receipts, res.rcpt)
-				adopted = true
-			} else {
-				mParConflicts.Inc()
+	telemetry.WithComponent(parCommitComponent, func() {
+		for i := 0; i < n; i++ {
+			// Fast path: speculation already finished, no clock read. When
+			// the committer outruns the workers, the wait is a commit stall
+			// — the histogram that separates "workers starved the
+			// committer" from "validation churned" when a parallel run
+			// underperforms serial.
+			select {
+			case <-done[i]:
+			default:
+				start := time.Now()
+				<-done[i]
+				mParCommitStall.Observe(time.Since(start).Seconds())
+			}
+			res := &results[i]
+			adopted := false
+			if res.ok {
+				if res.view.validate(c.state) {
+					res.view.commitTo(c.state)
+					receipts = append(receipts, res.rcpt)
+					adopted = true
+				} else {
+					mParConflicts.Inc()
+					conflictShardCounter(c.state.ShardIndex(txs[i].From)).Inc()
+				}
+			}
+			if !adopted {
+				mParReexec.Inc()
+				tx := txs[i]
+				if want := c.state.Nonce(tx.From); tx.Nonce != want {
+					commitErr = fmt.Errorf("ledger: tx %d nonce %d, want %d for %s", i, tx.Nonce, want, tx.From.Short())
+					return
+				}
+				rcpt, err := c.cfg.Applier.Apply(c.state, tx, height)
+				if err != nil {
+					commitErr = fmt.Errorf("ledger: tx %d apply: %w", i, err)
+					return
+				}
+				receipts = append(receipts, rcpt)
+			}
+			gasUsed += receipts[i].GasUsed
+			if gasUsed > c.cfg.BlockGasLimit {
+				commitErr = fmt.Errorf("%w: %d > %d", ErrBlockGasLimit, gasUsed, c.cfg.BlockGasLimit)
+				return
 			}
 		}
-		if !adopted {
-			mParReexec.Inc()
-			tx := txs[i]
-			if want := c.state.Nonce(tx.From); tx.Nonce != want {
-				return abort(fmt.Errorf("ledger: tx %d nonce %d, want %d for %s", i, tx.Nonce, want, tx.From.Short()))
-			}
-			rcpt, err := c.cfg.Applier.Apply(c.state, tx, height)
-			if err != nil {
-				return abort(fmt.Errorf("ledger: tx %d apply: %w", i, err))
-			}
-			receipts = append(receipts, rcpt)
-		}
-		gasUsed += receipts[i].GasUsed
-		if gasUsed > c.cfg.BlockGasLimit {
-			return abort(fmt.Errorf("%w: %d > %d", ErrBlockGasLimit, gasUsed, c.cfg.BlockGasLimit))
-		}
+	})
+	if commitErr != nil {
+		return abort(commitErr)
 	}
 	wg.Wait()
 	return receipts, gasUsed, nil

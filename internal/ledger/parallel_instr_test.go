@@ -1,0 +1,152 @@
+package ledger
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"testing"
+
+	"pds2/internal/identity"
+	"pds2/internal/telemetry"
+)
+
+// TestParallelExecutorInstrumentation pins the scheduler's observability
+// contract: a conflict-heavy parallel block must leave (a) the aggregate
+// conflict counter and per-shard conflict counters in agreement, (b) a
+// lane-depth observation per sender, and (c) commit-stall totals that
+// never exceed the block's transaction count.
+func TestParallelExecutorInstrumentation(t *testing.T) {
+	telemetry.Default().Reset()
+	telemetry.Enable()
+	defer telemetry.Disable()
+
+	authority := testIdentity(1000)
+	hot := testIdentity(999)
+	const n = 64
+	ids := make([]*identity.Identity, n)
+	alloc := map[identity.Address]uint64{hot.Address(): 5}
+	for i := range ids {
+		ids[i] = testIdentity(uint64(i))
+		alloc[ids[i].Address()] = 1_000_000
+	}
+	_, parallel := parallelFixture(t, TransferApplier{}, alloc, authority, 16)
+	// Every transfer targets one hot recipient: each speculation's read
+	// of the hot balance goes stale as its predecessor commits, so the
+	// block is guaranteed to produce conflicts.
+	var txs []*Transaction
+	for i, id := range ids {
+		txs = append(txs, SignTx(id, hot.Address(), uint64(i+1), 0, 100_000, nil))
+	}
+	if _, err := parallel.ProposeBlock(authority, 1, txs); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := telemetry.Default().Snapshot()
+	conflicts, ok := snap.Get("ledger.parallel.conflicts_total")
+	if !ok || conflicts.Value == 0 {
+		t.Fatalf("hot-account block produced no conflicts: %+v", conflicts)
+	}
+	var byShard float64
+	for _, m := range snap.Metrics {
+		if strings.HasPrefix(m.Name, "ledger.parallel.conflicts_shard_") {
+			byShard += m.Value
+		}
+	}
+	if byShard != conflicts.Value {
+		t.Fatalf("per-shard conflicts sum %v != aggregate %v", byShard, conflicts.Value)
+	}
+
+	lanes, ok := snap.Get("ledger.parallel.lane_depth")
+	if !ok || lanes.Count != n {
+		t.Fatalf("lane depth observations = %+v, want one per sender (%d)", lanes, n)
+	}
+	if lanes.Max != 1 {
+		t.Fatalf("single-tx senders should observe depth 1, got max %v", lanes.Max)
+	}
+
+	if stall, ok := snap.Get("ledger.parallel.commit_stall_seconds"); ok && stall.Count > n {
+		t.Fatalf("more commit stalls (%d) than transactions (%d)", stall.Count, n)
+	}
+}
+
+// TestParallelLaneDepthObservesChains pins the lane-depth histogram on a
+// chained-nonce workload: 4 senders × 16 txs each must observe 4 lanes
+// of depth 16.
+func TestParallelLaneDepthObservesChains(t *testing.T) {
+	telemetry.Default().Reset()
+	telemetry.Enable()
+	defer telemetry.Disable()
+
+	authority := testIdentity(1000)
+	const senders, chain = 4, 16
+	ids := make([]*identity.Identity, senders)
+	alloc := make(map[identity.Address]uint64, senders)
+	for i := range ids {
+		ids[i] = testIdentity(uint64(i))
+		alloc[ids[i].Address()] = 1_000_000
+	}
+	_, parallel := parallelFixture(t, TransferApplier{}, alloc, authority, 0)
+	var txs []*Transaction
+	for nonce := 0; nonce < chain; nonce++ {
+		for i, id := range ids {
+			txs = append(txs, SignTx(id, ids[(i+1)%senders].Address(), 1, uint64(nonce), 100_000, nil))
+		}
+	}
+	if _, err := parallel.ProposeBlock(authority, 1, txs); err != nil {
+		t.Fatal(err)
+	}
+	lanes, ok := telemetry.Default().Snapshot().Get("ledger.parallel.lane_depth")
+	if !ok || lanes.Count != senders {
+		t.Fatalf("lane observations = %+v, want %d", lanes, senders)
+	}
+	if lanes.Min != chain || lanes.Max != chain {
+		t.Fatalf("lane depth min/max = %v/%v, want %d/%d", lanes.Min, lanes.Max, chain, chain)
+	}
+}
+
+// labelProbeApplier captures a goroutine profile from inside the first
+// Apply call it receives, so the test can assert the executing worker
+// goroutine carries the component pprof label.
+type labelProbeApplier struct {
+	once    sync.Once
+	profile bytes.Buffer
+}
+
+func (a *labelProbeApplier) Apply(st StateAccessor, tx *Transaction, height uint64) (*Receipt, error) {
+	a.once.Do(func() {
+		_ = pprof.Lookup("goroutine").WriteTo(&a.profile, 1)
+	})
+	return TransferApplier{}.Apply(st, tx, height)
+}
+
+// TestParallelWorkersCarryPprofLabel pins the profiling contract the
+// diag bundle depends on: samples taken while the parallel executor
+// runs must attribute worker goroutines to ledger.parallel.worker via
+// the component label.
+func TestParallelWorkersCarryPprofLabel(t *testing.T) {
+	authority := testIdentity(1000)
+	const n = 32
+	ids := make([]*identity.Identity, n)
+	alloc := make(map[identity.Address]uint64, n)
+	for i := range ids {
+		ids[i] = testIdentity(uint64(i))
+		alloc[ids[i].Address()] = 1_000_000
+	}
+	probe := &labelProbeApplier{}
+	_, parallel := parallelFixture(t, probe, alloc, authority, 0)
+	var txs []*Transaction
+	for i, id := range ids {
+		txs = append(txs, SignTx(id, ids[(i+1)%n].Address(), 1, 0, 100_000, nil))
+	}
+	if _, err := parallel.ProposeBlock(authority, 1, txs); err != nil {
+		t.Fatal(err)
+	}
+	prof := probe.profile.String()
+	if prof == "" {
+		t.Fatal("probe applier captured no goroutine profile")
+	}
+	if !strings.Contains(prof, telemetry.LabelComponent) || !strings.Contains(prof, parWorkerComponent) {
+		t.Fatalf("goroutine profile lacks %s=%s label:\n%s", telemetry.LabelComponent, parWorkerComponent, prof)
+	}
+}

@@ -27,13 +27,13 @@ import (
 // rejects the snapshot on any mismatch, so a flipped balance bit or a
 // truncated storage value cannot produce a silently divergent replica.
 type StateSnapshot struct {
-	Authorities   []identity.Address                      `json:"authorities"`
-	BlockGasLimit uint64                                  `json:"block_gas_limit"`
-	GenesisAlloc  map[identity.Address]uint64             `json:"genesis_alloc,omitempty"`
-	Head          *Block                                  `json:"head"`
-	Balances      map[identity.Address]uint64             `json:"balances,omitempty"`
-	Nonces        map[identity.Address]uint64             `json:"nonces,omitempty"`
-	Storage       map[identity.Address]map[string][]byte  `json:"storage,omitempty"`
+	Authorities   []identity.Address                     `json:"authorities"`
+	BlockGasLimit uint64                                 `json:"block_gas_limit"`
+	GenesisAlloc  map[identity.Address]uint64            `json:"genesis_alloc,omitempty"`
+	Head          *Block                                 `json:"head"`
+	Balances      map[identity.Address]uint64            `json:"balances,omitempty"`
+	Nonces        map[identity.Address]uint64            `json:"nonces,omitempty"`
+	Storage       map[identity.Address]map[string][]byte `json:"storage,omitempty"`
 }
 
 // Height returns the block height the snapshot was taken at.

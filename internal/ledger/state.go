@@ -89,8 +89,8 @@ type stateShard struct {
 // transactions against the live state while the committer applies
 // validated write sets.
 type State struct {
-	shards []stateShard
-	mask   byte
+	shards  []stateShard
+	mask    byte
 	journal []journalEntry
 }
 
@@ -143,6 +143,10 @@ func NewStateSharded(n int) *State {
 
 // Shards returns the number of address-prefix shards.
 func (s *State) Shards() int { return len(s.shards) }
+
+// ShardIndex returns the shard an address routes to — the key the
+// parallel executor's per-shard conflict counters are bucketed by.
+func (s *State) ShardIndex(addr identity.Address) int { return int(addr[0] & s.mask) }
 
 func (s *State) shard(addr identity.Address) *stateShard {
 	return &s.shards[addr[0]&s.mask]

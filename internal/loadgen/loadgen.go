@@ -273,6 +273,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, setupErr
 	}
 
+	// Run the generator-side runtime sampler for the measured phase so
+	// the report's runtime section has a fallback when the node under
+	// test doesn't export runtime gauges.
+	sampler := telemetry.StartRuntimeSampler(telemetry.Default(), time.Second)
+	defer sampler.Stop()
+
 	// Baselines around the measured phase.
 	before, err := client.Metrics(ctx)
 	if err != nil {
@@ -340,9 +346,16 @@ dispatch:
 	if err != nil {
 		return nil, err
 	}
-	local := snapshotClasses(telemetry.Default().Snapshot())
+	sampler.Sample() // final tick so short runs still record peaks
+	localSnap := telemetry.Default().Snapshot()
+	local := snapshotClasses(localSnap)
 
 	rep := buildReport(cfg, elapsed, before, after, local, h0, h1, workers, shed)
+	rep.Build = telemetry.CollectBuildInfo()
+	if bi, err := client.BuildInfo(context.WithoutCancel(ctx)); err == nil {
+		rep.NodeBuild = &bi
+	}
+	rep.Runtime = runtimeReport(after, localSnap)
 	rep.Breaches = rep.checkSLO(cfg.SLO)
 	logLoad.Info("load run complete",
 		telemetry.U64("ops", rep.Ops),

@@ -90,6 +90,16 @@ func TestRunAgainstInProcessNode(t *testing.T) {
 	if len(rep.Breaches) != 0 {
 		t.Fatalf("unexpected SLO breaches: %v", rep.Breaches)
 	}
+	// The runtime and build sections carry real measurements.
+	if rep.Runtime.HeapInusePeakBytes == 0 || rep.Runtime.GoroutinesPeak == 0 {
+		t.Fatalf("runtime section empty: %+v", rep.Runtime)
+	}
+	if rep.Build.GoVersion == "" || rep.Build.NumCPU == 0 {
+		t.Fatalf("build section empty: %+v", rep.Build)
+	}
+	if rep.NodeBuild == nil || rep.NodeBuild.GoVersion == "" {
+		t.Fatalf("node build section missing: %+v", rep.NodeBuild)
+	}
 
 	// The report round-trips through its canonical file.
 	dir := t.TempDir()

@@ -60,8 +60,56 @@ type Report struct {
 
 	Classes []ClassReport `json:"classes"`
 
+	// Build identifies the generator binary and host (git commit, Go
+	// version, CPU count); NodeBuild is the node's own identity read
+	// from GET /v1/buildinfo, absent when the node predates the
+	// endpoint. Self-hosted runs show the same commit on both.
+	Build     telemetry.BuildInfo  `json:"build"`
+	NodeBuild *telemetry.BuildInfo `json:"node_build,omitempty"`
+
+	// Runtime summarizes the Go runtime during the measured phase —
+	// what the throughput numbers cost in GC and memory terms.
+	Runtime RuntimeReport `json:"runtime"`
+
 	SLO      SLO      `json:"slo"`
 	Breaches []string `json:"breaches,omitempty"`
+}
+
+// RuntimeReport is the runtime-health section of a bench report: GC
+// pause tail, peak heap occupancy and peak goroutine count over the
+// run. Source says whose runtime was measured — "node" when the node
+// under test runs the runtime sampler (the interesting side), falling
+// back to "loadgen" (the generator's own process) against nodes that
+// don't export runtime gauges.
+type RuntimeReport struct {
+	Source             string  `json:"source"`
+	GCPauseP99Seconds  float64 `json:"gc_pause_p99_seconds"`
+	HeapInusePeakBytes uint64  `json:"heap_inuse_peak_bytes"`
+	GoroutinesPeak     uint64  `json:"goroutines_peak"`
+}
+
+// runtimeReport builds the runtime section, preferring the node-side
+// snapshot. The peak-heap gauge doubles as the "did the sampler run"
+// probe: it is zero only when no sample was ever taken.
+func runtimeReport(node, local telemetry.Snapshot) RuntimeReport {
+	if r, ok := runtimeFrom(node, "node"); ok {
+		return r
+	}
+	r, _ := runtimeFrom(local, "loadgen")
+	return r
+}
+
+func runtimeFrom(s telemetry.Snapshot, source string) (RuntimeReport, bool) {
+	peak := counterValue(s, telemetry.MetricHeapInusePeak)
+	if peak == 0 {
+		return RuntimeReport{Source: source}, false
+	}
+	return RuntimeReport{
+		Source:             source,
+		GCPauseP99Seconds:  counterValue(s, telemetry.MetricGCPauseP99),
+		HeapInusePeakBytes: uint64(peak),
+		GoroutinesPeak:     uint64(counterValue(s, telemetry.MetricGoroutinesPeak)),
+	}, true
 }
 
 // Filename returns the canonical report name for its date.

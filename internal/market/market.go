@@ -216,7 +216,15 @@ func (m *Market) SealBlock() (*ledger.Block, error) {
 // chain enforces timestamp monotonicity, so a seal behind the parent's
 // timestamp fails without consuming the batch; a seal ahead succeeds
 // and advances the market's logical clock to the given value.
-func (m *Market) SealBlockAt(timestamp uint64) (*ledger.Block, error) {
+func (m *Market) SealBlockAt(timestamp uint64) (block *ledger.Block, err error) {
+	// market.seal attributes batch building and mempool drain; the chain
+	// re-labels execution ledger.seal inside ProposeBlock, so a profile
+	// splits "picking transactions" from "executing them".
+	telemetry.WithComponent("market.seal", func() { block, err = m.sealBlockAt(timestamp) })
+	return block, err
+}
+
+func (m *Market) sealBlockAt(timestamp uint64) (*ledger.Block, error) {
 	height := m.Chain.Height() + 1
 	proposer := m.authorities[(height-1)%uint64(len(m.authorities))]
 	for {

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerPopulatesGauges(t *testing.T) {
+	r := enabled(t)
+	s := NewRuntimeSampler(r, 0)
+	s.Sample()
+
+	snap := r.Snapshot()
+	heap, ok := snap.Get(MetricHeapInuse)
+	if !ok || heap.Value <= 0 {
+		t.Fatalf("heap in-use gauge not set: %+v ok=%v", heap, ok)
+	}
+	gor, ok := snap.Get(MetricGoroutines)
+	if !ok || gor.Value < 1 {
+		t.Fatalf("goroutine gauge not set: %+v ok=%v", gor, ok)
+	}
+	maxprocs, ok := snap.Get(MetricGOMAXPROCS)
+	if !ok || int(maxprocs.Value) != runtime.GOMAXPROCS(0) {
+		t.Fatalf("gomaxprocs gauge %v, want %d", maxprocs.Value, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestRuntimeSamplerTracksPeaks(t *testing.T) {
+	r := enabled(t)
+	s := NewRuntimeSampler(r, 0)
+	s.Sample()
+
+	// Spin up extra goroutines, sample, let them exit, sample again: the
+	// live gauge may fall back but the peak must not.
+	stop := make(chan struct{})
+	for i := 0; i < 50; i++ {
+		go func() { <-stop }()
+	}
+	// Wait for the goroutines to be running.
+	deadline := time.Now().Add(2 * time.Second)
+	base := int(r.Gauge(MetricGoroutines).Value())
+	for runtime.NumGoroutine() < base+50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Sample()
+	peakDuring := r.Gauge(MetricGoroutinesPeak).Value()
+	close(stop)
+	for runtime.NumGoroutine() >= base+50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Sample()
+	peakAfter := r.Gauge(MetricGoroutinesPeak).Value()
+	if peakAfter < peakDuring {
+		t.Fatalf("peak regressed: during=%v after=%v", peakDuring, peakAfter)
+	}
+	if peakDuring < float64(base+50) {
+		t.Fatalf("peak %v did not capture the 50-goroutine burst over base %d", peakDuring, base)
+	}
+}
+
+func TestRuntimeSamplerGCPause(t *testing.T) {
+	r := enabled(t)
+	s := NewRuntimeSampler(r, 0)
+	runtime.GC()
+	runtime.GC()
+	s.Sample()
+	snap := r.Snapshot()
+	p99, ok := snap.Get(MetricGCPauseP99)
+	if !ok {
+		t.Fatal("gc pause p99 gauge missing")
+	}
+	if p99.Value < 0 {
+		t.Fatalf("negative gc pause p99 %v", p99.Value)
+	}
+	cycles, ok := snap.Get(MetricGCCycles)
+	if !ok || cycles.Value < 2 {
+		t.Fatalf("gc cycles %v after two forced GCs", cycles.Value)
+	}
+}
+
+func TestRuntimeSamplerDisabledRegistryIsNoop(t *testing.T) {
+	r := New() // disabled
+	s := NewRuntimeSampler(r, 0)
+	s.Sample()
+	// Registration shows the gauges in the snapshot, but a disabled
+	// registry must not record values into them.
+	if m, ok := r.Snapshot().Get(MetricHeapInuse); ok && m.Value != 0 {
+		t.Fatalf("disabled registry recorded heap in-use %v", m.Value)
+	}
+	if m, ok := r.Snapshot().Get(MetricGoroutines); ok && m.Value != 0 {
+		t.Fatalf("disabled registry recorded goroutines %v", m.Value)
+	}
+}
+
+func TestStartRuntimeSamplerStopIdempotent(t *testing.T) {
+	r := enabled(t)
+	s := StartRuntimeSampler(r, time.Millisecond)
+	// Immediate sample on start.
+	if _, ok := r.Snapshot().Get(MetricHeapInuse); !ok {
+		t.Fatal("no immediate sample on start")
+	}
+	s.Stop()
+	s.Stop() // must not panic or block
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 10, 0, 90},
+		Buckets: []float64{0, 1, 2, 3, 4},
+	}
+	if got := histQuantile(h, 0.05); got < 1 || got > 2 {
+		t.Fatalf("p5 = %v, want within bucket [1,2)", got)
+	}
+	if got := histQuantile(h, 0.99); got < 3 || got > 4 {
+		t.Fatalf("p99 = %v, want within bucket [3,4)", got)
+	}
+	if got := histQuantile(&metrics.Float64Histogram{}, 0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestHistQuantileInfTail(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 100},
+		Buckets: []float64{0, 1, math.Inf(1)},
+	}
+	got := histQuantile(h, 0.99)
+	if got != 1 {
+		t.Fatalf("inf-tail quantile = %v, want bucket floor 1", got)
+	}
+	if m := histMax(h); m != 1 {
+		t.Fatalf("inf-tail max = %v, want bucket floor 1", m)
+	}
+}
+
+func TestSetProfileRates(t *testing.T) {
+	origMutex, origBlock := ProfileRates()
+	defer SetProfileRates(origMutex, origBlock)
+	SetProfileRates(7, 1000)
+	m, b := ProfileRates()
+	if m != 7 || b != 1000 {
+		t.Fatalf("rates = (%d, %d), want (7, 1000)", m, b)
+	}
+}
+
+func TestCollectBuildInfo(t *testing.T) {
+	bi := CollectBuildInfo()
+	if bi.GoVersion == "" {
+		t.Fatal("missing go version")
+	}
+	if bi.NumCPU < 1 || bi.GOMAXPROCS < 1 {
+		t.Fatalf("bogus cpu info: %+v", bi)
+	}
+	if bi.OS == "" || bi.Arch == "" {
+		t.Fatalf("missing os/arch: %+v", bi)
+	}
+}
