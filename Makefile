@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-core vet bench proptest fuzz covgate load-smoke bench-compare diag-selftest pprof-smoke ci
+.PHONY: build test race race-core vet bench proptest fuzz covgate load-smoke bench-compare diag-selftest pprof-smoke policy-smoke ci
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,15 @@ bench-compare:
 diag-selftest:
 	$(GO) run ./cmd/pds2 diag -self-test
 
+# policy-smoke runs the usage-control end-to-end: a mixed market where
+# policy-bearing workloads settle, a forbidden dataset is denied at the
+# match layer, every decision lands on-chain, and the offline replay
+# re-derives each one — plus the three-layer denial test and the API
+# round trips for the /v1/datasets + /v1/policies surface.
+policy-smoke:
+	$(GO) test -count=1 ./internal/market/ -run 'TestPolicySmokeLifecycle|TestPolicyDeniedAtAllThreeLayers'
+	$(GO) test -count=1 ./internal/api/ -run 'TestDatasetAPILifecycle|TestPolicyDenialEnvelope|TestPolicyDecisionsPaginationWalk'
+
 # pprof-smoke exercises the profiling and history endpoints (guard
 # behaviour, gzip integrity, history windowing) and the diag bundle
 # capture/verify paths under the race detector.
@@ -84,7 +93,9 @@ pprof-smoke:
 # two-node stitching demo must verify end to end — a seeded chaos
 # smoke (the quick E15 subset drives the full workload lifecycle
 # through fault-injected client and server and must converge), the
-# fixed-seed property-harness smoke with differential replay, a short
+# fixed-seed property-harness smoke with differential replay, the
+# usage-control policy smoke (three-layer enforcement, on-chain
+# decision events, offline replay, API round trips), a short
 # randomized pass over each fuzz target, the pprof/history endpoint
 # smoke under -race, the diag flight-recorder self-test (capture a
 # bundle from a live node and assert every artifact is present,
@@ -99,6 +110,7 @@ ci: vet build
 	$(GO) run ./cmd/pds2 trace -self-test
 	$(GO) run ./cmd/pds2-experiments -quick -telemetry=false -run E15
 	$(MAKE) proptest
+	$(MAKE) policy-smoke
 	$(MAKE) fuzz
 	$(MAKE) pprof-smoke
 	$(MAKE) diag-selftest

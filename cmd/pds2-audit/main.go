@@ -25,6 +25,7 @@ import (
 	"pds2/internal/chainstore"
 	"pds2/internal/ledger"
 	"pds2/internal/market"
+	"pds2/internal/policy"
 	"pds2/internal/telemetry"
 )
 
@@ -101,10 +102,35 @@ func main() {
 		market.EvExecutorRegistered, market.EvDataContributed, market.EvWorkloadStarted,
 		market.EvResultSubmitted, market.EvRewardPaid, market.EvWorkloadFinalized,
 		market.EvWorkloadDisputed, market.EvWorkloadCancelled,
+		policy.EvPolicySet, policy.EvPolicyDecision,
 	} {
 		if n := byTopic[topic]; n > 0 {
 			fmt.Printf("    %-20s %d\n", topic, n)
 		}
+	}
+
+	// Usage-control replay: re-derive every recorded policy decision from
+	// the PolicySet history and the decision log itself, and check no
+	// settled workload consumed a policy-bearing dataset without an
+	// allowed admission decision. This is the trustless counterpart of
+	// the in-process enforcement — a colluding authority set cannot fake
+	// a compliant decision log without failing this replay.
+	rep := policy.ReplayDecisions(events)
+	violations := append(append([]string{}, rep.Mismatches...), rep.UnexplainedDenies...)
+	violations = append(violations, market.VerifyPolicySettlements(events)...)
+	if rep.Decisions > 0 || rep.PoliciesSet > 0 || len(violations) > 0 {
+		fmt.Printf("  usage control  %d policies set, %d decisions (%d allow / %d deny)\n",
+			rep.PoliciesSet, rep.Decisions, rep.Allows, rep.Denies)
+	}
+	if len(violations) > 0 {
+		fmt.Printf("POLICY AUDIT FAILED: %d violations\n", len(violations))
+		for _, v := range violations {
+			fmt.Printf("    %s\n", v)
+		}
+		os.Exit(1)
+	}
+	if rep.Decisions > 0 {
+		fmt.Println("  policy replay  every decision re-derived identically; settlements covered by allowed admissions")
 	}
 }
 

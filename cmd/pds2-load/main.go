@@ -23,7 +23,7 @@
 // Usage:
 //
 //	pds2-load [-accounts 100000] [-seed 1] [-workers 16] [-rate 400]
-//	          [-duration 30s] [-mix transfers=70,mints=10,reads=18,lifecycle=2]
+//	          [-duration 30s] [-mix transfers=70,mints=10,reads=15,lifecycle=2,policy=3]
 //	          [-slo-tx-per-sec N] [-slo-p99-ms N] [-slo-error-rate F]
 //	          [-out .] [-target URL]
 //	          [-block-ms 250] [-block-gas 120000000] [-mempool 200000]
@@ -55,7 +55,7 @@ func main() {
 		workers  = flag.Int("workers", 16, "concurrent workers (accounts are partitioned across them)")
 		rate     = flag.Float64("rate", 400, "offered load, operations per second")
 		duration = flag.Duration("duration", 30*time.Second, "measured-phase duration")
-		mixSpec  = flag.String("mix", "", "traffic mix, e.g. transfers=70,mints=10,reads=18,lifecycle=2")
+		mixSpec  = flag.String("mix", "", "traffic mix, e.g. transfers=70,mints=10,reads=15,lifecycle=2,policy=3")
 		fundEach = flag.Uint64("fund-each", 1_000_000, "genesis balance per simulated account")
 		out      = flag.String("out", ".", "directory for the BENCH_<date>.json report")
 

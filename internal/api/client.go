@@ -367,6 +367,25 @@ func (c *Client) post(ctx context.Context, path string, in, out any, header http
 	return json.Unmarshal(data, out)
 }
 
+// put sends a JSON body via PUT and decodes the 2xx response into out.
+func (c *Client) put(ctx context.Context, path string, in, out any, header http.Header) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	data, err := c.call(ctx, http.MethodPut, path, body, header)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
 // Status fetches the node status.
 func (c *Client) Status(ctx context.Context) (StatusResponse, error) {
 	var out StatusResponse
@@ -609,6 +628,125 @@ func (c *Client) SubmitTx(ctx context.Context, tx *ledger.Transaction) (crypto.D
 		return crypto.ZeroDigest, err
 	}
 	return out.TxHash, nil
+}
+
+// DatasetsPage fetches one page of the dataset registry.
+func (c *Client) DatasetsPage(ctx context.Context, after string, limit int) (DatasetsResponse, error) {
+	var out DatasetsResponse
+	lim := ""
+	if limit > 0 {
+		lim = strconv.Itoa(limit)
+	}
+	err := c.get(ctx, listPath("/v1/datasets",
+		[2]string{"after", after}, [2]string{"limit", lim}), &out)
+	return out, err
+}
+
+// Datasets lists the complete dataset registry (all pages).
+func (c *Client) Datasets(ctx context.Context) ([]DatasetSummary, error) {
+	var all []DatasetSummary
+	after := ""
+	for {
+		page, err := c.DatasetsPage(ctx, after, 0)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Items...)
+		if page.Next == "" {
+			break
+		}
+		after = page.Next
+	}
+	if all == nil {
+		all = []DatasetSummary{}
+	}
+	return all, nil
+}
+
+// Dataset fetches one dataset's detail view, policy included.
+func (c *Client) Dataset(ctx context.Context, id crypto.Digest) (DatasetResponse, error) {
+	var out DatasetResponse
+	err := c.get(ctx, "/v1/datasets/"+id.Hex(), &out)
+	return out, err
+}
+
+// RegisterDataset submits a pre-signed registerData transaction through
+// POST /v1/datasets. Like SubmitTx, the transaction hash rides along as
+// an idempotency key, so retries can never double-spend the nonce.
+func (c *Client) RegisterDataset(ctx context.Context, tx *ledger.Transaction) (crypto.Digest, error) {
+	h := http.Header{}
+	h.Set(IdempotencyHeader, tx.Hash().Hex())
+	var out SubmitResponse
+	if err := c.post(ctx, "/v1/datasets", TxEnvelope{Tx: tx}, &out, h); err != nil {
+		return crypto.ZeroDigest, err
+	}
+	return out.TxHash, nil
+}
+
+// SetPolicy submits a pre-signed setPolicy transaction through PUT
+// /v1/datasets/{id}/policy. The server rejects (with a client error,
+// before any gas is spent) envelopes whose dataset argument does not
+// match id or whose policy blob fails validation.
+func (c *Client) SetPolicy(ctx context.Context, id crypto.Digest, tx *ledger.Transaction) (crypto.Digest, error) {
+	h := http.Header{}
+	h.Set(IdempotencyHeader, tx.Hash().Hex())
+	var out SubmitResponse
+	if err := c.put(ctx, "/v1/datasets/"+id.Hex()+"/policy", TxEnvelope{Tx: tx}, &out, h); err != nil {
+		return crypto.ZeroDigest, err
+	}
+	return out.TxHash, nil
+}
+
+// CheckPolicy evaluates a dataset's usage-control policy without
+// consuming an invocation or emitting a decision event. An allow
+// returns the decision; a deny returns a non-retryable *APIError with
+// code "policy_violation" whose Details name the violated clause and
+// enforcement layer. layer "" selects match, class "" the default
+// computation class, agg 0 an aggregation of 1.
+func (c *Client) CheckPolicy(ctx context.Context, id crypto.Digest, layer, class, purpose string, agg uint64) (PolicyDecision, error) {
+	var out PolicyDecision
+	aggStr := ""
+	if agg > 0 {
+		aggStr = strconv.FormatUint(agg, 10)
+	}
+	err := c.get(ctx, listPath("/v1/datasets/"+id.Hex()+"/check",
+		[2]string{"layer", layer}, [2]string{"class", class},
+		[2]string{"purpose", purpose}, [2]string{"agg", aggStr}), &out)
+	return out, err
+}
+
+// PolicyDecisionsPage fetches one page of the on-chain usage-control
+// decision log, oldest first.
+func (c *Client) PolicyDecisionsPage(ctx context.Context, after string, limit int) (PolicyDecisionsResponse, error) {
+	var out PolicyDecisionsResponse
+	lim := ""
+	if limit > 0 {
+		lim = strconv.Itoa(limit)
+	}
+	err := c.get(ctx, listPath("/v1/policies/decisions",
+		[2]string{"after", after}, [2]string{"limit", lim}), &out)
+	return out, err
+}
+
+// PolicyDecisions fetches the complete decision log (all pages).
+func (c *Client) PolicyDecisions(ctx context.Context) ([]PolicyDecision, error) {
+	var all []PolicyDecision
+	after := ""
+	for {
+		page, err := c.PolicyDecisionsPage(ctx, after, 0)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Items...)
+		if page.Next == "" {
+			break
+		}
+		after = page.Next
+	}
+	if all == nil {
+		all = []PolicyDecision{}
+	}
+	return all, nil
 }
 
 // View performs a read-only contract call through the node.

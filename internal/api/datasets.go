@@ -1,0 +1,368 @@
+// Dataset and usage-control policy endpoints: the /v1/datasets registry
+// surface and the /v1/policies decision log. Mutations (dataset
+// registration, policy attachment) are non-custodial like every other
+// write on this API: the caller signs the transaction with its own key
+// and the node only validates shape and routes it into the mempool —
+// ownership is enforced on-chain by the registry contract.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"pds2/internal/contract"
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+	"pds2/internal/ledger"
+	"pds2/internal/market"
+	"pds2/internal/policy"
+)
+
+// PolicyBody is the JSON shape of a usage-control policy, used in
+// dataset views. Absent clauses are unconstrained.
+type PolicyBody struct {
+	AllowedClasses []string `json:"allowed_classes,omitempty"`
+	MinAggregation uint64   `json:"min_aggregation,omitempty"`
+	ExpiryHeight   uint64   `json:"expiry_height,omitempty"`
+	Purposes       []string `json:"purposes,omitempty"`
+	MaxInvocations uint64   `json:"max_invocations,omitempty"`
+}
+
+func policyBody(p *policy.Policy) *PolicyBody {
+	if p == nil {
+		return nil
+	}
+	return &PolicyBody{
+		AllowedClasses: p.AllowedClasses,
+		MinAggregation: p.MinAggregation,
+		ExpiryHeight:   p.ExpiryHeight,
+		Purposes:       p.Purposes,
+		MaxInvocations: p.MaxInvocations,
+	}
+}
+
+// DatasetSummary is one entry of GET /v1/datasets.
+type DatasetSummary struct {
+	ID        crypto.Digest    `json:"id"`
+	Owner     identity.Address `json:"owner"`
+	HasPolicy bool             `json:"has_policy"`
+	Uses      uint64           `json:"uses"`
+}
+
+// DatasetsResponse is the GET /v1/datasets page envelope. Pages are
+// ordered by dataset ID (hex); Next is the last ID of the page, empty
+// on the final one.
+type DatasetsResponse struct {
+	Items []DatasetSummary `json:"items"`
+	Next  string           `json:"next,omitempty"`
+}
+
+// DatasetResponse is the GET /v1/datasets/{id} body.
+type DatasetResponse struct {
+	ID       crypto.Digest    `json:"id"`
+	Owner    identity.Address `json:"owner"`
+	MetaHash crypto.Digest    `json:"meta_hash"`
+	Policy   *PolicyBody      `json:"policy,omitempty"`
+	Uses     uint64           `json:"uses"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	after, limit, err := pageParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids, err := s.m.DatasetIDs()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return
+	}
+	// DatasetIDs is already hex-sorted, so the last served ID is a
+	// stable cursor exactly like the workload directory's.
+	resp := DatasetsResponse{Items: []DatasetSummary{}}
+	for _, id := range ids {
+		h := id.Hex()
+		if after != "" && h <= after {
+			continue
+		}
+		if len(resp.Items) == limit {
+			resp.Next = resp.Items[len(resp.Items)-1].ID.Hex()
+			break
+		}
+		info, ok, err := s.m.DatasetInfoOf(id)
+		if err != nil || !ok {
+			continue
+		}
+		resp.Items = append(resp.Items, DatasetSummary{
+			ID: id, Owner: info.Owner, HasPolicy: info.Policy != nil, Uses: info.Uses,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	id, err := crypto.DigestFromHex(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad dataset id: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok, err := s.m.DatasetInfoOf(id)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return
+	}
+	if !ok {
+		writeErr(w, http.StatusNotFound, CodeNotFound, "dataset %s is not registered", id.Short())
+		return
+	}
+	writeJSON(w, http.StatusOK, DatasetResponse{
+		ID: info.ID, Owner: info.Owner, MetaHash: info.MetaHash,
+		Policy: policyBody(info.Policy), Uses: info.Uses,
+	})
+}
+
+// TxEnvelope wraps a pre-signed transaction for the non-custodial
+// mutation endpoints (POST /v1/datasets, PUT /v1/datasets/{id}/policy).
+type TxEnvelope struct {
+	Tx *ledger.Transaction `json:"tx"`
+}
+
+// decodeRegistryCall validates that the envelope carries a call of the
+// expected registry method and returns its ABI-encoded arguments.
+func (s *Server) decodeRegistryCall(env TxEnvelope, method string) ([]byte, error) {
+	if env.Tx == nil {
+		return nil, fmt.Errorf("missing tx")
+	}
+	if env.Tx.To != s.m.Registry {
+		return nil, fmt.Errorf("tx must target the registry %s, not %s", s.m.Registry.Hex(), env.Tx.To.Hex())
+	}
+	d := contract.NewDecoder(env.Tx.Data)
+	m, err := d.String()
+	if err != nil {
+		return nil, fmt.Errorf("tx data is not a contract call: %w", err)
+	}
+	if m != method {
+		return nil, fmt.Errorf("tx calls %q, want %q", m, method)
+	}
+	args, err := d.Blob()
+	if err != nil {
+		return nil, fmt.Errorf("tx call arguments: %w", err)
+	}
+	return args, nil
+}
+
+// handleRegisterDataset serves POST /v1/datasets: a pre-signed
+// registerData transaction, shape-checked and admitted to the mempool.
+// First-come-first-served ownership is enforced by the registry
+// contract at apply time, exactly as for a raw /v1/transactions submit.
+func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	if deadlineExceeded(w, r) {
+		return
+	}
+	var env TxEnvelope
+	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad envelope: %v", err)
+		return
+	}
+	args, err := s.decodeRegistryCall(env, "registerData")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	d := contract.NewDecoder(args)
+	if _, err := d.Digest(); err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad dataset id: %v", err)
+		return
+	}
+	if _, err := d.Digest(); err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad meta hash: %v", err)
+		return
+	}
+	s.admitTx(w, env.Tx)
+}
+
+// handleSetPolicy serves PUT /v1/datasets/{id}/policy: a pre-signed
+// setPolicy transaction whose dataset argument must match the path, and
+// whose policy blob must decode and validate — malformed policies are
+// rejected here with a client error instead of burning gas on a revert.
+func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
+	if deadlineExceeded(w, r) {
+		return
+	}
+	pathID, err := crypto.DigestFromHex(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad dataset id: %v", err)
+		return
+	}
+	var env TxEnvelope
+	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad envelope: %v", err)
+		return
+	}
+	args, err := s.decodeRegistryCall(env, "setPolicy")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	d := contract.NewDecoder(args)
+	txID, err := d.Digest()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad dataset id in tx: %v", err)
+		return
+	}
+	if txID != pathID {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			"tx sets the policy of %s, path names %s", txID.Short(), pathID.Short())
+		return
+	}
+	blob, err := d.Blob()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad policy blob: %v", err)
+		return
+	}
+	pol, err := policy.Decode(blob)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad policy: %v", err)
+		return
+	}
+	if err := pol.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad policy: %v", err)
+		return
+	}
+	s.admitTx(w, env.Tx)
+}
+
+// PolicyDecision is the JSON shape of one usage-control decision — both
+// the /v1/policies/decisions log entries and the /check verdicts.
+type PolicyDecision struct {
+	DataID      crypto.Digest    `json:"data_id"`
+	Subject     identity.Address `json:"subject"`
+	Layer       string           `json:"layer"`
+	Class       string           `json:"class"`
+	Purpose     string           `json:"purpose,omitempty"`
+	Aggregation uint64           `json:"aggregation"`
+	Height      uint64           `json:"height"`
+	Invocations uint64           `json:"invocations"`
+	Code        string           `json:"code"`
+	Clause      string           `json:"clause,omitempty"`
+	Allowed     bool             `json:"allowed"`
+}
+
+func decisionJSON(rec policy.DecisionRecord) PolicyDecision {
+	return PolicyDecision{
+		DataID:      rec.DataID,
+		Subject:     rec.Subject,
+		Layer:       rec.Layer,
+		Class:       rec.Class,
+		Purpose:     rec.Purpose,
+		Aggregation: rec.Aggregation,
+		Height:      rec.Height,
+		Invocations: rec.Invocations,
+		Code:        rec.Code,
+		Clause:      rec.Clause,
+		Allowed:     rec.Allowed(),
+	}
+}
+
+// handleCheckPolicy serves GET /v1/datasets/{id}/check: a pure
+// evaluation of the dataset's policy against ?layer, ?class, ?purpose
+// and ?agg — no event, no consumption. An allow answers 200 with the
+// decision; a deny answers 403 with the policy_violation envelope
+// naming the violated clause and enforcement layer, exactly the shape
+// workload flows surface when enforcement rejects them.
+func (s *Server) handleCheckPolicy(w http.ResponseWriter, r *http.Request) {
+	id, err := crypto.DigestFromHex(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad dataset id: %v", err)
+		return
+	}
+	q := r.URL.Query()
+	layer := q.Get("layer")
+	if layer == "" {
+		layer = policy.LayerMatch
+	}
+	class := q.Get("class")
+	if class == "" {
+		class = market.DefaultComputationClass
+	}
+	agg := uint64(1)
+	if raw := q.Get("agg"); raw != "" {
+		if agg, err = strconv.ParseUint(raw, 10, 64); err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad agg %q", raw)
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok, err := s.m.DatasetInfoOf(id); err != nil || !ok {
+		writeErr(w, http.StatusNotFound, CodeNotFound, "dataset %s is not registered", id.Short())
+		return
+	}
+	rec, err := s.m.EvalPolicy(id, layer, class, q.Get("purpose"), agg)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if !rec.Allowed() {
+		writeErrDetails(w, http.StatusForbidden, CodePolicyViolation,
+			&ErrorDetails{Clause: rec.Clause, Layer: rec.Layer, Code: rec.Code},
+			"policy of dataset %s denies %s at the %s layer: %s (clause %s)",
+			id.Short(), class, rec.Layer, rec.Code, rec.Clause)
+		return
+	}
+	writeJSON(w, http.StatusOK, decisionJSON(rec))
+}
+
+// PolicyDecisionsResponse is the GET /v1/policies/decisions page
+// envelope. The decision log is append-only, so the cursor is a plain
+// offset, like /v1/events.
+type PolicyDecisionsResponse struct {
+	Items []PolicyDecision `json:"items"`
+	Next  string           `json:"next,omitempty"`
+}
+
+// handlePolicyDecisions serves GET /v1/policies/decisions: the decoded
+// on-chain usage-control decision log, oldest first — what pds2-audit
+// replays offline against the PolicySet history.
+func (s *Server) handlePolicyDecisions(w http.ResponseWriter, r *http.Request) {
+	after, limit, err := pageParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	offset := 0
+	if after != "" {
+		offset, err = strconv.Atoi(after)
+		if err != nil || offset < 0 {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad cursor %q", after)
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	events := s.m.Chain.Events(policy.EvPolicyDecision)
+	if offset > len(events) {
+		offset = len(events)
+	}
+	page := events[offset:]
+	resp := PolicyDecisionsResponse{Items: []PolicyDecision{}}
+	if len(page) > limit {
+		page = page[:limit]
+		resp.Next = strconv.Itoa(offset + limit)
+	}
+	for _, ev := range page {
+		rec, err := policy.DecodeDecisionRecord(ev.Data)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, CodeInternal, "corrupt decision event: %v", err)
+			return
+		}
+		resp.Items = append(resp.Items, decisionJSON(*rec))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -58,6 +58,13 @@ const (
 	// CodeInjectedFault: a synthesized failure from the fault-injection
 	// layer (chaos runs only).
 	CodeInjectedFault = "injected_fault"
+
+	// CodePolicyViolation: the dataset's usage-control policy denies the
+	// requested use. Deliberately NOT retryable: the decision is a pure
+	// function of the policy in force, so the same request will keep
+	// failing until the owner relaxes the policy. The envelope's details
+	// object names the violated clause and the enforcement layer.
+	CodePolicyViolation = "policy_violation"
 )
 
 // retryableCode is the server-side truth table stamped into envelopes.
@@ -69,11 +76,25 @@ var retryableCode = map[string]bool{
 	CodeInjectedFault: true,
 }
 
+// ErrorDetails is the optional structured context of an error envelope.
+// Policy denials fill it so a caller can act on the violated clause
+// without parsing the human-readable message.
+type ErrorDetails struct {
+	// Clause names the violated policy clause (e.g. "allowed_classes").
+	Clause string `json:"clause,omitempty"`
+	// Layer is the enforcement layer that produced the decision: match,
+	// admission or enclave.
+	Layer string `json:"layer,omitempty"`
+	// Code is the decision's stable reason code (e.g. "class_forbidden").
+	Code string `json:"code,omitempty"`
+}
+
 // ErrorBody is the uniform machine-readable error payload.
 type ErrorBody struct {
-	Code      string `json:"code"`
-	Message   string `json:"message"`
-	Retryable bool   `json:"retryable"`
+	Code      string        `json:"code"`
+	Message   string        `json:"message"`
+	Retryable bool          `json:"retryable"`
+	Details   *ErrorDetails `json:"details,omitempty"`
 }
 
 // apiError is the uniform error envelope: {"error": {...}}.
@@ -90,6 +111,7 @@ type APIError struct {
 	Code       string
 	Message    string
 	Retryable  bool
+	Details    *ErrorDetails // structured context, nil unless the server sent one
 	RetryAfter time.Duration // parsed Retry-After hint, 0 if absent
 }
 
@@ -119,6 +141,7 @@ func newAPIError(path string, status int, header http.Header, body []byte) *APIE
 		out.Code = env.Error.Code
 		out.Message = env.Error.Message
 		out.Retryable = env.Error.Retryable
+		out.Details = env.Error.Details
 	}
 	return out
 }

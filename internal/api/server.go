@@ -12,15 +12,12 @@
 package api
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"net/http/pprof"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -102,31 +99,10 @@ func NewServer(m *market.Market, allowSeal bool) *Server {
 		// that can no longer persist what it seals.
 		s.health.Register("chainstore", st.Health)
 	}
-	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/blocks/{height}", s.handleBlock)
-	s.mux.HandleFunc("GET /v1/accounts/{addr}", s.handleAccount)
-	s.mux.HandleFunc("GET /v1/receipts/{hash}", s.handleReceipt)
-	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
-	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
-	s.mux.HandleFunc("GET /v1/workloads/{addr}", s.handleWorkload)
-	s.mux.HandleFunc("POST /v1/transactions", s.handleSubmitTx)
-	s.mux.HandleFunc("POST /v1/views", s.handleView)
-	s.mux.HandleFunc("POST /v1/blocks/seal", s.handleSeal)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /metrics/history", s.handleMetricsHistory)
-	s.mux.HandleFunc("GET /trace", s.handleTrace)
-	s.mux.HandleFunc("GET /logs", s.handleLogs)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
-	s.mux.HandleFunc("GET /v1/buildinfo", s.handleBuildInfo)
-	// Standard pprof surface, gated by pprofOn (see pprofGuard). The
-	// explicit non-index routes are required because the Index handler
-	// only dispatches to named profiles, not cmdline/profile/symbol/trace.
-	s.mux.HandleFunc("/debug/pprof/", s.pprofGuard(pprof.Index))
-	s.mux.HandleFunc("/debug/pprof/cmdline", s.pprofGuard(pprof.Cmdline))
-	s.mux.HandleFunc("/debug/pprof/profile", s.pprofGuard(pprof.Profile))
-	s.mux.HandleFunc("/debug/pprof/symbol", s.pprofGuard(pprof.Symbol))
-	s.mux.HandleFunc("/debug/pprof/trace", s.pprofGuard(pprof.Trace))
+	// Every endpoint — including the /debug/pprof/ surface and the /v1/
+	// aliases of the operational routes — registers through the
+	// declarative route table (see routes.go).
+	s.install()
 	return s
 }
 
@@ -189,14 +165,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		defer span.End()
 	}
 	logAPI.Debug("request", telemetry.Str("method", r.Method), telemetry.Str("path", r.URL.Path))
-	// pprof collection endpoints run for caller-chosen durations
-	// (?seconds=30 CPU profiles, delta mutex profiles), so they are
-	// exempt from the per-request deadline that protects market handlers.
-	if s.reqTimeout > 0 && !strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
-		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
-		defer cancel()
-		r = r.WithContext(ctx)
-	}
+	// The per-request deadline is applied per route (withTimeout in
+	// routes.go), so timeout-exempt routes such as pprof collection are
+	// declared in the table instead of special-cased here.
 	if _, pattern := s.mux.Handler(r); pattern == "" {
 		probe := &probeWriter{header: make(http.Header)}
 		s.mux.ServeHTTP(probe, r)
@@ -248,6 +219,18 @@ func writeErr(w http.ResponseWriter, status int, code, format string, args ...an
 		Code:      code,
 		Message:   fmt.Sprintf(format, args...),
 		Retryable: retryableCode[code],
+	}})
+}
+
+// writeErrDetails is writeErr with a structured details object attached
+// to the envelope (policy denials name their violated clause and layer).
+func writeErrDetails(w http.ResponseWriter, status int, code string, det *ErrorDetails, format string, args ...any) {
+	mAPIErrors.Inc()
+	writeJSON(w, status, apiError{Error: ErrorBody{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		Retryable: retryableCode[code],
+		Details:   det,
 	}})
 }
 
@@ -559,6 +542,15 @@ func (s *Server) handleSubmitTx(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "idempotency key %s does not match transaction hash %s", key, h.Hex())
 		return
 	}
+	s.admitTx(w, &tx)
+}
+
+// admitTx runs the shared transaction-admission path behind POST
+// /v1/transactions and the dataset/policy mutation endpoints:
+// idempotency fast paths, lock-free mempool admission, and the
+// load-shedding verdicts.
+func (s *Server) admitTx(w http.ResponseWriter, tx *ledger.Transaction) {
+	h := tx.Hash()
 	// Idempotency fast paths: a retried submission whose original
 	// attempt actually landed is answered with the cached verdict — the
 	// transaction is either still pending or already committed. Either
@@ -579,12 +571,12 @@ func (s *Server) handleSubmitTx(w http.ResponseWriter, r *http.Request) {
 	// concurrent use, so handler goroutines admit without the market
 	// mutex — signature verification of concurrent submissions runs in
 	// parallel instead of queuing behind block sealing.
-	err := s.m.Pool.Add(&tx)
+	err := s.m.Pool.Add(tx)
 	if errors.Is(err, ledger.ErrMempoolFull) {
 		// Full pool: Market.Submit prunes stale entries against chain
 		// state and retries, which needs the market lock.
 		s.mu.Lock()
-		err = s.m.Submit(&tx)
+		err = s.m.Submit(tx)
 		s.mu.Unlock()
 	}
 	switch {
@@ -673,29 +665,23 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SealResponse{Height: block.Header.Height, Txs: len(block.Txs)})
 }
 
-// handleMetrics serves GET /metrics: a JSON snapshot of the process-wide
-// telemetry registry. Counters and gauges report their current value;
-// histograms add count/sum/min/max and p50/p95/p99. When telemetry is
-// disabled the snapshot would be a misleading all-zeros, so the endpoint
-// answers 503 with a stable JSON error instead.
+// handleMetrics serves GET /metrics (alias GET /v1/metrics): a JSON
+// snapshot of the process-wide telemetry registry. Counters and gauges
+// report their current value; histograms add count/sum/min/max and
+// p50/p95/p99. When telemetry is disabled the snapshot would be a
+// misleading all-zeros, so the route's flagNeedsTelemetry gate answers
+// 503 with a stable JSON error instead.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if !telemetry.Default().Enabled() {
-		writeErr(w, http.StatusServiceUnavailable, CodeDisabled, "telemetry disabled on this node")
-		return
-	}
 	writeJSON(w, http.StatusOK, telemetry.Default().Snapshot())
 }
 
-// handleMetricsHistory serves GET /metrics/history: the node's bounded
-// ring of periodic registry snapshots, turning every metric into a time
-// series. ?window=5s trims to the trailing window (a Go duration; omit
-// or 0 for the whole ring). Nodes that never enabled history answer the
-// same non-retryable disabled envelope as a disabled registry.
+// handleMetricsHistory serves GET /metrics/history (alias GET
+// /v1/metrics/history): the node's bounded ring of periodic registry
+// snapshots, turning every metric into a time series. ?window=5s trims
+// to the trailing window (a Go duration; omit or 0 for the whole ring).
+// Nodes that never enabled history answer the same non-retryable
+// disabled envelope as a disabled registry.
 func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
-	if !telemetry.Default().Enabled() {
-		writeErr(w, http.StatusServiceUnavailable, CodeDisabled, "telemetry disabled on this node")
-		return
-	}
 	h := telemetry.DefaultHistory()
 	if h == nil {
 		writeErr(w, http.StatusServiceUnavailable, CodeDisabled, "metrics history disabled on this node (enable with -history-ms)")
@@ -713,14 +699,11 @@ func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.Dump(window))
 }
 
-// handleTrace serves GET /trace: the finished spans currently held in the
-// tracer's ring buffer, oldest first, with parent linkage intact. Like
-// /metrics it answers 503 while telemetry is disabled.
+// handleTrace serves GET /trace (alias GET /v1/trace): the finished
+// spans currently held in the tracer's ring buffer, oldest first, with
+// parent linkage intact. Like /metrics it answers 503 while telemetry
+// is disabled (flagNeedsTelemetry).
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	if !telemetry.Default().Enabled() {
-		writeErr(w, http.StatusServiceUnavailable, CodeDisabled, "telemetry disabled on this node")
-		return
-	}
 	writeJSON(w, http.StatusOK, telemetry.Default().Tracer().Export())
 }
 

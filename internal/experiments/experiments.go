@@ -1,5 +1,5 @@
 // Package experiments regenerates every experiment in DESIGN.md's
-// experiment index (E1–E17). The paper is an architecture paper without
+// experiment index (E1–E18). The paper is an architecture paper without
 // quantitative result tables, so each experiment validates a figure or a
 // quantitative *claim* from the text; the PaperClaim field records what
 // the paper leads us to expect and the generated table is the measured
@@ -110,6 +110,7 @@ var All = []Experiment{
 	{"E15", "chaos: lifecycle under injected faults", E15Chaos},
 	{"E16", "property-based invariant soak", E16Proptest},
 	{"E17", "durable store & load SLOs", E17Durability},
+	{"E18", "usage-control enforcement overhead", E18Policy},
 }
 
 // ByID returns the experiment with the given ID.

@@ -40,10 +40,11 @@ const (
 	ClassMint      = "mint"
 	ClassRead      = "read"
 	ClassLifecycle = "lifecycle"
+	ClassPolicy    = "policy"
 )
 
 // Classes lists every traffic class in report order.
-var Classes = []string{ClassTransfer, ClassMint, ClassRead, ClassLifecycle}
+var Classes = []string{ClassTransfer, ClassMint, ClassRead, ClassLifecycle, ClassPolicy}
 
 // Harness instrumentation. Shed counts offered operations the worker
 // pool could not absorb (the open-loop backlog signal); errors count
@@ -66,17 +67,22 @@ type Mix struct {
 	Mints     int `json:"mints"`
 	Reads     int `json:"reads"`
 	Lifecycle int `json:"lifecycle"`
+	// Policy drives the usage-control surface: dataset registrations and
+	// policy mutations through the /v1/datasets endpoints, plus policy
+	// check reads (where a denial is a correct answer, not an error).
+	Policy int `json:"policy,omitempty"`
 }
 
 // DefaultMix approximates a marketplace in steady state: mostly value
 // movement, some token mints and reads, a trickle of workload
-// lifecycles (which are multi-transaction and receipt-gated, hence
-// far heavier per op).
-func DefaultMix() Mix { return Mix{Transfers: 70, Mints: 10, Reads: 18, Lifecycle: 2} }
+// lifecycles (which are multi-transaction and receipt-gated, hence far
+// heavier per op) and of dataset/policy traffic — enough of the latter
+// that every default report carries the policy_overhead_pct gauge.
+func DefaultMix() Mix { return Mix{Transfers: 70, Mints: 10, Reads: 15, Lifecycle: 2, Policy: 3} }
 
-func (m Mix) total() int { return m.Transfers + m.Mints + m.Reads + m.Lifecycle }
+func (m Mix) total() int { return m.Transfers + m.Mints + m.Reads + m.Lifecycle + m.Policy }
 
-// ParseMix parses "transfers=70,mints=10,reads=18,lifecycle=2".
+// ParseMix parses "transfers=70,mints=10,reads=15,lifecycle=2,policy=3".
 // Omitted classes get weight 0; an empty string is the default mix.
 func ParseMix(s string) (Mix, error) {
 	if strings.TrimSpace(s) == "" {
@@ -101,6 +107,8 @@ func ParseMix(s string) (Mix, error) {
 			m.Reads = w
 		case "lifecycle":
 			m.Lifecycle = w
+		case "policy":
+			m.Policy = w
 		default:
 			return m, fmt.Errorf("loadgen: unknown traffic class %q", key)
 		}

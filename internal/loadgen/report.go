@@ -58,6 +58,14 @@ type Report struct {
 	Shed      uint64  `json:"shed"`
 	ErrorRate float64 `json:"error_rate"`
 
+	// PolicyOverheadPct is the median-latency tax of the policy-bearing
+	// submit path relative to plain transfers — both are single HTTP
+	// round trips to admission, but the dataset/policy endpoints add the
+	// server-side envelope decode and policy validation. Present only
+	// when the run drove both classes; scripts/bench_compare.sh gates it
+	// at 2%.
+	PolicyOverheadPct float64 `json:"policy_overhead_pct,omitempty"`
+
 	Classes []ClassReport `json:"classes"`
 
 	// Build identifies the generator binary and host (git commit, Go
@@ -236,6 +244,11 @@ func buildReport(cfg Config, elapsed time.Duration, before, after telemetry.Snap
 	}
 	if rep.Ops > 0 {
 		rep.ErrorRate = float64(rep.Errors) / float64(rep.Ops)
+	}
+	if tm, ok := local[ClassTransfer]; ok && tm.P50 > 0 {
+		if pm, ok := local[ClassPolicy]; ok && pm.P50 > 0 {
+			rep.PolicyOverheadPct = (pm.P50 - tm.P50) / tm.P50 * 100
+		}
 	}
 	return rep
 }

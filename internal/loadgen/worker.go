@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"pds2/internal/identity"
 	"pds2/internal/ledger"
 	"pds2/internal/market"
+	"pds2/internal/policy"
 	"pds2/internal/token"
 )
 
@@ -56,6 +58,12 @@ type worker struct {
 
 	token   identity.Address
 	pending []pendingWorkload
+
+	// dataset is the worker's policy-bearing base dataset (policy
+	// traffic); polSeq rotates the policy op kind and derives fresh
+	// dataset IDs for registration traffic.
+	dataset crypto.Digest
+	polSeq  int
 
 	ops, errs map[string]uint64
 }
@@ -102,6 +110,25 @@ func (w *worker) setup(ctx context.Context) error {
 			return fmt.Errorf("register consumer: %w", err)
 		}
 	}
+	if w.cfg.Mix.Policy > 0 {
+		// The banker registers the worker's base dataset and attaches a
+		// class-restricted policy, receipt-gated so the measured phase's
+		// policy mutations and checks always hit a registered dataset.
+		w.dataset = crypto.HashString(fmt.Sprintf("loadgen/%d/worker/%d/base", w.cfg.Seed, w.index))
+		nonce := w.nonces[0]
+		tx := ledger.SignTx(w.banker(), w.registry, 0, nonce, callGas,
+			market.RegisterDataData(w.dataset, crypto.HashString("loadgen/meta")))
+		if _, err := w.submitAndWait(ctx, tx, 0); err != nil {
+			return fmt.Errorf("register base dataset: %w", err)
+		}
+		nonce = w.nonces[0]
+		pol := &policy.Policy{AllowedClasses: []string{market.DefaultComputationClass}}
+		tx = ledger.SignTx(w.banker(), w.registry, 0, nonce, callGas,
+			market.SetPolicyData(w.dataset, pol))
+		if _, err := w.submitAndWait(ctx, tx, 0); err != nil {
+			return fmt.Errorf("attach base policy: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -141,8 +168,10 @@ func (w *worker) pickClass() string {
 		return ClassMint
 	case n < m.Transfers+m.Mints+m.Reads:
 		return ClassRead
-	default:
+	case n < m.Transfers+m.Mints+m.Reads+m.Lifecycle:
 		return ClassLifecycle
+	default:
+		return ClassPolicy
 	}
 }
 
@@ -154,6 +183,8 @@ func (w *worker) do(ctx context.Context, class string) error {
 		return w.doMint(ctx)
 	case ClassRead:
 		return w.doRead(ctx)
+	case ClassPolicy:
+		return w.doPolicy(ctx)
 	default:
 		return w.doLifecycle(ctx)
 	}
@@ -292,6 +323,64 @@ func (w *worker) doLifecycle(ctx context.Context) error {
 	w.nonces[0]++
 	w.pending = append(w.pending, pendingWorkload{addr: addr, expiry: spec.ExpiryHeight})
 	return nil
+}
+
+// doPolicy drives the usage-control surface, rotating through the three
+// op kinds: register a fresh dataset (POST /v1/datasets), tighten or
+// relax the base dataset's policy (PUT /v1/datasets/{id}/policy), and a
+// policy check read (GET .../check). Like transfer/mint, the mutations
+// are submit-only — latency measures the HTTP round trip to admission,
+// which for these endpoints includes the server-side envelope and
+// policy validation, so the policy class's submit quantiles read
+// directly against the transfer class's as the policy tax.
+func (w *worker) doPolicy(ctx context.Context) error {
+	seq := w.polSeq
+	w.polSeq++
+	switch seq % 3 {
+	case 0: // fresh dataset registration
+		nonce, err := w.nonceFor(ctx, 0)
+		if err != nil {
+			return err
+		}
+		dataID := crypto.HashString(fmt.Sprintf("loadgen/%d/worker/%d/data/%d", w.cfg.Seed, w.index, seq))
+		tx := ledger.SignTx(w.banker(), w.registry, 0, nonce, callGas,
+			market.RegisterDataData(dataID, crypto.HashString("loadgen/meta")))
+		if _, err := w.client.RegisterDataset(ctx, tx); err != nil {
+			w.dirty[0] = true
+			return err
+		}
+		w.nonces[0]++
+		return nil
+	case 1: // policy churn on the base dataset
+		nonce, err := w.nonceFor(ctx, 0)
+		if err != nil {
+			return err
+		}
+		pol := &policy.Policy{
+			AllowedClasses: []string{market.DefaultComputationClass},
+			MinAggregation: uint64(1 + seq%4),
+		}
+		tx := ledger.SignTx(w.banker(), w.registry, 0, nonce, callGas,
+			market.SetPolicyData(w.dataset, pol))
+		if _, err := w.client.SetPolicy(ctx, w.dataset, tx); err != nil {
+			w.dirty[0] = true
+			return err
+		}
+		w.nonces[0]++
+		return nil
+	default: // check read, alternating allowed and forbidden classes
+		class := market.DefaultComputationClass
+		if seq%2 == 0 {
+			class = "loadgen-forbidden"
+		}
+		_, err := w.client.CheckPolicy(ctx, w.dataset, "", class, "", 4)
+		var ae *api.APIError
+		if errors.As(err, &ae) && ae.Code == api.CodePolicyViolation {
+			// A denial is the policy working, not a node failure.
+			return nil
+		}
+		return err
+	}
 }
 
 // submitAndWait submits a transaction from shard account j and polls

@@ -9,6 +9,7 @@ import (
 	"pds2/internal/crypto"
 	"pds2/internal/identity"
 	"pds2/internal/ml"
+	"pds2/internal/policy"
 	"pds2/internal/semantic"
 	"pds2/internal/storage"
 	"pds2/internal/tee"
@@ -36,6 +37,11 @@ func NewConsumer(m *Market, id *identity.Identity) (*Consumer, error) {
 // It opens the workload's root telemetry span ("workload.lifecycle"),
 // which Finalize or Cancel later closes.
 func (c *Consumer) SubmitWorkload(spec *Spec, budget uint64) (identity.Address, error) {
+	// Bind the workload to the platform registry so the contract can
+	// enforce dataset usage-control policies at admission time.
+	if spec.Registry.IsZero() {
+		spec.Registry = c.Market.Registry
+	}
 	if err := spec.Validate(); err != nil {
 		return identity.ZeroAddress, err
 	}
@@ -188,6 +194,15 @@ func (p *Provider) AddDataset(ds *ml.Dataset, meta semantic.Metadata) (storage.D
 	return ref, nil
 }
 
+// SetPolicy attaches (or replaces) the usage-control policy of one of
+// this provider's registered datasets. Only the registering owner may
+// call this; the registry emits a PolicySet event carrying the full
+// policy blob so auditors can replay every later decision offline.
+func (p *Provider) SetPolicy(dataID crypto.Digest, pol *policy.Policy) error {
+	_, err := MustSucceed(p.Market.SendAndSeal(p.ID, p.Market.Registry, 0, SetPolicyData(dataID, pol)))
+	return err
+}
+
 // EligibleData evaluates a workload's predicate against the vault —
 // the storage-subsystem notification step of Fig. 2.
 func (p *Provider) EligibleData(spec *Spec) ([]storage.DataRef, error) {
@@ -252,6 +267,40 @@ type Authorization struct {
 // Fig. 2).
 func (p *Provider) Authorize(workload identity.Address, executor identity.Address, refs []storage.DataRef, expiry uint64) ([]Authorization, error) {
 	wid := WorkloadIDFor(workload)
+	// Match-layer usage control: before any certificate is issued, every
+	// dataset's policy is enforced on-chain against the workload's class,
+	// purpose and guaranteed aggregation floor (spec.MinItems — the
+	// smallest set the workload may start with). Each decision for a
+	// policy-bearing dataset becomes a PolicyDecision chain event; a
+	// denial aborts the authorization with a typed error. Policy-free
+	// batches skip the transaction entirely.
+	if len(refs) > 0 {
+		spec, err := p.Market.WorkloadSpecOf(workload)
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]crypto.Digest, len(refs))
+		for i, ref := range refs {
+			ids[i] = ref.ID
+		}
+		bound, err := p.Market.anyPolicyBound(ids)
+		if err != nil {
+			return nil, err
+		}
+		if bound {
+			recs, err := p.Market.enforcePolicies(p.ID, policy.LayerMatch,
+				spec.ComputationClass(), spec.Purpose, spec.MinItems, ids)
+			if err != nil {
+				return nil, err
+			}
+			if err := denialFromRecords(recs); err != nil {
+				logMarket.Info("match-layer policy denial",
+					telemetry.Str("workload", workload.Hex()),
+					telemetry.Str("provider", p.ID.Address().Hex()), telemetry.Err(err))
+				return nil, err
+			}
+		}
+	}
 	out := make([]Authorization, 0, len(refs))
 	for _, ref := range refs {
 		if ref.Owner != p.ID.Address() {
@@ -336,8 +385,58 @@ func (e *Executor) enclaveFor(workload identity.Address, spec *Spec) (*tee.Encla
 	if err != nil {
 		return nil, err
 	}
+	// Enclave-layer usage control: the guard re-enforces every granted
+	// dataset's policy on-chain before any call may touch plaintext.
+	enc.SetGuard(e.policyGuard(workload, spec))
 	e.enclaves[workload] = enc
 	return enc, nil
+}
+
+// policyGuard builds the tee.Guard for a workload's enclave — the third
+// and innermost usage-control enforcement layer. On every train-mode
+// call it enforces the policies of the exact dataset batch about to be
+// computed on (aggregation = the batch size this enclave sees, which can
+// be smaller than the workload total), logging the decisions on-chain;
+// a denial aborts the call before the program runs. Aggregate-mode calls
+// carry model shares, not raw datasets, and pass through.
+func (e *Executor) policyGuard(workload identity.Address, spec *Spec) tee.Guard {
+	return func(input []byte, _ int64) error {
+		mode, err := contract.NewDecoder(input).String()
+		if err != nil || mode != "train" {
+			return nil
+		}
+		auths := e.assignments[workload]
+		if len(auths) == 0 {
+			return nil
+		}
+		ids := make([]crypto.Digest, 0, len(auths))
+		seen := make(map[crypto.Digest]bool, len(auths))
+		for _, a := range auths {
+			if !seen[a.Grant.DataID] {
+				seen[a.Grant.DataID] = true
+				ids = append(ids, a.Grant.DataID)
+			}
+		}
+		bound, err := e.Market.anyPolicyBound(ids)
+		if err != nil {
+			return err
+		}
+		if !bound {
+			return nil
+		}
+		recs, err := e.Market.enforcePolicies(e.ID, policy.LayerEnclave,
+			spec.ComputationClass(), spec.Purpose, uint64(len(auths)), ids)
+		if err != nil {
+			return err
+		}
+		if err := denialFromRecords(recs); err != nil {
+			logMarket.Info("enclave-layer policy denial",
+				telemetry.Str("workload", workload.Hex()),
+				telemetry.Str("executor", e.ID.Address().Hex()), telemetry.Err(err))
+			return err
+		}
+		return nil
+	}
 }
 
 // Register submits the executor's participation to the workload
@@ -376,8 +475,19 @@ func (e *Executor) Register(workload identity.Address) error {
 		return err
 	}
 	args := contract.NewEncoder().Blob(quoteRaw).Blob(certsRaw).Bytes()
-	_, err = MustSucceed(e.Market.SendAndSeal(e.ID, workload, 0,
+	rcpt, err := MustSucceed(e.Market.SendAndSeal(e.ID, workload, 0,
 		contract.CallData("registerExecution", args)))
+	if err == nil && len(rcpt.Return) > 0 {
+		// Admission-layer policy denial: the transaction succeeds (the
+		// deny decisions are chain events) but registration was refused
+		// and the contract returned the decision batch.
+		recs, decErr := policy.DecodeDecisionRecords(rcpt.Return)
+		if decErr != nil {
+			err = fmt.Errorf("market: register execution: %w", decErr)
+		} else {
+			err = denialFromRecords(recs)
+		}
+	}
 	if err != nil {
 		logMarket.Warn("executor registration rejected",
 			telemetry.Str("workload", workload.Hex()),

@@ -26,6 +26,7 @@ var (
 	mSendSeal     = telemetry.H("market.tx.sendseal_seconds", telemetry.TimeBuckets)
 	mSubmitted    = telemetry.C("market.workloads.submitted_total")
 	mFinalized    = telemetry.C("market.workloads.finalized_total")
+	mPolicyDenied = telemetry.C("market.policy.denials_total")
 	logMarket     = telemetry.L("market")
 )
 

@@ -1,0 +1,282 @@
+package market
+
+import (
+	"errors"
+	"testing"
+
+	"pds2/internal/identity"
+	"pds2/internal/policy"
+)
+
+// decisionsByLayer decodes every PolicyDecision event on the chain and
+// groups the records by enforcement layer.
+func decisionsByLayer(t *testing.T, w *testWorld) map[string][]policy.DecisionRecord {
+	t.Helper()
+	out := make(map[string][]policy.DecisionRecord)
+	for _, ev := range w.m.Chain.Events(policy.EvPolicyDecision) {
+		rec, err := policy.DecodeDecisionRecord(ev.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[rec.Layer] = append(out[rec.Layer], *rec)
+	}
+	return out
+}
+
+// replayClean re-derives every decision offline from the flat event log
+// and fails the test on any mismatch — the pds2-audit verification path.
+func replayClean(t *testing.T, w *testWorld) {
+	t.Helper()
+	events := w.m.Chain.Events("")
+	rep := policy.ReplayDecisions(events)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("decision replay: %v", err)
+	}
+	if v := VerifyPolicySettlements(events); len(v) != 0 {
+		t.Fatalf("settlement violations: %v", v)
+	}
+}
+
+// TestPolicyDeniedAtAllThreeLayers pins the core usage-control
+// guarantee: a workload whose computation class a dataset's policy
+// forbids is denied at match, admission and enclave time — each denial
+// a chain event with the same stable reason code — even when an actor
+// colludes to bypass an earlier layer.
+func TestPolicyDeniedAtAllThreeLayers(t *testing.T) {
+	w := newTestWorld(t, 11, 1, 1)
+	p, exec := w.providers[0], w.executors[0]
+	ref := w.refs[0][0]
+
+	forbid := &policy.Policy{
+		AllowedClasses: []string{"stats"}, // the spec's class is "train"
+		MinAggregation: 1,
+		ExpiryHeight:   w.m.Height() + 10_000,
+		MaxInvocations: 8,
+	}
+	if err := p.SetPolicy(ref.ID, forbid); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := w.consumer.SubmitWorkload(w.spec, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Layer 1 — match: authorization is refused before any certificate
+	// or grant exists.
+	var denial *PolicyDenialError
+	_, err = p.Authorize(addr, exec.ID.Address(), w.refs[0], w.spec.ExpiryHeight)
+	if !errors.As(err, &denial) {
+		t.Fatalf("match-layer error = %v", err)
+	}
+	if denial.Record.Layer != policy.LayerMatch || denial.Record.Code != policy.CodeClassForbidden {
+		t.Fatalf("match denial = %+v", denial.Record)
+	}
+
+	// Layer 2 — admission: a colluding provider hands the executor a
+	// hand-forged (but validly signed) certificate and grant, bypassing
+	// the match gate. The workload contract still refuses registration.
+	wid := WorkloadIDFor(addr)
+	grant, err := p.Vault.Grant(ref.ID, wid, exec.ID.Address(), w.spec.ExpiryHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec.Accept(addr, []Authorization{{
+		Cert:  identity.IssueCert(p.ID, wid, ref.ID, exec.ID.Address(), w.spec.ExpiryHeight),
+		Grant: grant,
+	}})
+	denial = nil
+	if err := exec.Register(addr); !errors.As(err, &denial) {
+		t.Fatalf("admission-layer error = %v", err)
+	}
+	if denial.Record.Layer != policy.LayerAdmission || denial.Record.Code != policy.CodeClassForbidden {
+		t.Fatalf("admission denial = %+v", denial.Record)
+	}
+	if n := len(w.m.Chain.Events(EvExecutorRegistered)); n != 0 {
+		t.Fatalf("%d executors registered despite denial", n)
+	}
+
+	// Layer 3 — enclave: even with the ciphertext and grant in hand, the
+	// enclave guard blocks the call before the program touches plaintext.
+	denial = nil
+	if err := exec.TrainLocal(addr); !errors.As(err, &denial) {
+		t.Fatalf("enclave-layer error = %v", err)
+	}
+	if denial.Record.Layer != policy.LayerEnclave || denial.Record.Code != policy.CodeClassForbidden {
+		t.Fatalf("enclave denial = %+v", denial.Record)
+	}
+
+	// Exactly one on-chain denial per layer, all with the same stable
+	// reason code and clause, and the log replays clean offline.
+	byLayer := decisionsByLayer(t, w)
+	for _, layer := range []string{policy.LayerMatch, policy.LayerAdmission, policy.LayerEnclave} {
+		recs := byLayer[layer]
+		if len(recs) != 1 {
+			t.Fatalf("%s layer logged %d decisions", layer, len(recs))
+		}
+		if recs[0].Allowed() || recs[0].Code != policy.CodeClassForbidden || recs[0].Clause != policy.ClauseClasses {
+			t.Fatalf("%s decision = %+v", layer, recs[0])
+		}
+	}
+	replayClean(t, w)
+	if uses, err := w.m.PolicyUses(ref.ID); err != nil || uses != 0 {
+		t.Fatalf("uses = %d err = %v (denied batches must not consume)", uses, err)
+	}
+}
+
+// TestPolicyTightenedAfterMatchCaughtLater pins the time-of-check /
+// time-of-use story: a policy tightened after a match-time allow is
+// still enforced at admission and inside the enclave, and the offline
+// replay accepts the late denials because the mutation event sits
+// between the match decision and the denials.
+func TestPolicyTightenedAfterMatchCaughtLater(t *testing.T) {
+	w := newTestWorld(t, 12, 1, 1)
+	p, exec := w.providers[0], w.executors[0]
+	ref := w.refs[0][0]
+
+	permissive := &policy.Policy{
+		AllowedClasses: []string{DefaultComputationClass},
+		MinAggregation: 1,
+		ExpiryHeight:   w.m.Height() + 10_000,
+		MaxInvocations: 8,
+	}
+	if err := p.SetPolicy(ref.ID, permissive); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := w.consumer.SubmitWorkload(w.spec, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auths, err := p.Authorize(addr, exec.ID.Address(), w.refs[0], w.spec.ExpiryHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec.Accept(addr, auths)
+
+	// The provider revokes training permission after the match.
+	tightened := *permissive
+	tightened.AllowedClasses = []string{"stats"}
+	if err := p.SetPolicy(ref.ID, &tightened); err != nil {
+		t.Fatal(err)
+	}
+
+	var denial *PolicyDenialError
+	if err := exec.Register(addr); !errors.As(err, &denial) {
+		t.Fatalf("admission error = %v", err)
+	}
+	if denial.Record.Layer != policy.LayerAdmission || denial.Record.Code != policy.CodeClassForbidden {
+		t.Fatalf("admission denial = %+v", denial.Record)
+	}
+	denial = nil
+	if err := exec.TrainLocal(addr); !errors.As(err, &denial) {
+		t.Fatalf("enclave error = %v", err)
+	}
+	if denial.Record.Layer != policy.LayerEnclave || denial.Record.Code != policy.CodeClassForbidden {
+		t.Fatalf("enclave denial = %+v", denial.Record)
+	}
+
+	byLayer := decisionsByLayer(t, w)
+	if len(byLayer[policy.LayerMatch]) != 1 || !byLayer[policy.LayerMatch][0].Allowed() {
+		t.Fatalf("match decisions = %+v", byLayer[policy.LayerMatch])
+	}
+	if len(byLayer[policy.LayerAdmission]) != 1 || len(byLayer[policy.LayerEnclave]) != 1 {
+		t.Fatalf("late-layer decisions = %+v", byLayer)
+	}
+	// The replay accepts both late denials only because the PolicySet
+	// mutation explains them.
+	replayClean(t, w)
+}
+
+// TestPolicySmokeLifecycle is the `make policy-smoke` gate: a
+// policy-bearing workload settles end-to-end next to a denied
+// bystander, producing at least one allow and one deny decision event,
+// with the whole log replayable offline.
+func TestPolicySmokeLifecycle(t *testing.T) {
+	w := newTestWorld(t, 13, 3, 2)
+	open := &policy.Policy{
+		AllowedClasses: []string{DefaultComputationClass, "stats"},
+		MinAggregation: 1,
+		ExpiryHeight:   w.m.Height() + 10_000,
+		MaxInvocations: 8,
+	}
+	if err := w.providers[0].SetPolicy(w.refs[0][0].ID, open); err != nil {
+		t.Fatal(err)
+	}
+	closed := &policy.Policy{
+		AllowedClasses: []string{"stats"},
+		MinAggregation: 1,
+		ExpiryHeight:   w.m.Height() + 10_000,
+		MaxInvocations: 8,
+	}
+	if err := w.providers[2].SetPolicy(w.refs[2][0].ID, closed); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two of the three providers can participate; the spec floor only
+	// counts them, leaving the forbidden provider as the denied path.
+	w.spec.MinProviders, w.spec.MinItems = 2, 2
+	addr, err := w.consumer.SubmitWorkload(w.spec, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range w.providers[:2] {
+		refs, err := p.EligibleData(w.spec)
+		if err != nil || len(refs) == 0 {
+			t.Fatalf("provider %d eligibility: refs = %d err = %v", i, len(refs), err)
+		}
+		auths, err := p.Authorize(addr, w.executors[i].ID.Address(), refs, w.spec.ExpiryHeight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.executors[i].Accept(addr, auths)
+	}
+	refs2, err := w.providers[2].EligibleData(w.spec)
+	if err != nil || len(refs2) == 0 {
+		t.Fatalf("forbidden provider eligibility: refs = %d err = %v", len(refs2), err)
+	}
+	var denial *PolicyDenialError
+	if _, err := w.providers[2].Authorize(addr, w.executors[0].ID.Address(), refs2, w.spec.ExpiryHeight); !errors.As(err, &denial) {
+		t.Fatalf("forbidden provider authorized: %v", err)
+	}
+	if denial.Record.Layer != policy.LayerMatch {
+		t.Fatalf("denial layer = %s", denial.Record.Layer)
+	}
+
+	for _, e := range w.executors {
+		if err := e.Register(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.consumer.Start(addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWorkloadExecution(addr, w.executors); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.consumer.Finalize(addr); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := w.m.WorkloadStateOf(addr); err != nil || st != StateComplete {
+		t.Fatalf("state = %v err = %v", st, err)
+	}
+
+	var allows, denies int
+	for _, ev := range w.m.Chain.Events(policy.EvPolicyDecision) {
+		rec, err := policy.DecodeDecisionRecord(ev.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Allowed() {
+			allows++
+		} else {
+			denies++
+		}
+	}
+	if allows == 0 || denies == 0 {
+		t.Fatalf("allows = %d denies = %d; smoke needs at least one of each", allows, denies)
+	}
+	replayClean(t, w)
+	// Exactly one admission consumed the policy-bearing dataset.
+	if uses, err := w.m.PolicyUses(w.refs[0][0].ID); err != nil || uses != 1 {
+		t.Fatalf("uses = %d err = %v", uses, err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"pds2/internal/contract"
 	"pds2/internal/crypto"
 	"pds2/internal/identity"
+	"pds2/internal/policy"
 )
 
 // RegistryCodeName is the code name of the platform registry contract.
@@ -25,9 +26,19 @@ const RegistryCodeName = "pds2/registry"
 //	role/<role>/<addr>  — actor has role
 //	data/<dataID>       — owner address of a registered dataset
 //	datameta/<dataID>   — hash of the dataset's metadata document
+//	policy/<dataID>     — encoded usage-control policy (absent = permissive)
+//	poluse/<dataID>     — admissions that have consumed the dataset
 //	wl/<seq>            — workload contract address, in registration order
 //	wlseq               — number of registered workloads
+//	wlreg/<addr>        — reverse marker: address is a registered workload
 type RegistryContract struct{}
+
+// GasPolicyEval is charged per dataset for a usage-control policy
+// evaluation on top of the metered storage reads.
+const GasPolicyEval = 500
+
+// maxPolicyBatch bounds the datasets one enforcePolicy call may cover.
+const maxPolicyBatch = 256
 
 // Init implements contract.Contract; the registry has no constructor
 // arguments. The deployer becomes the registry owner, able to wire the
@@ -206,6 +217,11 @@ func (RegistryContract) Call(ctx *contract.Context, method string, args []byte) 
 		if err := ctx.SetUint64("wlseq", seq+1); err != nil {
 			return nil, err
 		}
+		// Reverse marker: only registered workload contracts may run
+		// admission-layer policy enforcement (which consumes invocations).
+		if err := ctx.Set("wlreg/"+addr.Hex(), []byte{1}); err != nil {
+			return nil, err
+		}
 		return nil, ctx.Emit(EvWorkloadRegistered, contract.NewEncoder().
 			Address(addr).Digest(WorkloadIDFor(addr)).Bytes())
 
@@ -233,9 +249,210 @@ func (RegistryContract) Call(ctx *contract.Context, method string, args []byte) 
 		copy(addr[:], raw)
 		return contract.NewEncoder().Address(addr).Bytes(), nil
 
+	case "setPolicy":
+		// (dataID digest, policy blob) — attach or replace the dataset's
+		// usage-control policy. Only the registered owner may set it; the
+		// mutation itself is a chain event so offline audit can replay
+		// every decision against the policy in force at the time.
+		dataID, err := dec.Digest()
+		if err != nil {
+			return nil, contract.Revertf("setPolicy: %v", err)
+		}
+		blob, err := dec.Blob()
+		if err != nil {
+			return nil, contract.Revertf("setPolicy: %v", err)
+		}
+		ownerRaw, err := ctx.Get("data/" + dataID.Hex())
+		if err != nil {
+			return nil, err
+		}
+		if len(ownerRaw) != identity.AddressSize || string(ownerRaw) != string(ctx.Caller[:]) {
+			return nil, contract.Revertf("setPolicy: caller does not own dataset %s", dataID.Short())
+		}
+		pol, err := policy.Decode(blob)
+		if err != nil {
+			return nil, contract.Revertf("setPolicy: %v", err)
+		}
+		if err := pol.Validate(); err != nil {
+			return nil, contract.Revertf("setPolicy: %v", err)
+		}
+		if err := ctx.Set("policy/"+dataID.Hex(), blob); err != nil {
+			return nil, err
+		}
+		return nil, ctx.Emit(policy.EvPolicySet, policy.EncodePolicySet(dataID, ctx.Caller, blob))
+
+	case "policyOf":
+		// (dataID) → encoded policy blob (empty when none attached)
+		dataID, err := dec.Digest()
+		if err != nil {
+			return nil, contract.Revertf("policyOf: %v", err)
+		}
+		raw, err := ctx.Get("policy/" + dataID.Hex())
+		if err != nil {
+			return nil, err
+		}
+		return contract.NewEncoder().Blob(raw).Bytes(), nil
+
+	case "policyUses":
+		// (dataID) → number of admissions that consumed the dataset
+		dataID, err := dec.Digest()
+		if err != nil {
+			return nil, contract.Revertf("policyUses: %v", err)
+		}
+		uses, err := ctx.GetUint64("poluse/" + dataID.Hex())
+		if err != nil {
+			return nil, err
+		}
+		return contract.NewEncoder().Uint64(uses).Bytes(), nil
+
+	case "evalPolicy":
+		// (dataID, layer, class, purpose, agg) → encoded DecisionRecord.
+		// Pure view: no event, no consumption — the cheap pre-check
+		// matchers and API clients use.
+		dataID, err := dec.Digest()
+		if err != nil {
+			return nil, contract.Revertf("evalPolicy: %v", err)
+		}
+		layer, class, purpose, agg, err := decodePolicyQuery(dec)
+		if err != nil {
+			return nil, contract.Revertf("evalPolicy: %v", err)
+		}
+		rec, _, err := evalDatasetPolicy(ctx, dataID, layer, class, purpose, agg)
+		if err != nil {
+			return nil, err
+		}
+		return rec.Encode(), nil
+
+	case "enforcePolicy":
+		// (layer, class, purpose, agg, n, dataID…n) → encoded
+		// []DecisionRecord. Evaluates every dataset's policy and logs one
+		// PolicyDecision event per policy-bearing dataset. A denial does
+		// NOT revert — reverting would discard the decision events — it
+		// is returned to the caller, which must treat the batch as
+		// failed. Denied batches log only the denials (the allows never
+		// took effect); all-allow batches at the admission layer consume
+		// one invocation per dataset, and only registered workload
+		// contracts may run that layer.
+		layer, class, purpose, agg, err := decodePolicyQuery(dec)
+		if err != nil {
+			return nil, contract.Revertf("enforcePolicy: %v", err)
+		}
+		n, err := dec.Uint64()
+		if err != nil {
+			return nil, contract.Revertf("enforcePolicy: %v", err)
+		}
+		if n == 0 || n > maxPolicyBatch {
+			return nil, contract.Revertf("enforcePolicy: batch of %d datasets out of range", n)
+		}
+		if layer == policy.LayerAdmission {
+			mark, err := ctx.Get("wlreg/" + ctx.Caller.Hex())
+			if err != nil {
+				return nil, err
+			}
+			if len(mark) == 0 {
+				return nil, contract.Revertf("enforcePolicy: admission layer is reserved for registered workload contracts")
+			}
+		}
+		recs := make([]policy.DecisionRecord, 0, n)
+		hasPol := make([]bool, 0, n)
+		seen := make(map[crypto.Digest]bool, n)
+		for i := uint64(0); i < n; i++ {
+			dataID, err := dec.Digest()
+			if err != nil {
+				return nil, contract.Revertf("enforcePolicy: %v", err)
+			}
+			if seen[dataID] {
+				return nil, contract.Revertf("enforcePolicy: duplicate dataset %s in batch", dataID.Short())
+			}
+			seen[dataID] = true
+			rec, bound, err := evalDatasetPolicy(ctx, dataID, layer, class, purpose, agg)
+			if err != nil {
+				return nil, err
+			}
+			recs = append(recs, rec)
+			hasPol = append(hasPol, bound)
+		}
+		denied := policy.FirstDenial(recs) != nil
+		for i := range recs {
+			if !hasPol[i] {
+				continue // no policy attached: nothing to log or consume
+			}
+			if denied && recs[i].Allowed() {
+				continue // batch failed as a unit; these allows never happened
+			}
+			if err := ctx.Emit(policy.EvPolicyDecision, recs[i].Encode()); err != nil {
+				return nil, err
+			}
+			if !denied && layer == policy.LayerAdmission {
+				if err := ctx.SetUint64("poluse/"+recs[i].DataID.Hex(), recs[i].Invocations+1); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return policy.EncodeDecisionRecords(recs), nil
+
 	default:
 		return nil, fmt.Errorf("%w: registry.%s", contract.ErrUnknownMethod, method)
 	}
+}
+
+// decodePolicyQuery decodes the (layer, class, purpose, agg) tail shared
+// by evalPolicy and enforcePolicy, validating the layer name.
+func decodePolicyQuery(dec *contract.Decoder) (layer, class, purpose string, agg uint64, err error) {
+	if layer, err = dec.String(); err != nil {
+		return "", "", "", 0, err
+	}
+	switch layer {
+	case policy.LayerMatch, policy.LayerAdmission, policy.LayerEnclave:
+	default:
+		return "", "", "", 0, fmt.Errorf("unknown enforcement layer %q", layer)
+	}
+	if class, err = dec.String(); err != nil {
+		return "", "", "", 0, err
+	}
+	if purpose, err = dec.String(); err != nil {
+		return "", "", "", 0, err
+	}
+	if agg, err = dec.Uint64(); err != nil {
+		return "", "", "", 0, err
+	}
+	return layer, class, purpose, agg, nil
+}
+
+// evalDatasetPolicy runs one usage-control evaluation against the
+// dataset's stored policy and consumption counter. The second return
+// reports whether the dataset has a policy attached (policy-less
+// datasets are allowed without logging).
+func evalDatasetPolicy(ctx *contract.Context, dataID crypto.Digest,
+	layer, class, purpose string, agg uint64) (policy.DecisionRecord, bool, error) {
+
+	if err := ctx.UseGas(GasPolicyEval); err != nil {
+		return policy.DecisionRecord{}, false, err
+	}
+	raw, err := ctx.Get("policy/" + dataID.Hex())
+	if err != nil {
+		return policy.DecisionRecord{}, false, err
+	}
+	var pol *policy.Policy
+	if len(raw) > 0 {
+		if pol, err = policy.Decode(raw); err != nil {
+			return policy.DecisionRecord{}, false, contract.Revertf("policy for %s is corrupt: %v", dataID.Short(), err)
+		}
+	}
+	uses, err := ctx.GetUint64("poluse/" + dataID.Hex())
+	if err != nil {
+		return policy.DecisionRecord{}, false, err
+	}
+	dec := policy.Evaluate(pol, policy.Request{
+		Layer: layer, Class: class, Purpose: purpose,
+		Aggregation: agg, Height: ctx.Height, Invocations: uses,
+	})
+	return policy.DecisionRecord{
+		DataID: dataID, Subject: ctx.Caller,
+		Layer: layer, Class: class, Purpose: purpose,
+		Aggregation: agg, Height: ctx.Height, Invocations: uses,
+		Code: dec.Code, Clause: dec.Clause,
+	}, len(raw) > 0, nil
 }
 
 // Client-side helpers.
@@ -253,4 +470,40 @@ func RegisterDataData(dataID, metaHash crypto.Digest) []byte {
 // RegisterWorkloadData builds call data for registerWorkload.
 func RegisterWorkloadData(addr identity.Address) []byte {
 	return contract.CallData("registerWorkload", contract.NewEncoder().Address(addr).Bytes())
+}
+
+// SetPolicyData builds call data for setPolicy.
+func SetPolicyData(dataID crypto.Digest, pol *policy.Policy) []byte {
+	return contract.CallData("setPolicy", contract.NewEncoder().
+		Digest(dataID).Blob(pol.Encode()).Bytes())
+}
+
+// policyQueryArgs encodes the (layer, class, purpose, agg) tail shared
+// by evalPolicy and enforcePolicy call data.
+func policyQueryArgs(e *contract.Encoder, layer, class, purpose string, agg uint64) *contract.Encoder {
+	return e.String(layer).String(class).String(purpose).Uint64(agg)
+}
+
+// EvalPolicyData builds call data for the evalPolicy view.
+func EvalPolicyData(dataID crypto.Digest, layer, class, purpose string, agg uint64) []byte {
+	e := contract.NewEncoder().Digest(dataID)
+	return contract.CallData("evalPolicy", policyQueryArgs(e, layer, class, purpose, agg).Bytes())
+}
+
+// enforcePolicyArgs builds the raw argument encoding for enforcePolicy
+// (shared by the client-side CallData wrapper and the workload
+// contract's cross-contract admission call).
+func enforcePolicyArgs(layer, class, purpose string, agg uint64, ids ...crypto.Digest) []byte {
+	e := policyQueryArgs(contract.NewEncoder(), layer, class, purpose, agg)
+	e.Uint64(uint64(len(ids)))
+	for _, id := range ids {
+		e.Digest(id)
+	}
+	return e.Bytes()
+}
+
+// EnforcePolicyData builds call data for enforcePolicy over a batch of
+// datasets.
+func EnforcePolicyData(layer, class, purpose string, agg uint64, ids ...crypto.Digest) []byte {
+	return contract.CallData("enforcePolicy", enforcePolicyArgs(layer, class, purpose, agg, ids...))
 }

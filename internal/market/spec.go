@@ -102,6 +102,35 @@ type Spec struct {
 	// enclave code (model dimensions, hyperparameters, …). The contract
 	// treats it as data; its hash is part of the workload identity.
 	Params []byte
+
+	// Class is the computation class datasets' usage-control policies
+	// whitelist ("train", "stats", …). Empty defaults to
+	// DefaultComputationClass; see ComputationClass.
+	Class string
+
+	// Purpose is the consumer's declared purpose for the computation,
+	// matched against dataset policies' consented purpose strings.
+	Purpose string
+
+	// Registry is the platform registry holding dataset policies. The
+	// workload contract calls it at admission time to enforce each
+	// contributed dataset's policy; Consumer.SubmitWorkload fills it in
+	// automatically. Zero disables admission-layer policy enforcement
+	// (pre-policy specs).
+	Registry identity.Address
+}
+
+// DefaultComputationClass is the class assumed for specs that predate
+// the Class field (every built-in workload is federated training).
+const DefaultComputationClass = "train"
+
+// ComputationClass returns the spec's computation class, defaulting to
+// DefaultComputationClass when unset.
+func (s *Spec) ComputationClass() string {
+	if s.Class == "" {
+		return DefaultComputationClass
+	}
+	return s.Class
 }
 
 // Validate checks structural sanity.
@@ -140,6 +169,9 @@ func (s *Spec) Encode() []byte {
 		Address(s.RewardToken).
 		Uint64(s.TokenBudget).
 		Blob(s.Params).
+		String(s.Class).
+		String(s.Purpose).
+		Address(s.Registry).
 		Bytes()
 }
 
@@ -176,6 +208,15 @@ func DecodeSpec(b []byte) (*Spec, error) {
 		return nil, fmt.Errorf("market: decode spec: %w", err)
 	}
 	if s.Params, err = d.Blob(); err != nil {
+		return nil, fmt.Errorf("market: decode spec: %w", err)
+	}
+	if s.Class, err = d.String(); err != nil {
+		return nil, fmt.Errorf("market: decode spec: %w", err)
+	}
+	if s.Purpose, err = d.String(); err != nil {
+		return nil, fmt.Errorf("market: decode spec: %w", err)
+	}
+	if s.Registry, err = d.Address(); err != nil {
 		return nil, fmt.Errorf("market: decode spec: %w", err)
 	}
 	if err := d.Done(); err != nil {

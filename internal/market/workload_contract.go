@@ -7,6 +7,7 @@ import (
 	"pds2/internal/contract"
 	"pds2/internal/crypto"
 	"pds2/internal/identity"
+	"pds2/internal/policy"
 	"pds2/internal/tee"
 )
 
@@ -302,6 +303,38 @@ func (w WorkloadContract) registerExecution(ctx *contract.Context, dec *contract
 	if len(certs) == 0 {
 		return nil, contract.Revertf("registerExecution: no participation certificates")
 	}
+
+	// Admission-layer usage control: before any registration state
+	// commits, every contributed dataset's policy is enforced through
+	// the registry, which logs one PolicyDecision event per
+	// policy-bearing dataset and consumes one invocation each on an
+	// all-allow batch. A denial must NOT revert — reverting would erase
+	// the decision log — so the registration is abandoned with the
+	// encoded decisions as the return value and no state change.
+	if !spec.Registry.IsZero() {
+		itemsBefore, err := ctx.GetUint64("items")
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]crypto.Digest, len(certs))
+		for i, cert := range certs {
+			ids[i] = cert.DataRef
+		}
+		agg := itemsBefore + uint64(len(certs))
+		args := enforcePolicyArgs(policy.LayerAdmission, spec.ComputationClass(), spec.Purpose, agg, ids...)
+		ret, err := ctx.CallContract(spec.Registry, "enforcePolicy", args, 0)
+		if err != nil {
+			return nil, contract.Revertf("registerExecution: policy enforcement: %v", err)
+		}
+		recs, err := policy.DecodeDecisionRecords(ret)
+		if err != nil {
+			return nil, contract.Revertf("registerExecution: policy enforcement: %v", err)
+		}
+		if policy.FirstDenial(recs) != nil {
+			return ret, nil // admission denied: decisions logged, nothing registered
+		}
+	}
+
 	for i, cert := range certs {
 		if err := ctx.UseGas(GasSigVerify); err != nil {
 			return nil, err

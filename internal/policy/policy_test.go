@@ -1,0 +1,249 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+
+	"pds2/internal/crypto"
+	"pds2/internal/identity"
+	"pds2/internal/ledger"
+)
+
+// TestEvaluateClauses is the table-driven clause contract: boundary
+// conditions for every clause and the fixed clause-ordering.
+func TestEvaluateClauses(t *testing.T) {
+	train := Request{Layer: LayerMatch, Class: "train", Purpose: "research",
+		Aggregation: 10, Height: 100, Invocations: 0}
+	with := func(mut func(*Request)) Request { r := train; mut(&r); return r }
+
+	cases := []struct {
+		name   string
+		pol    *Policy
+		req    Request
+		code   string
+		clause string
+	}{
+		{"nil policy allows everything", nil, train, CodeOK, ""},
+		{"zero policy allows everything", &Policy{}, train, CodeOK, ""},
+
+		// Expiry boundary: height == expiry still allowed, height just
+		// past it denied.
+		{"expiry at boundary allowed",
+			&Policy{ExpiryHeight: 100}, train, CodeOK, ""},
+		{"expiry one past boundary denied",
+			&Policy{ExpiryHeight: 99}, train, CodeExpired, ClauseExpiry},
+		{"expiry zero never expires",
+			&Policy{}, with(func(r *Request) { r.Height = 1 << 40 }), CodeOK, ""},
+
+		// Computation class.
+		{"class in allowed set",
+			&Policy{AllowedClasses: []string{"stats", "train"}}, train, CodeOK, ""},
+		{"unknown computation class denied",
+			&Policy{AllowedClasses: []string{"stats"}}, train, CodeClassForbidden, ClauseClasses},
+		{"empty request class denied by class whitelist",
+			&Policy{AllowedClasses: []string{"train"}},
+			with(func(r *Request) { r.Class = "" }), CodeClassForbidden, ClauseClasses},
+
+		// Purpose.
+		{"purpose consented",
+			&Policy{Purposes: []string{"research"}}, train, CodeOK, ""},
+		{"purpose mismatch denied",
+			&Policy{Purposes: []string{"billing"}}, train, CodePurposeMismatch, ClausePurposes},
+		{"empty purpose against purpose whitelist denied",
+			&Policy{Purposes: []string{"research"}},
+			with(func(r *Request) { r.Purpose = "" }), CodePurposeMismatch, ClausePurposes},
+
+		// Aggregation floor off-by-one: exactly at the floor passes,
+		// one under fails.
+		{"aggregation exactly at floor allowed",
+			&Policy{MinAggregation: 10}, train, CodeOK, ""},
+		{"aggregation one under floor denied",
+			&Policy{MinAggregation: 11}, train, CodeAggregationFloor, ClauseAggregation},
+
+		// Invocation cap: the Nth use of an N-cap dataset is the last
+		// one allowed.
+		{"last permitted invocation allowed",
+			&Policy{MaxInvocations: 3},
+			with(func(r *Request) { r.Invocations = 2 }), CodeOK, ""},
+		{"invocations exhausted denied",
+			&Policy{MaxInvocations: 3},
+			with(func(r *Request) { r.Invocations = 3 }), CodeExhausted, ClauseInvocations},
+
+		// Clause ordering: expiry outranks class, class outranks
+		// aggregation.
+		{"expiry checked before class",
+			&Policy{ExpiryHeight: 1, AllowedClasses: []string{"stats"}},
+			train, CodeExpired, ClauseExpiry},
+		{"class checked before aggregation",
+			&Policy{AllowedClasses: []string{"stats"}, MinAggregation: 100},
+			train, CodeClassForbidden, ClauseClasses},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Evaluate(tc.pol, tc.req)
+			if got.Code != tc.code || got.Clause != tc.clause {
+				t.Fatalf("Evaluate = code %q clause %q, want %q/%q (detail: %s)",
+					got.Code, got.Clause, tc.code, tc.clause, got.Detail)
+			}
+			if got.Allowed != (tc.code == CodeOK) {
+				t.Fatalf("Allowed = %v inconsistent with code %q", got.Allowed, got.Code)
+			}
+			if got.Layer != tc.req.Layer {
+				t.Fatalf("Layer = %q, want %q", got.Layer, tc.req.Layer)
+			}
+		})
+	}
+}
+
+func TestPolicyEncodeRoundTrip(t *testing.T) {
+	pols := []*Policy{
+		{},
+		{AllowedClasses: []string{"train"}, MinAggregation: 5, ExpiryHeight: 99,
+			Purposes: []string{"research", "audit"}, MaxInvocations: 7},
+		{Purposes: []string{"x"}},
+	}
+	for i, p := range pols {
+		got, err := Decode(p.Encode())
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(p)) {
+			t.Fatalf("case %d: round trip %+v != %+v", i, got, p)
+		}
+	}
+	if _, err := Decode([]byte{0xff, 0x01}); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+}
+
+func normalize(p *Policy) Policy {
+	q := *p
+	if len(q.AllowedClasses) == 0 {
+		q.AllowedClasses = nil
+	}
+	if len(q.Purposes) == 0 {
+		q.Purposes = nil
+	}
+	return q
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := (&Policy{AllowedClasses: []string{""}}).Validate(); err == nil {
+		t.Fatal("empty class accepted")
+	}
+	if err := (&Policy{Purposes: make([]string, maxListEntries+1)}).Validate(); err == nil {
+		t.Fatal("oversized purpose list accepted")
+	}
+	if err := (&Policy{AllowedClasses: []string{"train"}, Purposes: []string{"r"}}).Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+}
+
+func TestDecisionRecordRoundTrip(t *testing.T) {
+	rec := DecisionRecord{
+		DataID: crypto.HashString("ds"), Subject: identity.Address{1, 2},
+		Layer: LayerAdmission, Class: "train", Purpose: "research",
+		Aggregation: 4, Height: 77, Invocations: 2,
+		Code: CodeAggregationFloor, Clause: ClauseAggregation,
+	}
+	got, err := DecodeDecisionRecord(rec.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if *got != rec {
+		t.Fatalf("round trip %+v != %+v", got, rec)
+	}
+	batch, err := DecodeDecisionRecords(EncodeDecisionRecords([]DecisionRecord{rec, rec}))
+	if err != nil || len(batch) != 2 {
+		t.Fatalf("batch round trip: %v (%d records)", err, len(batch))
+	}
+	if d := FirstDenial(batch); d == nil || d.Code != CodeAggregationFloor {
+		t.Fatalf("FirstDenial = %+v", d)
+	}
+}
+
+// replay helpers building synthetic event logs.
+func setEvent(id crypto.Digest, p *Policy) ledger.Event {
+	return ledger.Event{Topic: EvPolicySet,
+		Data: EncodePolicySet(id, identity.Address{9}, p.Encode())}
+}
+
+func decEvent(rec DecisionRecord) ledger.Event {
+	return ledger.Event{Topic: EvPolicyDecision, Data: rec.Encode()}
+}
+
+func TestReplayCleanLog(t *testing.T) {
+	id := crypto.HashString("d1")
+	pol := &Policy{AllowedClasses: []string{"train"}, MaxInvocations: 1}
+	base := DecisionRecord{DataID: id, Layer: LayerMatch, Class: "train",
+		Aggregation: 1, Height: 5, Code: CodeOK}
+	adm := base
+	adm.Layer = LayerAdmission
+	second := adm
+	second.Invocations = 1
+	second.Code = CodeExhausted
+	second.Clause = ClauseInvocations
+
+	rep := ReplayDecisions([]ledger.Event{
+		setEvent(id, pol), decEvent(base), decEvent(adm), decEvent(second),
+	})
+	if err := rep.Err(); err != nil {
+		t.Fatalf("clean log reported: %v\n%+v", err, rep)
+	}
+	if rep.Decisions != 3 || rep.Allows != 2 || rep.Denies != 1 || rep.PoliciesSet != 1 {
+		t.Fatalf("counts wrong: %+v", rep)
+	}
+}
+
+func TestReplayDetectsForgedCode(t *testing.T) {
+	id := crypto.HashString("d2")
+	rec := DecisionRecord{DataID: id, Layer: LayerMatch, Class: "stats",
+		Height: 5, Code: CodeOK} // policy forbids stats, log says ok
+	rep := ReplayDecisions([]ledger.Event{
+		setEvent(id, &Policy{AllowedClasses: []string{"train"}}), decEvent(rec),
+	})
+	if len(rep.Mismatches) == 0 {
+		t.Fatalf("forged allow not caught: %+v", rep)
+	}
+}
+
+// A late deny that the match-time policy would not produce, with no
+// mutation in between, must be flagged; the same deny after a policy
+// mutation must not.
+func TestReplayLateDenyPrecedence(t *testing.T) {
+	id := crypto.HashString("d3")
+	open := &Policy{MaxInvocations: 100}                // permissive
+	tight := &Policy{AllowedClasses: []string{"stats"}} // forbids train
+	match := DecisionRecord{DataID: id, Layer: LayerMatch, Class: "train",
+		Height: 5, Code: CodeOK}
+	lateDeny := DecisionRecord{DataID: id, Layer: LayerAdmission, Class: "train",
+		Height: 6, Code: CodeClassForbidden, Clause: ClauseClasses}
+
+	// Mutation in between: legitimate.
+	rep := ReplayDecisions([]ledger.Event{
+		setEvent(id, open), decEvent(match), setEvent(id, tight), decEvent(lateDeny),
+	})
+	if err := rep.Err(); err != nil {
+		t.Fatalf("mutation-explained deny flagged: %v", err)
+	}
+
+	// No mutation: the deny is unexplained (and inconsistent).
+	rep = ReplayDecisions([]ledger.Event{
+		setEvent(id, open), decEvent(match), decEvent(lateDeny),
+	})
+	if len(rep.UnexplainedDenies) == 0 {
+		t.Fatalf("unexplained late deny not caught: %+v", rep)
+	}
+}
+
+func TestReplayDetectsInvocationDrift(t *testing.T) {
+	id := crypto.HashString("d4")
+	rec := DecisionRecord{DataID: id, Layer: LayerAdmission, Class: "train",
+		Height: 5, Invocations: 3, Code: CodeOK} // claims 3 prior uses; log shows none
+	rep := ReplayDecisions([]ledger.Event{
+		setEvent(id, &Policy{MaxInvocations: 10}), decEvent(rec),
+	})
+	if len(rep.Mismatches) == 0 {
+		t.Fatalf("invocation drift not caught: %+v", rep)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"pds2/internal/identity"
 	"pds2/internal/ledger"
 	"pds2/internal/market"
+	"pds2/internal/policy"
 )
 
 // Violation is one broken invariant, pinned to the block and plan
@@ -156,6 +157,24 @@ func (a *Auditor) CheckGlobal() []Violation {
 	// concatenation of every observed receipt's events.
 	if logged := len(a.m.Chain.Events("")); logged != a.eventsSeen {
 		add("event-log", "audit log has %d events, receipts carried %d", logged, a.eventsSeen)
+	}
+
+	// Usage-control invariants over the flat audit log: every recorded
+	// policy decision must re-derive identically offline (same code from
+	// the policy in force and the replay-derived invocation count, every
+	// late deny explained by the match-time policy or a mutation), and no
+	// settled workload may carry a policy-bearing dataset without an
+	// allowed admission decision.
+	events := a.m.Chain.Events("")
+	rep := policy.ReplayDecisions(events)
+	for _, mm := range rep.Mismatches {
+		add("policy-decision-replay", "%s", mm)
+	}
+	for _, u := range rep.UnexplainedDenies {
+		add("policy-decision-replay", "%s", u)
+	}
+	for _, v := range market.VerifyPolicySettlements(events) {
+		add("policy-settlement", "%s", v)
 	}
 
 	for _, c := range a.erc20s {

@@ -97,6 +97,7 @@ const (
 	OpPrune                       // evict stale mempool entries
 	OpRevertProbe                 // snapshot → mutate → revert must be an exact no-op
 	OpLifecycle                   // full workload register→match→seal→settle
+	OpSetPolicy                   // dataset registration + usage-control policy churn
 )
 
 // String implements fmt.Stringer.
@@ -106,7 +107,7 @@ func (k OpKind) String() string {
 		"erc20-approve", "erc20-transfer-from", "erc20-burn",
 		"erc721-mint", "erc721-approve", "erc721-transfer", "bad-call",
 		"future-nonce", "replace", "resubmit", "seal", "prune",
-		"revert-probe", "lifecycle",
+		"revert-probe", "lifecycle", "set-policy",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -154,6 +155,7 @@ var planWeights = []struct {
 	{OpSeal, 14},
 	{OpPrune, 3},
 	{OpRevertProbe, 3},
+	{OpSetPolicy, 4},
 }
 
 // Plan expands a Config into its deterministic operation list. The same

@@ -1,6 +1,7 @@
 package proptest
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -11,6 +12,7 @@ import (
 	"pds2/internal/ledger"
 	"pds2/internal/market"
 	"pds2/internal/ml"
+	"pds2/internal/policy"
 	"pds2/internal/semantic"
 	"pds2/internal/storage"
 	"pds2/internal/token"
@@ -24,6 +26,36 @@ const deedSpace = 8
 // deedID derives the nth deterministic token ID.
 func deedID(n uint64) crypto.Digest {
 	return crypto.HashString(fmt.Sprintf("proptest/deed/%d", n%deedSpace))
+}
+
+// polDataSpace bounds the shared dataset-ID universe the set-policy op
+// draws from: small enough that accounts race for the same
+// registrations (first-come-first-served reverts) and re-attach
+// policies to datasets other ops already probed.
+const polDataSpace = 6
+
+// polDataID derives the nth deterministic policy-churn dataset ID.
+func polDataID(n uint64) crypto.Digest {
+	return crypto.HashString(fmt.Sprintf("proptest/poldata/%d", n%polDataSpace))
+}
+
+// policyFor derives a structurally valid usage-control policy from the
+// op's own randomness, mixing permissive and restrictive clauses so the
+// match-layer probes exercise every deny code.
+func policyFor(op Op, height uint64) *policy.Policy {
+	pol := &policy.Policy{
+		AllowedClasses: []string{market.DefaultComputationClass},
+		MinAggregation: 1 + op.Amount%3,
+		ExpiryHeight:   height + 1 + op.Seed%200,
+		MaxInvocations: 1 + op.Seed%8,
+	}
+	if op.Seed%3 == 0 {
+		pol.AllowedClasses = []string{"stats"}
+	}
+	if op.Seed%5 == 0 {
+		pol.Purposes = []string{"research"}
+	}
+	return pol
 }
 
 // BlockSummary is the canonical record of one sealed block in a
@@ -293,8 +325,28 @@ func (r *runner) exec(i int, op Op) {
 		r.logf("%s -> evicted %d", op, r.m.Pool.Prune(r.m.Chain.State()))
 	case OpRevertProbe:
 		r.revertProbe(i, op)
+	case OpSetPolicy:
+		// Register a dataset from the tiny shared ID space and attach a
+		// seeded policy. Registration races (duplicate registerData) and
+		// non-owner setPolicy calls revert by design; half the ops also
+		// submit a match-layer enforcement probe whose decision — allow
+		// or deny — lands in the audit log and must replay.
+		id := polDataID(op.Seed)
+		meta := crypto.HashString(fmt.Sprintf("proptest/polmeta/%d", op.Seed%polDataSpace))
+		reg := r.m.SignedTx(from, r.m.Registry, 0, market.RegisterDataData(id, meta))
+		set := r.m.SignedTx(from, r.m.Registry, 0, market.SetPolicyData(id, policyFor(op, r.m.Height())))
+		r.logf("%s -> %s then %s", op, r.submit(reg), r.submit(set))
+		if op.Amount%2 == 0 {
+			class := market.DefaultComputationClass
+			if op.Amount%4 == 0 {
+				class = "stats"
+			}
+			probe := r.m.SignedTx(from, r.m.Registry, 0, market.EnforcePolicyData(
+				policy.LayerMatch, class, "", 1+op.Amount%4, id))
+			r.logf("%s probe -> %s", op, r.submit(probe))
+		}
 	case OpLifecycle:
-		if err := r.lifecycle(op); err != nil {
+		if outcome, err := r.lifecycle(op); err != nil {
 			// A failed lifecycle on an in-process market is a genuine
 			// defect, not an expected revert path: report it as a
 			// violation so it shrinks like any other failure.
@@ -304,7 +356,7 @@ func (r *runner) exec(i int, op Op) {
 			})
 			r.logf("%s -> FAILED: %v", op, err)
 		} else {
-			r.logf("%s -> settled", op)
+			r.logf("%s -> %s", op, outcome)
 		}
 	default:
 		r.logf("%s -> unknown kind", op)
@@ -341,8 +393,20 @@ func (r *runner) revertProbe(i int, op Op) {
 
 // lifecycle drives one full workload register→match→seal→settle flow
 // with actors derived from the op's own seed, interleaved with whatever
-// the rest of the plan left in the mempool.
-func (r *runner) lifecycle(op Op) error {
+// the rest of the plan left in the mempool. The op seed also picks a
+// usage-control mode: plain (no policy), policy-bearing (permissive
+// policy, decisions logged, must settle), forbidden-class (must be
+// denied at match), or tighten-after-match (allowed at match, policy
+// then mutated, must be denied at admission and enclave). The returned
+// string is the canonical outcome for the history log.
+func (r *runner) lifecycle(op Op) (string, error) {
+	const (
+		modePlain = iota
+		modePolicy
+		modeForbidden
+		modeTighten
+	)
+	mode := int(op.Seed % 4)
 	rng := crypto.NewDRBGFromUint64(op.Seed, "proptest/lifecycle")
 	consumerID := identity.New("prop-consumer", rng.Fork("consumer"))
 	providerID := identity.New("prop-provider", rng.Fork("provider"))
@@ -352,28 +416,51 @@ func (r *runner) lifecycle(op Op) error {
 	// like any others.
 	for _, id := range []*identity.Identity{consumerID, providerID, executorID} {
 		if _, err := market.MustSucceed(r.m.SendAndSeal(r.accounts[0], id.Address(), 300_000, nil)); err != nil {
-			return fmt.Errorf("fund actor: %w", err)
+			return "", fmt.Errorf("fund actor: %w", err)
 		}
 	}
 	consumer, err := market.NewConsumer(r.m, consumerID)
 	if err != nil {
-		return fmt.Errorf("consumer: %w", err)
+		return "", fmt.Errorf("consumer: %w", err)
 	}
 	node := storage.NewNode(storage.NewMemStore())
 	provider, err := market.NewProvider(r.m, providerID, node)
 	if err != nil {
-		return fmt.Errorf("provider: %w", err)
+		return "", fmt.Errorf("provider: %w", err)
 	}
 	executor, err := market.NewExecutor(r.m, executorID, node)
 	if err != nil {
-		return fmt.Errorf("executor: %w", err)
+		return "", fmt.Errorf("executor: %w", err)
 	}
 	data, _ := ml.GenerateClassification(ml.SyntheticConfig{N: 40, Dim: 2}, rng.Fork("data"))
-	if _, err := provider.AddDataset(data, semantic.Metadata{
+	ref, err := provider.AddDataset(data, semantic.Metadata{
 		"category": semantic.String("sensor.temperature"),
 		"samples":  semantic.Number(float64(data.Len())),
-	}); err != nil {
-		return fmt.Errorf("add dataset: %w", err)
+	})
+	if err != nil {
+		return "", fmt.Errorf("add dataset: %w", err)
+	}
+	permissive := &policy.Policy{
+		AllowedClasses: []string{market.DefaultComputationClass},
+		MinAggregation: 1,
+		ExpiryHeight:   r.m.Height() + 1_000,
+		MaxInvocations: 4,
+	}
+	forbidden := &policy.Policy{
+		AllowedClasses: []string{"stats"},
+		MinAggregation: 1,
+		ExpiryHeight:   r.m.Height() + 1_000,
+		MaxInvocations: 4,
+	}
+	switch mode {
+	case modePolicy, modeTighten:
+		if err := provider.SetPolicy(ref.ID, permissive); err != nil {
+			return "", fmt.Errorf("set policy: %w", err)
+		}
+	case modeForbidden:
+		if err := provider.SetPolicy(ref.ID, forbidden); err != nil {
+			return "", fmt.Errorf("set policy: %w", err)
+		}
 	}
 	params := market.TrainerParams{Dim: 2, Epochs: 1, Lambda: 1e-3}
 	spec := &market.Spec{
@@ -388,40 +475,77 @@ func (r *runner) lifecycle(op Op) error {
 	}
 	workload, err := consumer.SubmitWorkload(spec, 100_000)
 	if err != nil {
-		return fmt.Errorf("submit workload: %w", err)
+		return "", fmt.Errorf("submit workload: %w", err)
 	}
 	refs, err := provider.EligibleData(spec)
 	if err != nil {
-		return fmt.Errorf("eligible data: %w", err)
+		return "", fmt.Errorf("eligible data: %w", err)
 	}
 	if len(refs) == 0 {
-		return fmt.Errorf("no eligible data")
+		return "", fmt.Errorf("no eligible data")
 	}
 	auths, err := provider.Authorize(workload, executorID.Address(), refs, spec.ExpiryHeight)
+	if mode == modeForbidden {
+		// The forbidden-class policy must stop the lifecycle at the
+		// match layer with the stable class_forbidden reason.
+		var denial *market.PolicyDenialError
+		if !errors.As(err, &denial) {
+			return "", fmt.Errorf("forbidden-class authorize: got %v, want policy denial", err)
+		}
+		if denial.Record.Layer != policy.LayerMatch || denial.Record.Code != policy.CodeClassForbidden {
+			return "", fmt.Errorf("forbidden-class denial = %+v", denial.Record)
+		}
+		return "match-denied(policy)", nil
+	}
 	if err != nil {
-		return fmt.Errorf("authorize: %w", err)
+		return "", fmt.Errorf("authorize: %w", err)
 	}
 	executor.Accept(workload, auths)
+	if mode == modeTighten {
+		// Tighten the policy after the match-time allow: admission and
+		// enclave must both still catch the violation.
+		if err := provider.SetPolicy(ref.ID, forbidden); err != nil {
+			return "", fmt.Errorf("tighten policy: %w", err)
+		}
+		var denial *market.PolicyDenialError
+		if err := executor.Register(workload); !errors.As(err, &denial) {
+			return "", fmt.Errorf("tightened admission: got %v, want policy denial", err)
+		}
+		if denial.Record.Layer != policy.LayerAdmission {
+			return "", fmt.Errorf("tightened admission denial layer = %s", denial.Record.Layer)
+		}
+		denial = nil
+		if err := executor.TrainLocal(workload); !errors.As(err, &denial) {
+			return "", fmt.Errorf("tightened enclave: got %v, want policy denial", err)
+		}
+		if denial.Record.Layer != policy.LayerEnclave {
+			return "", fmt.Errorf("tightened enclave denial layer = %s", denial.Record.Layer)
+		}
+		return "late-denied(policy)", nil
+	}
 	if err := executor.Register(workload); err != nil {
-		return fmt.Errorf("register execution: %w", err)
+		return "", fmt.Errorf("register execution: %w", err)
 	}
 	if err := consumer.Start(workload); err != nil {
-		return fmt.Errorf("start: %w", err)
+		return "", fmt.Errorf("start: %w", err)
 	}
 	if _, err := market.RunWorkloadExecution(workload, []*market.Executor{executor}); err != nil {
-		return fmt.Errorf("execute: %w", err)
+		return "", fmt.Errorf("execute: %w", err)
 	}
 	if err := consumer.Finalize(workload); err != nil {
-		return fmt.Errorf("finalize: %w", err)
+		return "", fmt.Errorf("finalize: %w", err)
 	}
 	st, err := r.m.WorkloadStateOf(workload)
 	if err != nil {
-		return err
+		return "", err
 	}
 	if st != market.StateComplete {
-		return fmt.Errorf("workload state %s, want %s", st, market.StateComplete)
+		return "", fmt.Errorf("workload state %s, want %s", st, market.StateComplete)
 	}
-	return nil
+	if mode == modePolicy {
+		return "settled(policy)", nil
+	}
+	return "settled", nil
 }
 
 // syncBlocks audits every block sealed since the last call, attributing

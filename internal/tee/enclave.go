@@ -34,6 +34,7 @@ var (
 	mEnclaveLaunches = telemetry.C("tee.enclave.launches_total")
 	mEcalls          = telemetry.C("tee.ecalls_total")
 	mEcallSeconds    = telemetry.H("tee.ecall_seconds", telemetry.TimeBuckets)
+	mGuardDenials    = telemetry.C("tee.guard.denials_total")
 )
 
 // Measurement identifies enclave code, the SGX MRENCLAVE analogue: the
@@ -116,13 +117,23 @@ func NewPlatform(authority *QuotingAuthority, cost CostModel, rng *crypto.DRBG) 
 // Cost returns the platform's cost model.
 func (p *Platform) Cost() CostModel { return p.cost }
 
+// Guard is a call-admission hook consulted on every Call before the
+// input reaches the program. The host (market layer) installs a guard
+// that re-evaluates each dataset's usage-control policy; a non-nil error
+// aborts the call, so denied plaintext is never touched by enclave code.
+type Guard func(input []byte, workingSetBytes int64) error
+
 // Enclave is a launched program instance on a platform.
 type Enclave struct {
 	platform    *Platform
 	program     Program
 	measurement Measurement
 	calls       int64
+	guard       Guard
 }
+
+// SetGuard installs (or, with nil, removes) the enclave's call guard.
+func (e *Enclave) SetGuard(g Guard) { e.guard = g }
 
 // Launch builds an enclave from the program. The returned enclave's
 // measurement commits to the exact code launched.
@@ -161,6 +172,12 @@ type CallResult struct {
 // Call executes the enclave entry point. workingSetBytes is the payload's
 // memory footprint, which drives the EPC paging model.
 func (e *Enclave) Call(input []byte, workingSetBytes int64) (CallResult, error) {
+	if e.guard != nil {
+		if err := e.guard(input, workingSetBytes); err != nil {
+			mGuardDenials.Inc()
+			return CallResult{}, fmt.Errorf("tee: call refused by guard: %w", err)
+		}
+	}
 	start := time.Now()
 	out, err := e.program.Fn(input)
 	elapsed := time.Since(start)

@@ -47,6 +47,45 @@ func TestLaunchAndCall(t *testing.T) {
 	}
 }
 
+func TestGuardBlocksCallBeforeProgram(t *testing.T) {
+	_, p := testPlatform(t, 9)
+	ran := false
+	e, err := p.Launch(Program{
+		Code: []byte("guarded"),
+		Fn: func(input []byte) ([]byte, error) {
+			ran = true
+			return input, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	denied := errors.New("usage denied")
+	e.SetGuard(func(input []byte, ws int64) error {
+		if bytes.HasPrefix(input, []byte("bad")) {
+			return denied
+		}
+		return nil
+	})
+	if _, err := e.Call([]byte("bad input"), 1<<10); !errors.Is(err, denied) {
+		t.Fatalf("guarded call error = %v", err)
+	}
+	if ran {
+		t.Fatal("program ran despite guard denial")
+	}
+	if _, err := e.Call([]byte("ok input"), 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("allowed call did not run the program")
+	}
+	// Clearing the guard restores unconditional execution.
+	e.SetGuard(nil)
+	if _, err := e.Call([]byte("bad again"), 1<<10); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestLaunchValidation(t *testing.T) {
 	_, p := testPlatform(t, 2)
 	if _, err := p.Launch(Program{Fn: func([]byte) ([]byte, error) { return nil, nil }}); err == nil {

@@ -85,4 +85,17 @@ if [ "$ok" != "yes" ]; then
 	echo "bench_compare: REGRESSION — committed throughput dropped ${drop}% (>10% threshold)"
 	exit 1
 fi
+
+# Usage-control gate (E18): the policy-bearing submit path must stay
+# within 2% of the plain-transfer median. Absent field (policy class
+# not driven) skips the gate.
+p_new=$(field "$new" policy_overhead_pct)
+if [ -n "$p_new" ]; then
+	printf '  policy overhead       %10.2f %%  (2%% ceiling)\n' "$p_new"
+	p_ok=$(awk -v p="$p_new" 'BEGIN { print (p <= 2.0) ? "yes" : "no" }')
+	if [ "$p_ok" != "yes" ]; then
+		echo "bench_compare: REGRESSION — policy-path overhead ${p_new}% over the 2% ceiling"
+		exit 1
+	fi
+fi
 echo "bench_compare: within the 10% regression budget"
