@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-core vet bench proptest fuzz covgate load-smoke bench-compare diag-selftest pprof-smoke policy-smoke ci
+.PHONY: build test race race-core vet bench proptest fuzz covgate load-smoke bench-compare diag-selftest pprof-smoke policy-smoke vm-smoke ci
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,8 @@ fuzz:
 	$(GO) test ./internal/ledger/ -run NONE -fuzz FuzzTxDecode -fuzztime 5s
 	$(GO) test ./internal/ledger/ -run NONE -fuzz FuzzBlockImport -fuzztime 5s
 	$(GO) test ./internal/contract/ -run NONE -fuzz FuzzEncoderRoundTrip -fuzztime 5s
+	$(GO) test ./internal/vm/ -run NONE -fuzz FuzzCompile -fuzztime 5s
+	$(GO) test ./internal/vm/ -run NONE -fuzz FuzzVMExecute -fuzztime 5s
 
 # covgate fails if ledger/contract/token statement coverage drops below
 # the recorded floors (see scripts/covgate.sh to ratchet them up).
@@ -76,6 +78,20 @@ policy-smoke:
 	$(GO) test -count=1 ./internal/market/ -run 'TestPolicySmokeLifecycle|TestPolicyDeniedAtAllThreeLayers'
 	$(GO) test -count=1 ./internal/api/ -run 'TestDatasetAPILifecycle|TestPolicyDenialEnvelope|TestPolicyDecisionsPaginationWalk'
 
+# vm-smoke is the bytecode-engine gate: the compiler/VM differential
+# suite (tree-walking oracle vs gas-metered VM over hand-written and
+# seeded random programs), the built-in-policy equivalence acceptance
+# test — the DSL re-expression of the declarative engine must produce
+# bit-identical decision records, events and consumption through a full
+# settled lifecycle — the VM three-layer denial and deploy-gate tests,
+# and the six-mode proptest replay (vm mode re-executes every deployed
+# program under the reference interpreter), all under -race.
+vm-smoke:
+	$(GO) test -race -count=1 ./internal/vm/ ./internal/semantic/
+	$(GO) test -race -count=1 ./internal/market/ -run 'TestVMBuiltinPolicyEquivalence|TestVMPolicy'
+	$(GO) test -race -count=1 ./internal/proptest/ -run 'TestVMPolicyReplay'
+	$(GO) test -race -count=1 ./internal/api/ -run 'TestDeployContractAPI'
+
 # pprof-smoke exercises the profiling and history endpoints (guard
 # behaviour, gzip integrity, history windowing) and the diag bundle
 # capture/verify paths under the race detector.
@@ -95,7 +111,9 @@ pprof-smoke:
 # through fault-injected client and server and must converge), the
 # fixed-seed property-harness smoke with differential replay, the
 # usage-control policy smoke (three-layer enforcement, on-chain
-# decision events, offline replay, API round trips), a short
+# decision events, offline replay, API round trips), the bytecode-VM
+# smoke (differential oracle agreement, built-in-policy bit-identical
+# equivalence, deploy gates) under -race, a short
 # randomized pass over each fuzz target, the pprof/history endpoint
 # smoke under -race, the diag flight-recorder self-test (capture a
 # bundle from a live node and assert every artifact is present,
@@ -111,6 +129,7 @@ ci: vet build
 	$(GO) run ./cmd/pds2-experiments -quick -telemetry=false -run E15
 	$(MAKE) proptest
 	$(MAKE) policy-smoke
+	$(MAKE) vm-smoke
 	$(MAKE) fuzz
 	$(MAKE) pprof-smoke
 	$(MAKE) diag-selftest

@@ -11,6 +11,7 @@
 //	pds2 trace [-json] [-chrome file] [-self-test] [scenario flags]
 //	pds2 diag -target URL [-out DIR] [-cpu-seconds N] [-window D] [-component X] [-json]
 //	pds2 diag -self-test [-out DIR]
+//	pds2 compile [-o artifact.bin] [-disasm] [source-file|-]
 //
 // The metrics subcommand runs the same scenario with telemetry enabled
 // and reports the collected metrics (and, with -trace, the span tree)
@@ -24,7 +25,11 @@
 // history, logs, traces, runtime profiles, health and build identity,
 // indexed by a checksummed manifest — and verifies it; its -self-test
 // hosts a node in-process, drives parallel-execution traffic and
-// asserts the captured bundle proves the observability contract.
+// asserts the captured bundle proves the observability contract. The
+// compile subcommand is the offline policy toolchain: it compiles
+// contract-DSL source to a deployable pds2/bytecode/v1 artifact,
+// re-verifies the bytecode against the embedded source, and prints the
+// artifact checksum (and, with -disasm, the instruction listing).
 package main
 
 import (
@@ -49,6 +54,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "diag" {
 		runDiag(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "compile" {
+		runCompile(os.Args[2:])
 		return
 	}
 	var (

@@ -697,6 +697,21 @@ func (c *Client) SetPolicy(ctx context.Context, id crypto.Digest, tx *ledger.Tra
 	return out.TxHash, nil
 }
 
+// DeployContract submits a pre-signed deployPolicy transaction through
+// POST /v1/contracts, binding a compiled policy-program artifact to a
+// dataset. The server rejects (with a client error, before any gas is
+// spent) envelopes whose artifact fails container decoding or whose
+// bytecode does not re-verify against its embedded source.
+func (c *Client) DeployContract(ctx context.Context, tx *ledger.Transaction) (crypto.Digest, error) {
+	h := http.Header{}
+	h.Set(IdempotencyHeader, tx.Hash().Hex())
+	var out SubmitResponse
+	if err := c.post(ctx, "/v1/contracts", TxEnvelope{Tx: tx}, &out, h); err != nil {
+		return crypto.ZeroDigest, err
+	}
+	return out.TxHash, nil
+}
+
 // CheckPolicy evaluates a dataset's usage-control policy without
 // consuming an invocation or emitting a decision event. An allow
 // returns the decision; a deny returns a non-retryable *APIError with

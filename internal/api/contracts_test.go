@@ -1,0 +1,114 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pds2/internal/crypto"
+	"pds2/internal/market"
+	"pds2/internal/policy"
+	"pds2/internal/vm"
+)
+
+// TestDeployContractAPI drives POST /v1/contracts end to end: a
+// compiled policy program deploys through the non-custodial envelope,
+// shows up as code on the dataset view, and is enforced by the check
+// endpoint — while malformed and forged artifacts are rejected with a
+// client error before any gas is spent.
+func TestDeployContractAPI(t *testing.T) {
+	srv, m, user := testServer(t, true)
+	c := NewClient(srv.URL, WithRetryPolicy(NoRetry))
+	ctx := context.Background()
+
+	dataID := crypto.HashString("api-test/data/vm")
+	if _, err := market.MustSucceed(m.SendAndSeal(user, m.Registry, 0,
+		market.RegisterDataData(dataID, crypto.HashString("meta")))); err != nil {
+		t.Fatal(err)
+	}
+
+	src := vm.BuiltinPolicySource(&policy.Policy{AllowedClasses: []string{"train"}})
+	artifact, err := vm.BuildSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := m.SignedTx(user, m.Registry, 0, market.DeployPolicyData(dataID, artifact))
+	h, err := c.DeployContract(ctx, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != tx.Hash() {
+		t.Fatal("hash mismatch")
+	}
+	if _, err := c.Seal(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The dataset view reports the deployed artifact and the directory
+	// counts the dataset as policy-guarded.
+	det, err := c.Dataset(ctx, dataID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.CodeSize != len(artifact) || det.Policy != nil {
+		t.Fatalf("dataset = %+v, want code_size %d and no declarative policy", det, len(artifact))
+	}
+	list, err := c.Datasets(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || !list[0].HasPolicy {
+		t.Fatalf("datasets = %+v", list)
+	}
+
+	// The program is live at the check endpoint: the allowed class
+	// passes, the forbidden one answers the policy_violation envelope.
+	dec, err := c.CheckPolicy(ctx, dataID, "", "train", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Allowed || dec.Code != policy.CodeOK {
+		t.Fatalf("check = %+v", dec)
+	}
+	if _, err := c.CheckPolicy(ctx, dataID, "", "stats", "", 1); err == nil {
+		t.Fatal("forbidden class allowed by deployed program")
+	} else if ae := new(APIError); !errors.As(err, &ae) || ae.Code != CodePolicyViolation ||
+		ae.Details == nil || ae.Details.Code != policy.CodeClassForbidden {
+		t.Fatalf("forbidden check: %v", err)
+	}
+
+	// Envelope validation: a corrupt artifact is a client error.
+	bad := append([]byte(nil), artifact...)
+	bad[len(bad)-1] ^= 0xFF
+	badTx := m.SignedTx(user, m.Registry, 0, market.DeployPolicyData(dataID, bad))
+	if _, err := c.DeployContract(ctx, badTx); err == nil {
+		t.Fatal("corrupt artifact accepted")
+	} else if ae := new(APIError); !errors.As(err, &ae) || ae.Code != CodeBadRequest {
+		t.Fatalf("corrupt artifact: %v", err)
+	}
+	// A forged code section (valid checksum, bytecode not matching the
+	// embedded source) is caught by the server's source re-verification.
+	other, err := vm.CompileSource(`deny "class_forbidden" "allowed_classes"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, err := vm.Decode(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := &vm.Module{NumLocals: other.NumLocals, Consts: other.Consts,
+		Code: other.Code, Source: honest.Source}
+	forgedTx := m.SignedTx(user, m.Registry, 0, market.DeployPolicyData(dataID, forged.Encode()))
+	if _, err := c.DeployContract(ctx, forgedTx); err == nil {
+		t.Fatal("forged artifact accepted")
+	} else if ae := new(APIError); !errors.As(err, &ae) || ae.Code != CodeBadRequest {
+		t.Fatalf("forged artifact: %v", err)
+	}
+	// A plain transfer is not a deployPolicy call.
+	transfer := m.SignedTx(user, user.Address(), 1, nil)
+	if _, err := c.DeployContract(ctx, transfer); err == nil {
+		t.Fatal("transfer accepted as contract deployment")
+	} else if ae := new(APIError); !errors.As(err, &ae) || ae.Code != CodeBadRequest {
+		t.Fatalf("transfer as deployPolicy: %v", err)
+	}
+}

@@ -59,12 +59,15 @@ type DatasetsResponse struct {
 	Next  string           `json:"next,omitempty"`
 }
 
-// DatasetResponse is the GET /v1/datasets/{id} body.
+// DatasetResponse is the GET /v1/datasets/{id} body. CodeSize is the
+// byte size of the deployed policy-program artifact (0 when the dataset
+// is governed declaratively or not at all).
 type DatasetResponse struct {
 	ID       crypto.Digest    `json:"id"`
 	Owner    identity.Address `json:"owner"`
 	MetaHash crypto.Digest    `json:"meta_hash"`
 	Policy   *PolicyBody      `json:"policy,omitempty"`
+	CodeSize int              `json:"code_size,omitempty"`
 	Uses     uint64           `json:"uses"`
 }
 
@@ -98,7 +101,9 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		resp.Items = append(resp.Items, DatasetSummary{
-			ID: id, Owner: info.Owner, HasPolicy: info.Policy != nil, Uses: info.Uses,
+			ID: id, Owner: info.Owner,
+			HasPolicy: info.Policy != nil || info.CodeSize > 0,
+			Uses:      info.Uses,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -123,7 +128,7 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, DatasetResponse{
 		ID: info.ID, Owner: info.Owner, MetaHash: info.MetaHash,
-		Policy: policyBody(info.Policy), Uses: info.Uses,
+		Policy: policyBody(info.Policy), CodeSize: info.CodeSize, Uses: info.Uses,
 	})
 }
 

@@ -60,6 +60,7 @@ func (s *Server) routes() []route {
 		{"GET", "/v1/datasets/{id}", 0, s.handleDataset},
 		{"PUT", "/v1/datasets/{id}/policy", 0, s.handleSetPolicy},
 		{"GET", "/v1/datasets/{id}/check", 0, s.handleCheckPolicy},
+		{"POST", "/v1/contracts", 0, s.handleDeployContract},
 		{"GET", "/v1/policies/decisions", 0, s.handlePolicyDecisions},
 		{"POST", "/v1/transactions", 0, s.handleSubmitTx},
 		{"POST", "/v1/views", 0, s.handleView},

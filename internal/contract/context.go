@@ -20,6 +20,7 @@ const (
 	GasTransfer   uint64 = 9_000
 	GasCreate     uint64 = 32_000 // contract deployment
 	GasCompute    uint64 = 1      // unit of metered contract computation
+	GasVMDeploy   uint64 = 20_000 // policy bytecode deployment (decode + source re-verify)
 )
 
 // MaxCallDepth bounds cross-contract call recursion.

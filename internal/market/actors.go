@@ -15,6 +15,7 @@ import (
 	"pds2/internal/tee"
 	"pds2/internal/telemetry"
 	"pds2/internal/token"
+	"pds2/internal/vm"
 )
 
 // Consumer is the data-consumer actor (Fig. 1): it prepares workload
@@ -200,6 +201,20 @@ func (p *Provider) AddDataset(ds *ml.Dataset, meta semantic.Metadata) (storage.D
 // policy blob so auditors can replay every later decision offline.
 func (p *Provider) SetPolicy(dataID crypto.Digest, pol *policy.Policy) error {
 	_, err := MustSucceed(p.Market.SendAndSeal(p.ID, p.Market.Registry, 0, SetPolicyData(dataID, pol)))
+	return err
+}
+
+// DeployPolicy compiles a policy program and binds its bytecode to one
+// of this provider's registered datasets. Deployed code takes
+// precedence over a declarative policy; the registry emits a
+// PolicyCodeDeployed event carrying the full artifact — which embeds
+// the source — so auditors can re-verify and re-execute it offline.
+func (p *Provider) DeployPolicy(dataID crypto.Digest, source string) error {
+	artifact, err := vm.BuildSource(source)
+	if err != nil {
+		return fmt.Errorf("market: deploy policy: %w", err)
+	}
+	_, err = MustSucceed(p.Market.SendAndSeal(p.ID, p.Market.Registry, 0, DeployPolicyData(dataID, artifact)))
 	return err
 }
 

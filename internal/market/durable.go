@@ -17,9 +17,23 @@ import (
 // registry — the applier any node or replica must run to validate (or
 // re-validate) a market chain.
 func NewRuntime() (*contract.Runtime, error) {
+	return newRuntime(RegistryContract{})
+}
+
+// NewReferenceRuntime builds a runtime whose registry runs deployed
+// policy programs on the tree-walking reference evaluator instead of
+// the bytecode VM. Both engines share one host and one gas schedule, so
+// replaying a VM-produced chain through this runtime must reproduce
+// every root and receipt bit-for-bit — the replay harness uses it as
+// the VM's differential oracle.
+func NewReferenceRuntime() (*contract.Runtime, error) {
+	return newRuntime(RegistryContract{RefInterp: true})
+}
+
+func newRuntime(reg RegistryContract) (*contract.Runtime, error) {
 	rt := contract.NewRuntime()
 	for name, code := range map[string]contract.Contract{
-		RegistryCodeName:     RegistryContract{},
+		RegistryCodeName:     reg,
 		WorkloadCodeName:     WorkloadContract{},
 		token.ERC20CodeName:  token.ERC20{},
 		token.ERC721CodeName: token.ERC721{},

@@ -96,9 +96,21 @@ func (m *Market) EvalPolicy(dataID crypto.Digest, layer, class, purpose string, 
 	return *rec, nil
 }
 
-// anyPolicyBound reports whether any of the datasets has a policy
-// attached — the fast pre-check that lets policy-free flows skip the
-// on-chain enforcement transaction entirely.
+// PolicyCodeOf reads a dataset's deployed policy bytecode artifact;
+// empty means no program is deployed.
+func (m *Market) PolicyCodeOf(dataID crypto.Digest) ([]byte, error) {
+	raw, err := m.View(identity.ZeroAddress, m.Registry, "policyCodeOf",
+		contract.NewEncoder().Digest(dataID).Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return contract.NewDecoder(raw).Blob()
+}
+
+// anyPolicyBound reports whether any of the datasets has a policy —
+// declarative or deployed bytecode — attached. The fast pre-check that
+// lets policy-free flows skip the on-chain enforcement transaction
+// entirely.
 func (m *Market) anyPolicyBound(ids []crypto.Digest) (bool, error) {
 	for _, id := range ids {
 		pol, err := m.PolicyOf(id)
@@ -106,6 +118,13 @@ func (m *Market) anyPolicyBound(ids []crypto.Digest) (bool, error) {
 			return false, err
 		}
 		if pol != nil {
+			return true, nil
+		}
+		code, err := m.PolicyCodeOf(id)
+		if err != nil {
+			return false, err
+		}
+		if len(code) > 0 {
 			return true, nil
 		}
 	}
@@ -119,6 +138,7 @@ type DatasetInfo struct {
 	Owner    identity.Address
 	MetaHash crypto.Digest
 	Policy   *policy.Policy // nil when none attached
+	CodeSize int            // size of the deployed policy bytecode artifact (0 = none)
 	Uses     uint64
 }
 
@@ -152,6 +172,7 @@ func (m *Market) DatasetInfoOf(dataID crypto.Digest) (DatasetInfo, bool, error) 
 	if info.Policy, err = m.PolicyOf(dataID); err != nil {
 		return DatasetInfo{}, false, err
 	}
+	info.CodeSize = len(st.GetStorage(m.Registry, "polcode/"+dataID.Hex()))
 	if info.Uses, err = m.PolicyUses(dataID); err != nil {
 		return DatasetInfo{}, false, err
 	}
@@ -179,7 +200,9 @@ func VerifyPolicySettlements(events []ledger.Event) []string {
 
 	for i, ev := range events {
 		switch ev.Topic {
-		case policy.EvPolicySet:
+		case policy.EvPolicySet, EvPolicyCodeDeployed:
+			// A deployed policy program guards the dataset exactly like a
+			// declarative policy; both event payloads share one layout.
 			dataID, _, _, err := policy.DecodePolicySet(ev.Data)
 			if err != nil {
 				violations = append(violations, fmt.Sprintf("event %d: %v", i, err))

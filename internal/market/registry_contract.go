@@ -1,12 +1,15 @@
 package market
 
 import (
+	"errors"
 	"fmt"
 
 	"pds2/internal/contract"
 	"pds2/internal/crypto"
 	"pds2/internal/identity"
 	"pds2/internal/policy"
+	"pds2/internal/semantic"
+	"pds2/internal/vm"
 )
 
 // RegistryCodeName is the code name of the platform registry contract.
@@ -27,11 +30,20 @@ const RegistryCodeName = "pds2/registry"
 //	data/<dataID>       — owner address of a registered dataset
 //	datameta/<dataID>   — hash of the dataset's metadata document
 //	policy/<dataID>     — encoded usage-control policy (absent = permissive)
+//	polcode/<dataID>    — deployed policy bytecode artifact (overrides policy/)
+//	polstate/<dataID>/… — state partition of the dataset's policy program
 //	poluse/<dataID>     — admissions that have consumed the dataset
 //	wl/<seq>            — workload contract address, in registration order
 //	wlseq               — number of registered workloads
 //	wlreg/<addr>        — reverse marker: address is a registered workload
-type RegistryContract struct{}
+type RegistryContract struct {
+	// RefInterp selects the reference tree-walking evaluator instead of
+	// the bytecode VM for deployed policy programs. Both engines share
+	// one host and one gas charge schedule, so a RefInterp replica must
+	// reproduce a VM chain bit-for-bit — the replay harness uses this as
+	// its differential oracle.
+	RefInterp bool
+}
 
 // GasPolicyEval is charged per dataset for a usage-control policy
 // evaluation on top of the metered storage reads.
@@ -55,10 +67,16 @@ const (
 	EvActorRegistered    = "ActorRegistered"
 	EvDataRegistered     = "DataRegistered"
 	EvWorkloadRegistered = "WorkloadRegistered"
+
+	// EvPolicyCodeDeployed carries (dataID digest, owner address,
+	// artifact blob): a compiled policy program was bound to a dataset.
+	// The payload layout matches EvPolicySet so audit tooling can decode
+	// both with policy.DecodePolicySet.
+	EvPolicyCodeDeployed = policy.EvPolicyCode
 )
 
 // Call implements contract.Contract.
-func (RegistryContract) Call(ctx *contract.Context, method string, args []byte) ([]byte, error) {
+func (r RegistryContract) Call(ctx *contract.Context, method string, args []byte) ([]byte, error) {
 	dec := contract.NewDecoder(args)
 	switch method {
 	case "registerActor":
@@ -281,6 +299,55 @@ func (RegistryContract) Call(ctx *contract.Context, method string, args []byte) 
 		}
 		return nil, ctx.Emit(policy.EvPolicySet, policy.EncodePolicySet(dataID, ctx.Caller, blob))
 
+	case "deployPolicy":
+		// (dataID digest, artifact blob) — bind a compiled policy
+		// program to the dataset. The artifact must decode as a
+		// pds2/bytecode/v1 container AND re-verify against its embedded
+		// source — deployed code is auditable by construction, and the
+		// reference-interpreter replica can re-execute it from source.
+		// Deployed code takes precedence over a declarative policy.
+		dataID, err := dec.Digest()
+		if err != nil {
+			return nil, contract.Revertf("deployPolicy: %v", err)
+		}
+		blob, err := dec.Blob()
+		if err != nil {
+			return nil, contract.Revertf("deployPolicy: %v", err)
+		}
+		ownerRaw, err := ctx.Get("data/" + dataID.Hex())
+		if err != nil {
+			return nil, err
+		}
+		if len(ownerRaw) != identity.AddressSize || string(ownerRaw) != string(ctx.Caller[:]) {
+			return nil, contract.Revertf("deployPolicy: caller does not own dataset %s", dataID.Short())
+		}
+		if err := ctx.UseGas(contract.GasVMDeploy); err != nil {
+			return nil, err
+		}
+		mod, err := vm.Decode(blob)
+		if err != nil {
+			return nil, contract.Revertf("deployPolicy: %v", err)
+		}
+		if err := vm.VerifySource(mod); err != nil {
+			return nil, contract.Revertf("deployPolicy: %v", err)
+		}
+		if err := ctx.Set("polcode/"+dataID.Hex(), blob); err != nil {
+			return nil, err
+		}
+		return nil, ctx.Emit(EvPolicyCodeDeployed, policy.EncodePolicySet(dataID, ctx.Caller, blob))
+
+	case "policyCodeOf":
+		// (dataID) → deployed artifact blob (empty when none deployed)
+		dataID, err := dec.Digest()
+		if err != nil {
+			return nil, contract.Revertf("policyCodeOf: %v", err)
+		}
+		raw, err := ctx.Get("polcode/" + dataID.Hex())
+		if err != nil {
+			return nil, err
+		}
+		return contract.NewEncoder().Blob(raw).Bytes(), nil
+
 	case "policyOf":
 		// (dataID) → encoded policy blob (empty when none attached)
 		dataID, err := dec.Digest()
@@ -317,7 +384,7 @@ func (RegistryContract) Call(ctx *contract.Context, method string, args []byte) 
 		if err != nil {
 			return nil, contract.Revertf("evalPolicy: %v", err)
 		}
-		rec, _, err := evalDatasetPolicy(ctx, dataID, layer, class, purpose, agg)
+		rec, _, err := r.evalDatasetPolicy(ctx, dataID, layer, class, purpose, agg)
 		if err != nil {
 			return nil, err
 		}
@@ -365,7 +432,7 @@ func (RegistryContract) Call(ctx *contract.Context, method string, args []byte) 
 				return nil, contract.Revertf("enforcePolicy: duplicate dataset %s in batch", dataID.Short())
 			}
 			seen[dataID] = true
-			rec, bound, err := evalDatasetPolicy(ctx, dataID, layer, class, purpose, agg)
+			rec, bound, err := r.evalDatasetPolicy(ctx, dataID, layer, class, purpose, agg)
 			if err != nil {
 				return nil, err
 			}
@@ -420,15 +487,44 @@ func decodePolicyQuery(dec *contract.Decoder) (layer, class, purpose string, agg
 }
 
 // evalDatasetPolicy runs one usage-control evaluation against the
-// dataset's stored policy and consumption counter. The second return
-// reports whether the dataset has a policy attached (policy-less
+// dataset's stored policy and consumption counter. Deployed policy
+// bytecode (polcode/) takes precedence over a declarative policy
+// (policy/); both produce the same DecisionRecord shape, so callers and
+// audit tooling cannot tell the engines apart. The second return
+// reports whether the dataset has any policy attached (policy-less
 // datasets are allowed without logging).
-func evalDatasetPolicy(ctx *contract.Context, dataID crypto.Digest,
+func (r RegistryContract) evalDatasetPolicy(ctx *contract.Context, dataID crypto.Digest,
 	layer, class, purpose string, agg uint64) (policy.DecisionRecord, bool, error) {
 
 	if err := ctx.UseGas(GasPolicyEval); err != nil {
 		return policy.DecisionRecord{}, false, err
 	}
+	uses, err := ctx.GetUint64("poluse/" + dataID.Hex())
+	if err != nil {
+		return policy.DecisionRecord{}, false, err
+	}
+	rec := policy.DecisionRecord{
+		DataID: dataID, Subject: ctx.Caller,
+		Layer: layer, Class: class, Purpose: purpose,
+		Aggregation: agg, Height: ctx.Height, Invocations: uses,
+	}
+
+	code, err := ctx.Get("polcode/" + dataID.Hex())
+	if err != nil {
+		return policy.DecisionRecord{}, false, err
+	}
+	if len(code) > 0 {
+		verdict, err := r.runPolicyProgram(ctx, dataID, code, semantic.Request{
+			Layer: layer, Class: class, Purpose: purpose,
+			Aggregation: agg, Height: ctx.Height, Invocations: uses,
+		})
+		if err != nil {
+			return policy.DecisionRecord{}, false, err
+		}
+		rec.Code, rec.Clause = verdict.Code, verdict.Clause
+		return rec, true, nil
+	}
+
 	raw, err := ctx.Get("policy/" + dataID.Hex())
 	if err != nil {
 		return policy.DecisionRecord{}, false, err
@@ -439,20 +535,46 @@ func evalDatasetPolicy(ctx *contract.Context, dataID crypto.Digest,
 			return policy.DecisionRecord{}, false, contract.Revertf("policy for %s is corrupt: %v", dataID.Short(), err)
 		}
 	}
-	uses, err := ctx.GetUint64("poluse/" + dataID.Hex())
-	if err != nil {
-		return policy.DecisionRecord{}, false, err
-	}
 	dec := policy.Evaluate(pol, policy.Request{
 		Layer: layer, Class: class, Purpose: purpose,
 		Aggregation: agg, Height: ctx.Height, Invocations: uses,
 	})
-	return policy.DecisionRecord{
-		DataID: dataID, Subject: ctx.Caller,
-		Layer: layer, Class: class, Purpose: purpose,
-		Aggregation: agg, Height: ctx.Height, Invocations: uses,
-		Code: dec.Code, Clause: dec.Clause,
-	}, len(raw) > 0, nil
+	rec.Code, rec.Clause = dec.Code, dec.Clause
+	return rec, len(raw) > 0, nil
+}
+
+// runPolicyProgram executes a deployed policy artifact on the bytecode
+// VM (or, in a RefInterp replica, re-parses the embedded source and
+// runs the tree-walking oracle — same host, same gas charges, same
+// outcome by the vm package's differential guarantee). Program state
+// lives under polstate/<dataID>/. Out-of-gas propagates unwrapped so
+// the journal unwinds the transaction; any other program failure is a
+// deterministic revert.
+func (r RegistryContract) runPolicyProgram(ctx *contract.Context, dataID crypto.Digest,
+	artifact []byte, req semantic.Request) (semantic.Verdict, error) {
+
+	mod, err := vm.Decode(artifact)
+	if err != nil {
+		return semantic.Verdict{}, contract.Revertf("policy code for %s is corrupt: %v", dataID.Short(), err)
+	}
+	host := vm.NewContextHost(ctx, "polstate/"+dataID.Hex()+"/", req)
+	var verdict semantic.Verdict
+	if r.RefInterp {
+		prog, perr := semantic.ParseProgram(mod.Source)
+		if perr != nil {
+			return semantic.Verdict{}, contract.Revertf("policy code for %s is corrupt: %v", dataID.Short(), perr)
+		}
+		verdict, err = semantic.RunProgram(prog, host)
+	} else {
+		verdict, err = vm.Execute(mod, host)
+	}
+	if err != nil {
+		if errors.Is(err, contract.ErrOutOfGas) {
+			return semantic.Verdict{}, err
+		}
+		return semantic.Verdict{}, contract.Revertf("policy program for %s: %v", dataID.Short(), err)
+	}
+	return verdict, nil
 }
 
 // Client-side helpers.
@@ -476,6 +598,18 @@ func RegisterWorkloadData(addr identity.Address) []byte {
 func SetPolicyData(dataID crypto.Digest, pol *policy.Policy) []byte {
 	return contract.CallData("setPolicy", contract.NewEncoder().
 		Digest(dataID).Blob(pol.Encode()).Bytes())
+}
+
+// DeployPolicyData builds call data for deployPolicy from an encoded
+// bytecode artifact.
+func DeployPolicyData(dataID crypto.Digest, artifact []byte) []byte {
+	return contract.CallData("deployPolicy", contract.NewEncoder().
+		Digest(dataID).Blob(artifact).Bytes())
+}
+
+// PolicyCodeOfData builds call data for the policyCodeOf view.
+func PolicyCodeOfData(dataID crypto.Digest) []byte {
+	return contract.CallData("policyCodeOf", contract.NewEncoder().Digest(dataID).Bytes())
 }
 
 // policyQueryArgs encodes the (layer, class, purpose, agg) tail shared

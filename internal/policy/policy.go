@@ -253,6 +253,12 @@ const (
 	// EvPolicyDecision carries an encoded DecisionRecord: one
 	// enforcement-layer allow/deny decision.
 	EvPolicyDecision = "PolicyDecision"
+
+	// EvPolicyCode carries (dataID digest, owner address, artifact
+	// blob): a compiled policy program was bound to a dataset,
+	// superseding any declarative policy. The payload layout matches
+	// EvPolicySet so both decode with DecodePolicySet.
+	EvPolicyCode = "PolicyCodeDeployed"
 )
 
 // DecisionRecord is the on-chain form of a decision: the request

@@ -36,6 +36,7 @@ func DecodePolicySet(b []byte) (dataID crypto.Digest, owner identity.Address, po
 // decision log.
 type ReplayReport struct {
 	PoliciesSet int // PolicySet events seen
+	Programs    int // PolicyCodeDeployed events seen
 	Decisions   int // PolicyDecision events seen
 	Allows      int
 	Denies      int
@@ -97,9 +98,26 @@ func ReplayDecisions(events []ledger.Event) ReplayReport {
 	history := make(map[crypto.Digest][]policyVersion)
 	uses := make(map[crypto.Digest]uint64)
 	lastMatch := make(map[crypto.Digest]int) // dataID → policy-version count at last match decision
+	// Datasets governed by deployed policy bytecode. Their decision
+	// codes come from program execution — possibly over program state no
+	// event stream carries — so the declarative re-derivation below
+	// cannot apply; re-deriving those codes takes a full chain replay
+	// through the reference-interpreter runtime. The engine-independent
+	// invariants (counter derivability, admission consumption) still
+	// hold and stay checked.
+	programmed := make(map[crypto.Digest]bool)
 
 	for i, ev := range events {
 		switch ev.Topic {
+		case EvPolicyCode:
+			dataID, _, _, err := DecodePolicySet(ev.Data)
+			if err != nil {
+				rep.Mismatches = append(rep.Mismatches, fmt.Sprintf("event %d: %v", i, err))
+				continue
+			}
+			programmed[dataID] = true
+			rep.Programs++
+
 		case EvPolicySet:
 			dataID, _, blob, err := DecodePolicySet(ev.Data)
 			if err != nil {
@@ -135,10 +153,11 @@ func ReplayDecisions(events []ledger.Event) ReplayReport {
 			}
 			// Invariant 1b: the logged code re-derives from the policy in
 			// force. Evaluate with the derived count so counter drift
-			// cannot mask a code mismatch.
+			// cannot mask a code mismatch. Program-governed datasets are
+			// exempt: their codes re-derive only via chain replay.
 			req := rec.Request()
 			req.Invocations = uses[rec.DataID]
-			if got := Evaluate(current, req); got.Code != rec.Code {
+			if got := Evaluate(current, req); !programmed[rec.DataID] && got.Code != rec.Code {
 				rep.Mismatches = append(rep.Mismatches, fmt.Sprintf(
 					"event %d: %s %s decision logged %q, replay evaluates %q",
 					i, rec.DataID.Short(), rec.Layer, rec.Code, got.Code))
@@ -151,7 +170,10 @@ func ReplayDecisions(events []ledger.Event) ReplayReport {
 			} else {
 				rep.Denies++
 				// Invariant 2: late denies must trace back to match.
-				if rec.Layer != LayerMatch {
+				// Program verdicts may depend on program state, so the
+				// match-time re-evaluation only applies to declarative
+				// datasets.
+				if rec.Layer != LayerMatch && !programmed[rec.DataID] {
 					if vAtMatch, matched := lastMatch[rec.DataID]; matched {
 						mutated := len(versions) > vAtMatch
 						if !mutated {

@@ -8,6 +8,7 @@ import (
 	"pds2/internal/ledger"
 	"pds2/internal/market"
 	"pds2/internal/policy"
+	"pds2/internal/vm"
 )
 
 // Violation is one broken invariant, pinned to the block and plan
@@ -175,6 +176,28 @@ func (a *Auditor) CheckGlobal() []Violation {
 	}
 	for _, v := range market.VerifyPolicySettlements(events) {
 		add("policy-settlement", "%s", v)
+	}
+
+	// Deployed policy bytecode: every artifact the chain ever accepted
+	// must still decode, pass static verification, and re-verify against
+	// its embedded source — deployed code stays auditable forever.
+	for i, ev := range events {
+		if ev.Topic != policy.EvPolicyCode {
+			continue
+		}
+		dataID, _, blob, err := policy.DecodePolicySet(ev.Data)
+		if err != nil {
+			add("policy-code-audit", "event %d: %v", i, err)
+			continue
+		}
+		mod, err := vm.Decode(blob)
+		if err != nil {
+			add("policy-code-audit", "event %d: dataset %s artifact: %v", i, dataID.Short(), err)
+			continue
+		}
+		if err := vm.VerifySource(mod); err != nil {
+			add("policy-code-audit", "event %d: dataset %s artifact: %v", i, dataID.Short(), err)
+		}
 	}
 
 	for _, c := range a.erc20s {

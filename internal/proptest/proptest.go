@@ -98,6 +98,7 @@ const (
 	OpRevertProbe                 // snapshot → mutate → revert must be an exact no-op
 	OpLifecycle                   // full workload register→match→seal→settle
 	OpSetPolicy                   // dataset registration + usage-control policy churn
+	OpVMPolicy                    // dataset registration + compiled policy-program deployment
 )
 
 // String implements fmt.Stringer.
@@ -107,7 +108,7 @@ func (k OpKind) String() string {
 		"erc20-approve", "erc20-transfer-from", "erc20-burn",
 		"erc721-mint", "erc721-approve", "erc721-transfer", "bad-call",
 		"future-nonce", "replace", "resubmit", "seal", "prune",
-		"revert-probe", "lifecycle", "set-policy",
+		"revert-probe", "lifecycle", "set-policy", "vm-policy",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -156,6 +157,7 @@ var planWeights = []struct {
 	{OpPrune, 3},
 	{OpRevertProbe, 3},
 	{OpSetPolicy, 4},
+	{OpVMPolicy, 4},
 }
 
 // Plan expands a Config into its deterministic operation list. The same

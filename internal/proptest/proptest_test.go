@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"pds2/internal/faults"
+	"pds2/internal/policy"
 )
 
 // smokeOps keeps the default test-size plans inside a CI smoke budget:
@@ -65,6 +66,53 @@ func TestProptestSmoke(t *testing.T) {
 		if err := DifferentialCheck(RunReplayModes(data), res.Market); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+	}
+}
+
+// TestVMPolicyReplay pins the VM leg of the differential oracle: a
+// seeded run must actually deploy compiled policy programs and log
+// decisions for program-governed datasets, and the resulting chain must
+// survive all six replay modes — in particular the vm mode, which
+// re-executes every deployed program with the reference tree-walking
+// evaluator and demands identical receipts, events and roots.
+func TestVMPolicyReplay(t *testing.T) {
+	var programs, decisions int
+	for _, seed := range []uint64{5, 6, 8, 9} {
+		res, err := RunSeed(seed, smokeOps)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d violated invariants:\n%v", seed, res.History.Violations)
+		}
+		programmed := make(map[string]bool)
+		for _, ev := range res.Market.Chain.Events(policy.EvPolicyCode) {
+			dataID, _, _, err := policy.DecodePolicySet(ev.Data)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			programmed[dataID.Hex()] = true
+			programs++
+		}
+		for _, ev := range res.Market.Chain.Events(policy.EvPolicyDecision) {
+			rec, err := policy.DecodeDecisionRecord(ev.Data)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if programmed[rec.DataID.Hex()] {
+				decisions++
+			}
+		}
+		data, err := ExportMarket(res.Market)
+		if err != nil {
+			t.Fatalf("seed %d export: %v", seed, err)
+		}
+		if err := DifferentialCheck(RunReplayModes(data), res.Market); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if programs == 0 || decisions == 0 {
+		t.Fatalf("swept seeds deployed %d programs with %d program decisions; the vm replay mode was never exercised", programs, decisions)
 	}
 }
 

@@ -17,7 +17,7 @@ import (
 )
 
 // The differential replay oracle: every generated chain is executed
-// five independent ways and any divergence — in acceptance, in height,
+// six independent ways and any divergence — in acceptance, in height,
 // or in final state root — is a correctness failure of the ledger's
 // import pipeline.
 //
@@ -33,6 +33,10 @@ import (
 //	parallel — serial and parallel-executor replicas importing in
 //	           lockstep, compared block-by-block on receipts and event
 //	           order on top of ImportBlock's own root check
+//	vm       — a bytecode-VM replica and a reference-interpreter replica
+//	           (deployed policy programs re-executed from embedded
+//	           source by the tree-walking oracle) importing in lockstep,
+//	           compared on receipts, events and roots
 
 // MarketRuntime builds a contract runtime with the full marketplace
 // code registry — the applier any replica must run to re-validate a
@@ -389,7 +393,74 @@ func runParallelMode(data []byte) ModeResult {
 	return res
 }
 
-// RunReplayModes executes an exported chain through all five modes.
+// runVMMode replays the chain on a replica whose registry runs deployed
+// policy programs through the reference tree-walking evaluator instead
+// of the bytecode VM, importing in lockstep with a normal (VM) replica.
+// The two engines share one host adapter and one gas charge schedule,
+// so every block must land on identical receipts, event logs and state
+// roots — a VM miscompilation, dispatch bug or gas-charge drift breaks
+// this mode even when each engine is self-consistent.
+func runVMMode(data []byte) ModeResult {
+	res := ModeResult{Mode: "vm"}
+	exp, err := decodeExport(data)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	vmChain, err := freshReplica(exp)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	refRT, err := market.NewReferenceRuntime()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	refChain, err := ledger.NewChain(ledger.ChainConfig{
+		Authorities:   exp.Authorities,
+		BlockGasLimit: exp.BlockGasLimit,
+		GenesisAlloc:  exp.GenesisAlloc,
+		Applier:       refRT,
+	})
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	fail := func(b *ledger.Block, err error) ModeResult {
+		res.Err = err
+		res.FailedAt = b.Header.Height
+		res.Height = refChain.Height()
+		res.Root = refChain.State().Root()
+		return res
+	}
+	for _, b := range exp.Blocks {
+		verr, rerr := vmChain.ImportBlock(b), refChain.ImportBlock(b)
+		if (verr == nil) != (rerr == nil) {
+			return fail(b, fmt.Errorf("proptest: vm/reference acceptance split: vm %v, reference %v", verr, rerr))
+		}
+		if rerr != nil {
+			return fail(b, rerr)
+		}
+		for _, tx := range b.Txs {
+			vr, vok := vmChain.Receipt(tx.Hash())
+			rr, rok := refChain.Receipt(tx.Hash())
+			if !vok || !rok || !reflect.DeepEqual(vr, rr) {
+				return fail(b, fmt.Errorf("proptest: vm/reference receipt divergence for tx %s: vm %+v, reference %+v",
+					tx.Hash().Short(), vr, rr))
+			}
+		}
+		if vev, rev := vmChain.Events(""), refChain.Events(""); !reflect.DeepEqual(vev, rev) {
+			return fail(b, fmt.Errorf("proptest: vm/reference event-log divergence at height %d: vm %d events, reference %d",
+				b.Header.Height, len(vev), len(rev)))
+		}
+	}
+	res.Height = refChain.Height()
+	res.Root = refChain.State().Root()
+	return res
+}
+
+// RunReplayModes executes an exported chain through all six modes.
 func RunReplayModes(data []byte) []ModeResult {
 	return []ModeResult{
 		runImportMode(data),
@@ -397,6 +468,7 @@ func RunReplayModes(data []byte) []ModeResult {
 		runReplayMode(data),
 		runPersistMode(data),
 		runParallelMode(data),
+		runVMMode(data),
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"pds2/internal/semantic"
 	"pds2/internal/storage"
 	"pds2/internal/token"
+	"pds2/internal/vm"
 )
 
 // deedSpace bounds the ERC-721 token-ID universe the generator draws
@@ -345,6 +346,38 @@ func (r *runner) exec(i int, op Op) {
 				policy.LayerMatch, class, "", 1+op.Amount%4, id))
 			r.logf("%s probe -> %s", op, r.submit(probe))
 		}
+	case OpVMPolicy:
+		// Register a dataset from the same tiny ID space and deploy a
+		// generated, well-typed policy program compiled to bytecode.
+		// Ownership races revert by design; deployed code supersedes any
+		// declarative policy a sibling OpSetPolicy attached, and the
+		// auditor re-verifies every accepted artifact against its
+		// embedded source. Half the ops also probe enforcement at the
+		// match layer so program verdicts land in the decision log and
+		// flow through the vm-vs-reference replay mode.
+		id := polDataID(op.Seed)
+		meta := crypto.HashString(fmt.Sprintf("proptest/polmeta/%d", op.Seed%polDataSpace))
+		artifact, err := vm.BuildSource(vm.GenSource(op.Seed))
+		if err != nil {
+			r.hist.Violations = append(r.hist.Violations, Violation{
+				Invariant: "vm-policy-compile", OpIndex: i, Height: r.m.Height(),
+				Detail: fmt.Sprintf("seed %d: %v", op.Seed, err),
+			})
+			r.logf("%s -> generator produced uncompilable source: %v", op, err)
+			return
+		}
+		reg := r.m.SignedTx(from, r.m.Registry, 0, market.RegisterDataData(id, meta))
+		dep := r.m.SignedTx(from, r.m.Registry, 0, market.DeployPolicyData(id, artifact))
+		r.logf("%s -> %s then %s", op, r.submit(reg), r.submit(dep))
+		if op.Amount%2 == 0 {
+			class := market.DefaultComputationClass
+			if op.Amount%4 == 0 {
+				class = "stats"
+			}
+			probe := r.m.SignedTx(from, r.m.Registry, 0, market.EnforcePolicyData(
+				policy.LayerMatch, class, "", 1+op.Amount%4, id))
+			r.logf("%s probe -> %s", op, r.submit(probe))
+		}
 	case OpLifecycle:
 		if outcome, err := r.lifecycle(op); err != nil {
 			// A failed lifecycle on an in-process market is a genuine
@@ -396,17 +429,22 @@ func (r *runner) revertProbe(i int, op Op) {
 // the rest of the plan left in the mempool. The op seed also picks a
 // usage-control mode: plain (no policy), policy-bearing (permissive
 // policy, decisions logged, must settle), forbidden-class (must be
-// denied at match), or tighten-after-match (allowed at match, policy
-// then mutated, must be denied at admission and enclave). The returned
-// string is the canonical outcome for the history log.
+// denied at match), tighten-after-match (allowed at match, policy then
+// mutated, must be denied at admission and enclave), or the same
+// permissive/forbidden pair re-expressed as compiled policy programs
+// executed by the bytecode VM — the whole lifecycle must behave
+// identically to its declarative twin. The returned string is the
+// canonical outcome for the history log.
 func (r *runner) lifecycle(op Op) (string, error) {
 	const (
 		modePlain = iota
 		modePolicy
 		modeForbidden
 		modeTighten
+		modeVMPolicy
+		modeVMForbidden
 	)
-	mode := int(op.Seed % 4)
+	mode := int(op.Seed % 6)
 	rng := crypto.NewDRBGFromUint64(op.Seed, "proptest/lifecycle")
 	consumerID := identity.New("prop-consumer", rng.Fork("consumer"))
 	providerID := identity.New("prop-provider", rng.Fork("provider"))
@@ -461,6 +499,14 @@ func (r *runner) lifecycle(op Op) (string, error) {
 		if err := provider.SetPolicy(ref.ID, forbidden); err != nil {
 			return "", fmt.Errorf("set policy: %w", err)
 		}
+	case modeVMPolicy:
+		if err := provider.DeployPolicy(ref.ID, vm.BuiltinPolicySource(permissive)); err != nil {
+			return "", fmt.Errorf("deploy policy: %w", err)
+		}
+	case modeVMForbidden:
+		if err := provider.DeployPolicy(ref.ID, vm.BuiltinPolicySource(forbidden)); err != nil {
+			return "", fmt.Errorf("deploy policy: %w", err)
+		}
 	}
 	params := market.TrainerParams{Dim: 2, Epochs: 1, Lambda: 1e-3}
 	spec := &market.Spec{
@@ -485,15 +531,19 @@ func (r *runner) lifecycle(op Op) (string, error) {
 		return "", fmt.Errorf("no eligible data")
 	}
 	auths, err := provider.Authorize(workload, executorID.Address(), refs, spec.ExpiryHeight)
-	if mode == modeForbidden {
+	if mode == modeForbidden || mode == modeVMForbidden {
 		// The forbidden-class policy must stop the lifecycle at the
-		// match layer with the stable class_forbidden reason.
+		// match layer with the stable class_forbidden reason — whether
+		// the policy is declarative or a compiled program.
 		var denial *market.PolicyDenialError
 		if !errors.As(err, &denial) {
 			return "", fmt.Errorf("forbidden-class authorize: got %v, want policy denial", err)
 		}
 		if denial.Record.Layer != policy.LayerMatch || denial.Record.Code != policy.CodeClassForbidden {
 			return "", fmt.Errorf("forbidden-class denial = %+v", denial.Record)
+		}
+		if mode == modeVMForbidden {
+			return "match-denied(vm-policy)", nil
 		}
 		return "match-denied(policy)", nil
 	}
@@ -544,6 +594,9 @@ func (r *runner) lifecycle(op Op) (string, error) {
 	}
 	if mode == modePolicy {
 		return "settled(policy)", nil
+	}
+	if mode == modeVMPolicy {
+		return "settled(vm-policy)", nil
 	}
 	return "settled", nil
 }

@@ -1,0 +1,158 @@
+package semantic
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestLexerErrorPositions pins the exact error text — including the byte
+// position — of every lexer rejection path. Positions are part of the
+// compiler contract: FuzzCompile asserts every rejection is positioned.
+func TestLexerErrorPositions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`a == @`, `semantic: unexpected character '@' at 5`},
+		{"\x00", `semantic: unexpected character '\x00' at 0`},
+		{`. == 1`, `semantic: unexpected character '.' at 0`},
+		{`a == "unterminated`, `semantic: unterminated string at 5`},
+		{`"`, `semantic: unterminated string at 0`},
+		{`a == "esc\`, `semantic: unterminated string at 5`},
+		{`a ! b`, `semantic: invalid operator at 2`},
+		{`a == -`, `semantic: expected value at 5`},
+		{`x == ---`, `semantic: expected value at 5`},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want %q", tc.src, tc.want)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("Parse(%q) = %q, want %q", tc.src, err.Error(), tc.want)
+		}
+	}
+}
+
+// TestParserErrorPositions pins parser-level rejection messages for the
+// predicate dialect.
+func TestParserErrorPositions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`(a == 1`, `semantic: missing ')' at 7`},
+		{`a == 1)`, `semantic: trailing input at 6`},
+		{`a in ["x"`, `semantic: missing ']' at 9`},
+		{`a in (1)`, `semantic: 'in' needs '[' at 5`},
+		{`has 5`, `semantic: 'has' needs a field at 4`},
+		{`5 == 5`, `semantic: expected field at 0`},
+		{`in == 1`, `semantic: reserved word "in" used as field at 0`},
+		{`a isa 5`, `semantic: "isa" requires a string at 2`},
+		{`a ==`, `semantic: expected value at 4`},
+		{`a`, `semantic: expected operator after "a" at 1`},
+		{`a + 1`, `semantic: invalid comparison operator "+" at 2`},
+		{`a = 1`, `semantic: invalid comparison operator "=" at 2`},
+		{`a % 2`, `semantic: invalid comparison operator "%" at 2`},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want %q", tc.src, tc.want)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("Parse(%q) = %q, want %q", tc.src, err.Error(), tc.want)
+		}
+	}
+}
+
+// TestParseDepthLimit drives both dialects past MaxParseDepth and
+// verifies the sentinel wrap, then checks inputs just under the limit
+// still parse.
+func TestParseDepthLimit(t *testing.T) {
+	deep := strings.Repeat("not ", MaxParseDepth+1) + "has a"
+	if _, err := Parse(deep); !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("Parse deep nots: err = %v, want ErrTooDeep", err)
+	}
+	deepParens := strings.Repeat("(", MaxParseDepth+1) + "a == 1" + strings.Repeat(")", MaxParseDepth+1)
+	if _, err := Parse(deepParens); !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("Parse deep parens: err = %v, want ErrTooDeep", err)
+	}
+	ok := strings.Repeat("not ", MaxParseDepth-2) + "has a"
+	if _, err := Parse(ok); err != nil {
+		t.Fatalf("Parse near-limit: %v", err)
+	}
+
+	deepExpr := "let x = " + strings.Repeat("(", MaxParseDepth+1) + "1" + strings.Repeat(")", MaxParseDepth+1)
+	if _, err := ParseProgram(deepExpr); !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("ParseProgram deep expr: err = %v, want ErrTooDeep", err)
+	}
+	var sb strings.Builder
+	for i := 0; i < MaxParseDepth+1; i++ {
+		sb.WriteString("if true { ")
+	}
+	sb.WriteString("allow")
+	for i := 0; i < MaxParseDepth+1; i++ {
+		sb.WriteString(" }")
+	}
+	if _, err := ParseProgram(sb.String()); !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("ParseProgram deep blocks: err = %v, want ErrTooDeep", err)
+	}
+	// The depth error must be positioned like every other parse error.
+	_, err := ParseProgram(sb.String())
+	if err == nil || !strings.Contains(err.Error(), " at ") {
+		t.Fatalf("depth error not positioned: %v", err)
+	}
+}
+
+// TestProgramParseErrors pins program-dialect rejection messages.
+func TestProgramParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`let 5 = 1`, `semantic: 'let' needs a variable name at 4`},
+		{`let layer = 1`, `semantic: request field "layer" used as variable at 4`},
+		{`let for = 1`, `semantic: reserved word "for" used as variable at 4`},
+		{`let x = 1 let x = 2`, `semantic: variable "x" redeclared at 14`},
+		{`let x = y`, `semantic: undeclared variable "y" at 8`},
+		{`y = 1`, `semantic: expected statement at 0 (undeclared "y")`},
+		{`if true { allow`, `semantic: missing '}' at 15`},
+		{`if true allow }`, `semantic: expected '{' at 8`},
+		{`for x = 1 3 { }`, `semantic: 'for' needs 'to' at 10`},
+		{`emit(topic)`, `semantic: 'emit' needs a literal topic string at 5`},
+		{`store("k")`, `semantic: 'store' needs ',' at 9`},
+		{`deny "c"`, `semantic: expected expression at 8`},
+		{`let x = load()`, `semantic: expected expression at 13`},
+		{`let x = evaluate("a", 1)`, `semantic: "evaluate" takes 5 arguments, missing ',' at 23`},
+		{`let x = 1 +`, `semantic: expected expression at 11`},
+		{`allow }`, `semantic: expected statement at 6`},
+	}
+	for _, tc := range cases {
+		_, err := ParseProgram(tc.src)
+		if err == nil {
+			t.Errorf("ParseProgram(%q) succeeded, want %q", tc.src, tc.want)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("ParseProgram(%q) = %q, want %q", tc.src, err.Error(), tc.want)
+		}
+	}
+}
+
+// TestTooManyLocals checks the MaxLocals cap fires with a positioned
+// error.
+func TestTooManyLocals(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i <= MaxLocals; i++ {
+		fmt.Fprintf(&sb, "let v%d = 1\n", i)
+	}
+	_, err := ParseProgram(sb.String())
+	if err == nil || !strings.Contains(err.Error(), "too many locals") {
+		t.Fatalf("err = %v, want too-many-locals", err)
+	}
+}

@@ -1,6 +1,9 @@
 package semantic
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 // FuzzParse checks that the predicate parser never panics and that any
 // successfully parsed expression can be rendered and re-parsed to an
@@ -32,6 +35,11 @@ func FuzzParse(f *testing.F) {
 		rendered := expr.String()
 		again, err := Parse(rendered)
 		if err != nil {
+			// Rendering parenthesizes every "not", so an input parsed
+			// just under MaxParseDepth can legitimately render past it.
+			if errors.Is(err, ErrTooDeep) {
+				return
+			}
 			t.Fatalf("re-parse of %q (from %q) failed: %v", rendered, src, err)
 		}
 		if expr.Eval(m) != again.Eval(m) {

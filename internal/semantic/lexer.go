@@ -38,11 +38,13 @@ const (
 	tokIdent
 	tokString
 	tokNumber
-	tokOp     // == != < <= > >=
+	tokOp     // == != < <= > >= + - * / % =
 	tokLParen // (
 	tokRParen // )
 	tokLBrack // [
 	tokRBrack // ]
+	tokLBrace // {
+	tokRBrace // }
 	tokComma
 )
 
@@ -75,6 +77,10 @@ func lex(src string) ([]token, error) {
 			l.emit(tokLBrack, "[")
 		case c == ']':
 			l.emit(tokRBrack, "]")
+		case c == '{':
+			l.emit(tokLBrace, "{")
+		case c == '}':
+			l.emit(tokRBrace, "}")
 		case c == ',':
 			l.emit(tokComma, ",")
 		case c == '"':
@@ -85,7 +91,22 @@ func lex(src string) ([]token, error) {
 			if err := l.lexOp(); err != nil {
 				return nil, err
 			}
-		case unicode.IsDigit(rune(c)) || c == '-':
+		case c == '+' || c == '*' || c == '/' || c == '%':
+			l.emit(tokOp, string(c))
+		case c == '-':
+			// '-' is a number sign only when a digit follows and the
+			// previous token cannot end an expression; everywhere else it
+			// is the subtraction / negation operator of the program
+			// dialect. This keeps predicate literals like `>= -5` intact
+			// while letting `a - 1` and `-x` lex as operators.
+			if l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1])) && !l.prevEndsValue() {
+				if err := l.lexNumber(); err != nil {
+					return nil, err
+				}
+			} else {
+				l.emit(tokOp, "-")
+			}
+		case unicode.IsDigit(rune(c)):
 			if err := l.lexNumber(); err != nil {
 				return nil, err
 			}
@@ -102,6 +123,20 @@ func lex(src string) ([]token, error) {
 func (l *lexer) emit(kind tokenKind, text string) {
 	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.pos})
 	l.pos += len(text)
+}
+
+// prevEndsValue reports whether the last emitted token can terminate an
+// expression, which disambiguates '-' between subtraction and a number
+// sign.
+func (l *lexer) prevEndsValue() bool {
+	if len(l.toks) == 0 {
+		return false
+	}
+	switch l.toks[len(l.toks)-1].kind {
+	case tokIdent, tokNumber, tokString, tokRParen, tokRBrack:
+		return true
+	}
+	return false
 }
 
 func (l *lexer) lexString() error {
@@ -136,7 +171,7 @@ func (l *lexer) lexOp() error {
 	case two == "==" || two == "!=" || two == "<=" || two == ">=":
 		l.toks = append(l.toks, token{kind: tokOp, text: two, pos: start})
 		l.pos += 2
-	case c == '<' || c == '>':
+	case c == '<' || c == '>' || c == '=':
 		l.toks = append(l.toks, token{kind: tokOp, text: string(c), pos: start})
 		l.pos++
 	default:

@@ -1,9 +1,20 @@
 package semantic
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 )
+
+// MaxParseDepth bounds expression and statement nesting. The limit keeps
+// both parsers (predicate and program dialect) on bounded recursion for
+// arbitrary input, and — because the bytecode compiler maps nesting
+// depth to operand-stack depth — statically bounds the VM stack.
+const MaxParseDepth = 100
+
+// ErrTooDeep is wrapped by parse errors raised when input nests deeper
+// than MaxParseDepth.
+var ErrTooDeep = errors.New("nesting exceeds depth limit")
 
 // Parse compiles a predicate string into an evaluable expression.
 func Parse(src string) (Expr, error) {
@@ -32,11 +43,24 @@ func MustParse(src string) Expr {
 }
 
 type parser struct {
-	toks []token
-	pos  int
+	toks  []token
+	pos   int
+	depth int
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
+
+// push enters one nesting level, failing once the depth limit is hit.
+// Every call must be paired with pop on the success path.
+func (p *parser) push(pos int) error {
+	p.depth++
+	if p.depth > MaxParseDepth {
+		return fmt.Errorf("semantic: %w at %d", ErrTooDeep, pos)
+	}
+	return nil
+}
+
+func (p *parser) pop() { p.depth-- }
 
 func (p *parser) next() token {
 	t := p.toks[p.pos]
@@ -86,6 +110,10 @@ func (p *parser) parseAnd() (Expr, error) {
 }
 
 func (p *parser) parseUnary() (Expr, error) {
+	if err := p.push(p.peek().pos); err != nil {
+		return nil, err
+	}
+	defer p.pop()
 	if p.acceptIdent("not") {
 		inner, err := p.parseUnary()
 		if err != nil {
@@ -127,6 +155,13 @@ func (p *parser) parseComparison() (Expr, error) {
 	op := p.next()
 	switch {
 	case op.kind == tokOp:
+		// The lexer also produces arithmetic tokens for the program
+		// dialect; the predicate grammar only compares.
+		switch op.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+		default:
+			return nil, fmt.Errorf("semantic: invalid comparison operator %q at %d", op.text, op.pos)
+		}
 		val, err := p.parseValue()
 		if err != nil {
 			return nil, err

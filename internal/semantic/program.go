@@ -1,0 +1,705 @@
+package semantic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// This file defines the program dialect of the policy language: a small
+// imperative layer over the predicate expression grammar, used to author
+// deployable workload policies. A program reads the evaluation request
+// (layer/class/purpose/agg/height/uses), may keep per-dataset state via
+// load/store host calls, emits events, and terminates with an explicit
+// allow, a deny carrying a decision code and clause, or by falling off
+// the end (an implicit allow).
+//
+// Grammar (expressions reuse the predicate lexer):
+//
+//	program  := stmt*
+//	stmt     := "let" IDENT "=" expr
+//	          | IDENT "=" expr
+//	          | "if" expr block ("else" (block | ifstmt))?
+//	          | "for" IDENT "=" expr "to" expr block
+//	          | "allow"
+//	          | "deny" expr expr
+//	          | "emit" "(" STRING ("," expr)* ")"
+//	          | "store" "(" expr "," expr ")"
+//	block    := "{" stmt* "}"
+//	expr     := or ; or := and ("or" and)* ; and := cmp ("and" cmp)*
+//	cmp      := add (("=="|"!="|"<"|"<="|">"|">="|"contains"|"isa") add)?
+//	add      := mul (("+"|"-") mul)*
+//	mul      := unary (("*"|"/"|"%") unary)*
+//	unary    := "not" unary | "-" unary | primary
+//	primary  := "(" expr ")" | STRING | NUMBER | "true" | "false"
+//	          | "load" "(" expr ")" | "clauseof" "(" expr ")"
+//	          | "evaluate" "(" expr "," expr "," expr "," expr "," expr ")"
+//	          | REQVAR | IDENT
+//
+// Variables are flat-scoped and resolved to dense local slots at parse
+// time: redeclaration and reads of undeclared names are parse errors, so
+// neither evaluator needs a name table at run time.
+
+// MaxLocals caps the number of local slots a program may declare; slot
+// indexes must fit the one-byte operands of the bytecode ISA.
+const MaxLocals = 128
+
+// MaxEmitArgs caps the payload arity of an emit statement.
+const MaxEmitArgs = 8
+
+// ReqField names one field of the evaluation Request, addressed by index
+// in both evaluators and the bytecode ISA.
+type ReqField int
+
+// Request fields, in wire order.
+const (
+	ReqLayer ReqField = iota
+	ReqClass
+	ReqPurpose
+	ReqAgg
+	ReqHeight
+	ReqUses
+	NumReqFields
+)
+
+var reqFieldNames = [NumReqFields]string{
+	"layer", "class", "purpose", "agg", "height", "uses",
+}
+
+// String returns the source-level name of the field.
+func (f ReqField) String() string {
+	if f < 0 || f >= NumReqFields {
+		return fmt.Sprintf("req(%d)", int(f))
+	}
+	return reqFieldNames[f]
+}
+
+func reqFieldByName(name string) (ReqField, bool) {
+	for i, n := range reqFieldNames {
+		if n == name {
+			return ReqField(i), true
+		}
+	}
+	return 0, false
+}
+
+// Program is a parsed policy program. NumLocals counts the dense local
+// slots the statements reference; Source is the exact text it was parsed
+// from (embedded in compiled artifacts for re-verification).
+type Program struct {
+	Stmts     []Stmt
+	NumLocals int
+	Source    string
+}
+
+// Stmt is one statement of a policy program.
+type Stmt interface{ isStmt() }
+
+// PExpr is one expression node of the program dialect. (Expr is taken by
+// the predicate grammar.)
+type PExpr interface{ isPExpr() }
+
+// LetStmt is both declaration ("let x = e", Decl true) and assignment
+// ("x = e"); by parse time both are a store to a resolved slot.
+type LetStmt struct {
+	Name string
+	Slot int
+	X    PExpr
+}
+
+// IfStmt is a conditional with an optional else branch.
+type IfStmt struct {
+	Cond PExpr
+	Then []Stmt
+	Else []Stmt
+}
+
+// ForStmt iterates Slot from From to To inclusive, stepping by one. The
+// loop limit is evaluated once into the hidden LimitSlot.
+type ForStmt struct {
+	Name      string
+	Slot      int
+	LimitSlot int
+	From      PExpr
+	To        PExpr
+	Body      []Stmt
+}
+
+// AllowStmt terminates the program with an allow verdict.
+type AllowStmt struct{}
+
+// DenyStmt terminates the program with a deny verdict carrying a
+// decision code and clause (both must evaluate to strings).
+type DenyStmt struct {
+	Code   PExpr
+	Clause PExpr
+}
+
+// EmitStmt emits a program event with a literal topic and encoded args.
+type EmitStmt struct {
+	Topic string
+	Args  []PExpr
+}
+
+// StoreStmt writes Val under Key in the program's state partition.
+type StoreStmt struct {
+	Key PExpr
+	Val PExpr
+}
+
+func (*LetStmt) isStmt()   {}
+func (*IfStmt) isStmt()    {}
+func (*ForStmt) isStmt()   {}
+func (*AllowStmt) isStmt() {}
+func (*DenyStmt) isStmt()  {}
+func (*EmitStmt) isStmt()  {}
+func (*StoreStmt) isStmt() {}
+
+// LitExpr is a literal constant.
+type LitExpr struct{ V Value }
+
+// VarExpr reads a resolved local slot.
+type VarExpr struct {
+	Name string
+	Slot int
+}
+
+// ReqExpr reads a field of the evaluation request.
+type ReqExpr struct{ Field ReqField }
+
+// UnExpr is "not" or unary "-".
+type UnExpr struct {
+	Op string
+	X  PExpr
+}
+
+// BinExpr is a binary operator; "and"/"or" short-circuit.
+type BinExpr struct {
+	Op   string
+	X, Y PExpr
+}
+
+// CallExpr is a host-call expression: load, clauseof or evaluate.
+type CallExpr struct {
+	Fn   string
+	Args []PExpr
+}
+
+func (*LitExpr) isPExpr()  {}
+func (*VarExpr) isPExpr()  {}
+func (*ReqExpr) isPExpr()  {}
+func (*UnExpr) isPExpr()   {}
+func (*BinExpr) isPExpr()  {}
+func (*CallExpr) isPExpr() {}
+
+// programKeyword reports words that introduce statements or are builtin
+// call names — unusable as variable names.
+func programKeyword(s string) bool {
+	switch s {
+	case "let", "if", "else", "for", "to", "allow", "deny", "emit",
+		"store", "load", "clauseof", "evaluate":
+		return true
+	}
+	return false
+}
+
+// resolver assigns dense local slots to variable names at parse time.
+type resolver struct {
+	slots map[string]int
+	next  int
+}
+
+func (r *resolver) declare(name string, pos int) (int, error) {
+	if _, ok := r.slots[name]; ok {
+		return 0, fmt.Errorf("semantic: variable %q redeclared at %d", name, pos)
+	}
+	if r.next >= MaxLocals {
+		return 0, fmt.Errorf("semantic: too many locals (max %d) at %d", MaxLocals, pos)
+	}
+	if r.slots == nil {
+		r.slots = make(map[string]int)
+	}
+	slot := r.next
+	r.slots[name] = slot
+	r.next++
+	return slot, nil
+}
+
+func (r *resolver) hidden(pos int) (int, error) {
+	if r.next >= MaxLocals {
+		return 0, fmt.Errorf("semantic: too many locals (max %d) at %d", MaxLocals, pos)
+	}
+	slot := r.next
+	r.next++
+	return slot, nil
+}
+
+// checkName rejects names the program dialect reserves.
+func checkName(name string, pos int) error {
+	if programKeyword(name) || reservedWord(name) {
+		return fmt.Errorf("semantic: reserved word %q used as variable at %d", name, pos)
+	}
+	if _, ok := reqFieldByName(name); ok {
+		return fmt.Errorf("semantic: request field %q used as variable at %d", name, pos)
+	}
+	return nil
+}
+
+// ParseProgram parses policy-program source. All variable references are
+// statically resolved; errors carry byte positions.
+func ParseProgram(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	res := &resolver{}
+	stmts, err := p.parseStmts(res, tokEOF)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Stmts: stmts, NumLocals: res.next, Source: src}, nil
+}
+
+// MustParseProgram is ParseProgram for statically-known programs.
+func MustParseProgram(src string) *Program {
+	prog, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// parseStmts parses statements until the closing token (tokRBrace for
+// blocks, tokEOF at top level), which it consumes for blocks.
+func (p *parser) parseStmts(res *resolver, until tokenKind) ([]Stmt, error) {
+	stmts := []Stmt{}
+	for {
+		t := p.peek()
+		if t.kind == until {
+			if until != tokEOF {
+				p.next()
+			}
+			return stmts, nil
+		}
+		if t.kind == tokEOF {
+			return nil, fmt.Errorf("semantic: missing '}' at %d", t.pos)
+		}
+		s, err := p.parseStmt(res)
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+}
+
+// parseBlock parses "{" stmt* "}".
+func (p *parser) parseBlock(res *resolver) ([]Stmt, error) {
+	if err := p.push(p.peek().pos); err != nil {
+		return nil, err
+	}
+	defer p.pop()
+	if p.peek().kind != tokLBrace {
+		return nil, fmt.Errorf("semantic: expected '{' at %d", p.peek().pos)
+	}
+	p.next()
+	return p.parseStmts(res, tokRBrace)
+}
+
+func (p *parser) parseStmt(res *resolver) (Stmt, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("semantic: expected statement at %d", t.pos)
+	}
+	switch t.text {
+	case "let":
+		p.next()
+		name := p.next()
+		if name.kind != tokIdent {
+			return nil, fmt.Errorf("semantic: 'let' needs a variable name at %d", name.pos)
+		}
+		if err := checkName(name.text, name.pos); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExprP(res)
+		if err != nil {
+			return nil, err
+		}
+		slot, err := res.declare(name.text, name.pos)
+		if err != nil {
+			return nil, err
+		}
+		return &LetStmt{Name: name.text, Slot: slot, X: x}, nil
+
+	case "if":
+		return p.parseIf(res)
+
+	case "for":
+		p.next()
+		name := p.next()
+		if name.kind != tokIdent {
+			return nil, fmt.Errorf("semantic: 'for' needs a variable name at %d", name.pos)
+		}
+		if err := checkName(name.text, name.pos); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		from, err := p.parseExprP(res)
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptIdent("to") {
+			return nil, fmt.Errorf("semantic: 'for' needs 'to' at %d", p.peek().pos)
+		}
+		to, err := p.parseExprP(res)
+		if err != nil {
+			return nil, err
+		}
+		slot, ok := res.slots[name.text]
+		if !ok {
+			if slot, err = res.declare(name.text, name.pos); err != nil {
+				return nil, err
+			}
+		}
+		limit, err := res.hidden(name.pos)
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock(res)
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Name: name.text, Slot: slot, LimitSlot: limit, From: from, To: to, Body: body}, nil
+
+	case "allow":
+		p.next()
+		return &AllowStmt{}, nil
+
+	case "deny":
+		p.next()
+		code, err := p.parseExprP(res)
+		if err != nil {
+			return nil, err
+		}
+		clause, err := p.parseExprP(res)
+		if err != nil {
+			return nil, err
+		}
+		return &DenyStmt{Code: code, Clause: clause}, nil
+
+	case "emit":
+		p.next()
+		if p.peek().kind != tokLParen {
+			return nil, fmt.Errorf("semantic: 'emit' needs '(' at %d", p.peek().pos)
+		}
+		p.next()
+		topic := p.next()
+		if topic.kind != tokString {
+			return nil, fmt.Errorf("semantic: 'emit' needs a literal topic string at %d", topic.pos)
+		}
+		var args []PExpr
+		for p.peek().kind == tokComma {
+			p.next()
+			a, err := p.parseExprP(res)
+			if err != nil {
+				return nil, err
+			}
+			if len(args) >= MaxEmitArgs {
+				return nil, fmt.Errorf("semantic: 'emit' takes at most %d arguments at %d", MaxEmitArgs, p.peek().pos)
+			}
+			args = append(args, a)
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("semantic: missing ')' at %d", p.peek().pos)
+		}
+		p.next()
+		return &EmitStmt{Topic: topic.text, Args: args}, nil
+
+	case "store":
+		p.next()
+		if p.peek().kind != tokLParen {
+			return nil, fmt.Errorf("semantic: 'store' needs '(' at %d", p.peek().pos)
+		}
+		p.next()
+		key, err := p.parseExprP(res)
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokComma {
+			return nil, fmt.Errorf("semantic: 'store' needs ',' at %d", p.peek().pos)
+		}
+		p.next()
+		val, err := p.parseExprP(res)
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("semantic: missing ')' at %d", p.peek().pos)
+		}
+		p.next()
+		return &StoreStmt{Key: key, Val: val}, nil
+	}
+
+	// Plain assignment: IDENT "=" expr.
+	if slot, ok := res.slots[t.text]; ok {
+		p.next()
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExprP(res)
+		if err != nil {
+			return nil, err
+		}
+		return &LetStmt{Name: t.text, Slot: slot, X: x}, nil
+	}
+	return nil, fmt.Errorf("semantic: expected statement at %d (undeclared %q)", t.pos, t.text)
+}
+
+func (p *parser) parseIf(res *resolver) (Stmt, error) {
+	p.next() // "if"
+	cond, err := p.parseExprP(res)
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock(res)
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.acceptIdent("else") {
+		if p.peek().kind == tokIdent && p.peek().text == "if" {
+			chained, err := p.parseIf(res)
+			if err != nil {
+				return nil, err
+			}
+			els = []Stmt{chained}
+		} else {
+			if els, err = p.parseBlock(res); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) expectOp(text string) error {
+	t := p.next()
+	if t.kind != tokOp || t.text != text {
+		return fmt.Errorf("semantic: expected %q at %d", text, t.pos)
+	}
+	return nil
+}
+
+// --- program expression grammar ---
+
+func (p *parser) parseExprP(res *resolver) (PExpr, error) {
+	return p.parseOrP(res)
+}
+
+func (p *parser) parseOrP(res *resolver) (PExpr, error) {
+	left, err := p.parseAndP(res)
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptIdent("or") {
+		right, err := p.parseAndP(res)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "or", X: left, Y: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAndP(res *resolver) (PExpr, error) {
+	left, err := p.parseCmpP(res)
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptIdent("and") {
+		right, err := p.parseCmpP(res)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "and", X: left, Y: right}
+	}
+	return left, nil
+}
+
+// parseCmpP parses a non-associative comparison.
+func (p *parser) parseCmpP(res *resolver) (PExpr, error) {
+	left, err := p.parseAddP(res)
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	var op string
+	switch {
+	case t.kind == tokOp:
+		switch t.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			op = t.text
+		default:
+			return left, nil
+		}
+	case t.kind == tokIdent && (t.text == "contains" || t.text == "isa"):
+		op = t.text
+	default:
+		return left, nil
+	}
+	p.next()
+	right, err := p.parseAddP(res)
+	if err != nil {
+		return nil, err
+	}
+	return &BinExpr{Op: op, X: left, Y: right}, nil
+}
+
+func (p *parser) parseAddP(res *resolver) (PExpr, error) {
+	left, err := p.parseMulP(res)
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && (p.peek().text == "+" || p.peek().text == "-") {
+		op := p.next().text
+		right, err := p.parseMulP(res)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op, X: left, Y: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMulP(res *resolver) (PExpr, error) {
+	left, err := p.parseUnaryP(res)
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && (p.peek().text == "*" || p.peek().text == "/" || p.peek().text == "%") {
+		op := p.next().text
+		right, err := p.parseUnaryP(res)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op, X: left, Y: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnaryP(res *resolver) (PExpr, error) {
+	if err := p.push(p.peek().pos); err != nil {
+		return nil, err
+	}
+	defer p.pop()
+	if p.acceptIdent("not") {
+		x, err := p.parseUnaryP(res)
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "not", X: x}, nil
+	}
+	if p.peek().kind == tokOp && p.peek().text == "-" {
+		p.next()
+		x, err := p.parseUnaryP(res)
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimaryP(res)
+}
+
+func (p *parser) parsePrimaryP(res *resolver) (PExpr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokLParen:
+		p.next()
+		e, err := p.parseExprP(res)
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("semantic: missing ')' at %d", p.peek().pos)
+		}
+		p.next()
+		return e, nil
+	case tokString:
+		p.next()
+		return &LitExpr{V: String(t.text)}, nil
+	case tokNumber:
+		p.next()
+		n, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("semantic: bad number %q at %d", t.text, t.pos)
+		}
+		return &LitExpr{V: Number(n)}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			p.next()
+			return &LitExpr{V: Bool(true)}, nil
+		case "false":
+			p.next()
+			return &LitExpr{V: Bool(false)}, nil
+		case "load", "clauseof":
+			p.next()
+			args, err := p.parseCallArgs(res, t.text, 1)
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Fn: t.text, Args: args}, nil
+		case "evaluate":
+			p.next()
+			args, err := p.parseCallArgs(res, t.text, 5)
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Fn: t.text, Args: args}, nil
+		}
+		if f, ok := reqFieldByName(t.text); ok {
+			p.next()
+			return &ReqExpr{Field: f}, nil
+		}
+		if slot, ok := res.slots[t.text]; ok {
+			p.next()
+			return &VarExpr{Name: t.text, Slot: slot}, nil
+		}
+		if programKeyword(t.text) || reservedWord(t.text) {
+			return nil, fmt.Errorf("semantic: unexpected keyword %q at %d", t.text, t.pos)
+		}
+		return nil, fmt.Errorf("semantic: undeclared variable %q at %d", t.text, t.pos)
+	}
+	return nil, fmt.Errorf("semantic: expected expression at %d", t.pos)
+}
+
+// parseCallArgs parses "(" expr ("," expr)* ")" with an exact arity.
+func (p *parser) parseCallArgs(res *resolver, fn string, arity int) ([]PExpr, error) {
+	if p.peek().kind != tokLParen {
+		return nil, fmt.Errorf("semantic: %q needs '(' at %d", fn, p.peek().pos)
+	}
+	p.next()
+	args := make([]PExpr, 0, arity)
+	for i := 0; i < arity; i++ {
+		if i > 0 {
+			if p.peek().kind != tokComma {
+				return nil, fmt.Errorf("semantic: %q takes %d arguments, missing ',' at %d", fn, arity, p.peek().pos)
+			}
+			p.next()
+		}
+		a, err := p.parseExprP(res)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	if p.peek().kind != tokRParen {
+		return nil, fmt.Errorf("semantic: missing ')' at %d", p.peek().pos)
+	}
+	p.next()
+	return args, nil
+}

@@ -1,0 +1,73 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"pds2/internal/policy"
+)
+
+// BuiltinPolicySource re-expresses a five-clause declarative policy as
+// policy-program source, clause for clause in policy.Evaluate's order
+// and with its exact comparison operators and decision codes. A dataset
+// bound to Compile(BuiltinPolicySource(p)) decides identically to one
+// bound to p itself — the differential acceptance test in
+// internal/market pins the decision records, events, and invocation
+// accounting byte for byte.
+func BuiltinPolicySource(p *policy.Policy) string {
+	if p == nil || p.IsZero() {
+		return "allow\n"
+	}
+	var sb strings.Builder
+	if p.ExpiryHeight > 0 {
+		fmt.Fprintf(&sb, "if height > %d { deny %q %q }\n",
+			p.ExpiryHeight, policy.CodeExpired, policy.ClauseExpiry)
+	}
+	if len(p.AllowedClasses) > 0 {
+		fmt.Fprintf(&sb, "if not (%s) { deny %q %q }\n",
+			membership("class", p.AllowedClasses), policy.CodeClassForbidden, policy.ClauseClasses)
+	}
+	if len(p.Purposes) > 0 {
+		fmt.Fprintf(&sb, "if not (%s) { deny %q %q }\n",
+			membership("purpose", p.Purposes), policy.CodePurposeMismatch, policy.ClausePurposes)
+	}
+	if p.MinAggregation > 0 {
+		fmt.Fprintf(&sb, "if agg < %d { deny %q %q }\n",
+			p.MinAggregation, policy.CodeAggregationFloor, policy.ClauseAggregation)
+	}
+	if p.MaxInvocations > 0 {
+		fmt.Fprintf(&sb, "if uses >= %d { deny %q %q }\n",
+			p.MaxInvocations, policy.CodeExhausted, policy.ClauseInvocations)
+	}
+	sb.WriteString("allow\n")
+	return sb.String()
+}
+
+// membership renders `field == "a" or field == "b" or …`.
+func membership(field string, values []string) string {
+	parts := make([]string, len(values))
+	for i, v := range values {
+		parts[i] = fmt.Sprintf("%s == %s", field, quote(v))
+	}
+	return strings.Join(parts, " or ")
+}
+
+// quote renders a string literal in the policy language's escape
+// syntax (backslash escapes the next byte verbatim).
+func quote(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(s[i])
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// CompilePolicy builds the deployable artifact of a declarative policy.
+func CompilePolicy(p *policy.Policy) ([]byte, error) {
+	return BuildSource(BuiltinPolicySource(p))
+}

@@ -1,0 +1,247 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"pds2/internal/crypto"
+)
+
+// GenSource deterministically generates a random well-typed policy
+// program from a seed — the input side of the differential harness and
+// of the proptest vm-policy op. Programs exercise every construct
+// (locals, arithmetic, string ops, short-circuit logic, conditionals,
+// nested bounded loops, load/store, emit, clauseof, evaluate, deny) and
+// are type-correct by construction, so on a sufficiently large gas
+// budget they run to a verdict rather than a type error; runtime
+// errors remain reachable through gas exhaustion, which is exactly the
+// boundary the differential tests sweep.
+func GenSource(seed uint64) string {
+	g := &gen{rng: crypto.NewDRBGFromUint64(seed, "vm.gensource")}
+	var sb strings.Builder
+	n := 2 + g.rng.Intn(5)
+	for i := 0; i < n; i++ {
+		g.stmt(&sb, 0)
+	}
+	// Terminal statement: half the programs end with an explicit
+	// verdict, the rest fall off the end (implicit allow).
+	switch g.rng.Intn(4) {
+	case 0:
+		sb.WriteString("allow\n")
+	case 1:
+		fmt.Fprintf(&sb, "deny %s clauseof(%s)\n", g.codeLit(), g.codeLit())
+	}
+	return sb.String()
+}
+
+type genType int
+
+const (
+	tNum genType = iota
+	tStr
+	tBool
+)
+
+type gen struct {
+	rng  *crypto.DRBG
+	vars []struct {
+		name string
+		typ  genType
+	}
+	nvars int
+	loops int
+}
+
+func (g *gen) varsOf(t genType) []string {
+	var out []string
+	for _, v := range g.vars {
+		if v.typ == t {
+			out = append(out, v.name)
+		}
+	}
+	return out
+}
+
+var genCodes = []string{
+	"ok", "policy_expired", "class_forbidden",
+	"purpose_mismatch", "aggregation_floor", "invocations_exhausted",
+}
+
+func (g *gen) codeLit() string {
+	return fmt.Sprintf("%q", genCodes[g.rng.Intn(len(genCodes))])
+}
+
+func (g *gen) stmt(sb *strings.Builder, depth int) {
+	if g.nvars >= 24 {
+		depth = 99 // stop growing; only simple statements below
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1, 2:
+		t := genType(g.rng.Intn(3))
+		name := fmt.Sprintf("v%d", g.nvars)
+		g.nvars++
+		fmt.Fprintf(sb, "let %s = %s\n", name, g.expr(t, 0))
+		g.vars = append(g.vars, struct {
+			name string
+			typ  genType
+		}{name, t})
+	case 3:
+		if len(g.vars) == 0 {
+			sb.WriteString("emit(\"tick\")\n")
+			return
+		}
+		v := g.vars[g.rng.Intn(len(g.vars))]
+		fmt.Fprintf(sb, "%s = %s\n", v.name, g.expr(v.typ, 0))
+	case 4, 5:
+		if depth >= 2 {
+			fmt.Fprintf(sb, "store(%s, %s)\n", g.expr(tStr, 1), g.expr(genType(g.rng.Intn(3)), 1))
+			return
+		}
+		fmt.Fprintf(sb, "if %s {\n", g.expr(tBool, 0))
+		g.stmt(sb, depth+1)
+		if g.rng.Intn(2) == 0 {
+			sb.WriteString("} else {\n")
+			g.stmt(sb, depth+1)
+		}
+		sb.WriteString("}\n")
+	case 6:
+		if depth >= 2 || g.loops >= 3 {
+			fmt.Fprintf(sb, "emit(\"probe\", %s)\n", g.expr(genType(g.rng.Intn(3)), 1))
+			return
+		}
+		g.loops++
+		name := fmt.Sprintf("i%d", g.nvars)
+		g.nvars++
+		fmt.Fprintf(sb, "for %s = %d to %d {\n", name, g.rng.Intn(3), g.rng.Intn(6))
+		g.vars = append(g.vars, struct {
+			name string
+			typ  genType
+		}{name, tNum})
+		g.stmt(sb, depth+1)
+		sb.WriteString("}\n")
+	case 7:
+		fmt.Fprintf(sb, "store(%s, %s)\n", g.expr(tStr, 1), g.expr(genType(g.rng.Intn(3)), 1))
+	case 8:
+		argc := g.rng.Intn(3)
+		args := make([]string, argc)
+		for i := range args {
+			args[i] = g.expr(genType(g.rng.Intn(3)), 1)
+		}
+		if argc == 0 {
+			fmt.Fprintf(sb, "emit(\"e%d\")\n", g.rng.Intn(4))
+		} else {
+			fmt.Fprintf(sb, "emit(\"e%d\", %s)\n", g.rng.Intn(4), strings.Join(args, ", "))
+		}
+	case 9:
+		// A guarded deny: reachable but input-dependent.
+		fmt.Fprintf(sb, "if %s { deny %s clauseof(%s) }\n",
+			g.expr(tBool, 0), g.codeLit(), g.codeLit())
+	}
+}
+
+func (g *gen) expr(t genType, depth int) string {
+	if depth >= 3 {
+		return g.leaf(t)
+	}
+	switch t {
+	case tNum:
+		switch g.rng.Intn(6) {
+		case 0, 1:
+			return g.leaf(tNum)
+		case 2:
+			return fmt.Sprintf("(%s %s %s)", g.expr(tNum, depth+1),
+				[]string{"+", "-", "*"}[g.rng.Intn(3)], g.expr(tNum, depth+1))
+		case 3:
+			// Division and modulo with a nonzero literal divisor.
+			return fmt.Sprintf("(%s %s %d)", g.expr(tNum, depth+1),
+				[]string{"/", "%"}[g.rng.Intn(2)], 1+g.rng.Intn(7))
+		case 4:
+			return fmt.Sprintf("(-%s)", g.expr(tNum, depth+1))
+		default:
+			return fmt.Sprintf("(%s + %s)", g.leaf(tNum), g.leaf(tNum))
+		}
+	case tStr:
+		switch g.rng.Intn(4) {
+		case 0, 1:
+			return g.leaf(tStr)
+		case 2:
+			return fmt.Sprintf("(%s + %s)", g.expr(tStr, depth+1), g.leaf(tStr))
+		default:
+			return fmt.Sprintf("clauseof(%s)", g.expr(tStr, depth+1))
+		}
+	default:
+		switch g.rng.Intn(8) {
+		case 0:
+			return g.leaf(tBool)
+		case 1:
+			return fmt.Sprintf("(%s %s %s)", g.expr(tNum, depth+1),
+				[]string{"==", "!=", "<", "<=", ">", ">="}[g.rng.Intn(6)], g.expr(tNum, depth+1))
+		case 2:
+			return fmt.Sprintf("(%s %s %s)", g.expr(tStr, depth+1),
+				[]string{"==", "!=", "contains", "isa"}[g.rng.Intn(4)], g.expr(tStr, depth+1))
+		case 3:
+			return fmt.Sprintf("(%s and %s)", g.expr(tBool, depth+1), g.expr(tBool, depth+1))
+		case 4:
+			return fmt.Sprintf("(%s or %s)", g.expr(tBool, depth+1), g.expr(tBool, depth+1))
+		case 5:
+			return fmt.Sprintf("(not %s)", g.expr(tBool, depth+1))
+		case 6:
+			// evaluate() returns a code; compare it against a literal.
+			return fmt.Sprintf("(evaluate(%q, %d, %d, %q, %d) == %s)",
+				strings.Join(pick(g.rng.Intn(3), []string{"train", "stats", "infer"}), ","),
+				g.rng.Intn(4), 1000*g.rng.Intn(2), // expiry 0 or 1000
+				strings.Join(pick(g.rng.Intn(2), []string{"research", "ads"}), ","),
+				g.rng.Intn(4), g.codeLit())
+		default:
+			return fmt.Sprintf("(load(%s) == %s)", g.expr(tStr, depth+1), g.leaf(genType(g.rng.Intn(3))))
+		}
+	}
+}
+
+func (g *gen) leaf(t genType) string {
+	switch t {
+	case tNum:
+		if vs := g.varsOf(tNum); len(vs) > 0 && g.rng.Intn(2) == 0 {
+			return vs[g.rng.Intn(len(vs))]
+		}
+		switch g.rng.Intn(5) {
+		case 0:
+			return "agg"
+		case 1:
+			return "height"
+		case 2:
+			return "uses"
+		default:
+			return fmt.Sprintf("%d", g.rng.Intn(100))
+		}
+	case tStr:
+		if vs := g.varsOf(tStr); len(vs) > 0 && g.rng.Intn(2) == 0 {
+			return vs[g.rng.Intn(len(vs))]
+		}
+		switch g.rng.Intn(5) {
+		case 0:
+			return "layer"
+		case 1:
+			return "class"
+		case 2:
+			return "purpose"
+		default:
+			return fmt.Sprintf("%q", []string{"train", "stats", "sensor.temp", "eu", "k1", "k2"}[g.rng.Intn(6)])
+		}
+	default:
+		if vs := g.varsOf(tBool); len(vs) > 0 && g.rng.Intn(2) == 0 {
+			return vs[g.rng.Intn(len(vs))]
+		}
+		if g.rng.Intn(2) == 0 {
+			return "true"
+		}
+		return "false"
+	}
+}
+
+func pick(n int, from []string) []string {
+	if n >= len(from) {
+		n = len(from) - 1
+	}
+	return from[:n+1]
+}
